@@ -1,0 +1,50 @@
+"""Ablation: hotspot-selection policy (Sec. 3.5 design choice).
+
+Freezing the highest-degree node should drop more CNOTs than freezing a
+random node; the weighted and swap-aware policies should be at least as
+good as random too.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import scale
+from repro.core.hotspots import select_hotspots
+from repro.core.partition import executed_subproblems, partition_problem
+from repro.devices import get_backend
+from repro.experiments import render_table
+from repro.experiments.workloads import ba_suite
+from repro.qaoa.circuits import build_qaoa_template
+from repro.transpile import transpile
+
+
+def _sub_cx(hamiltonian, device, policy, seed):
+    hotspots = select_hotspots(
+        hamiltonian, 1, policy=policy, device=device, seed=seed
+    )
+    parts = partition_problem(hamiltonian, hotspots)
+    sub = executed_subproblems(parts)[0].hamiltonian
+    return transpile(build_qaoa_template(sub).circuit, device).cx_count
+
+
+def test_hotspot_policy_ablation(benchmark):
+    device = get_backend("montreal")
+    suite = ba_suite(
+        sizes=scale((12, 16), (12, 16, 20, 24)), trials=scale(2, 4), seed=77
+    )
+
+    def run():
+        rows = []
+        for policy in ("degree", "weighted", "swap_aware", "random"):
+            cx = [
+                _sub_cx(w.hamiltonian, device, policy, seed=i)
+                for i, w in enumerate(suite)
+            ]
+            rows.append({"policy": policy, "mean_sub_cx": float(np.mean(cx))})
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    print()
+    print(render_table(rows, title="Ablation: hotspot selection policy"))
+    by_policy = {row["policy"]: row["mean_sub_cx"] for row in rows}
+    assert by_policy["degree"] < by_policy["random"]
+    assert by_policy["swap_aware"] <= by_policy["random"]

@@ -1,0 +1,52 @@
+"""Ablation: transpiler knobs — layout policy and routing lookahead.
+
+The degree/noise-aware layout and the lookahead router each reduce SWAPs
+relative to the trivial/greedy-only configuration on heavy-hex devices.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import scale
+from repro.devices import get_backend
+from repro.experiments import render_table
+from repro.experiments.workloads import ba_suite
+from repro.qaoa.circuits import build_qaoa_template
+from repro.transpile import TranspileOptions, transpile
+
+
+def test_routing_ablation(benchmark):
+    device = get_backend("montreal")
+    suite = ba_suite(
+        sizes=scale((16, 20), (16, 20, 24)), trials=scale(2, 4), seed=99
+    )
+    variants = {
+        "trivial+greedy": TranspileOptions(layout_method="trivial", lookahead=False),
+        "trivial+lookahead": TranspileOptions(layout_method="trivial", lookahead=True),
+        "noise+greedy": TranspileOptions(layout_method="noise", lookahead=False),
+        "noise+lookahead": TranspileOptions(layout_method="noise", lookahead=True),
+    }
+
+    def run():
+        rows = []
+        for label, options in variants.items():
+            swaps = []
+            cx = []
+            for workload in suite:
+                template = build_qaoa_template(workload.hamiltonian)
+                compiled = transpile(template.circuit, device, options)
+                swaps.append(compiled.swap_count)
+                cx.append(compiled.cx_count)
+            rows.append(
+                {
+                    "variant": label,
+                    "mean_swaps": float(np.mean(swaps)),
+                    "mean_cx": float(np.mean(cx)),
+                }
+            )
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    print()
+    print(render_table(rows, title="Ablation: layout x lookahead"))
+    by_variant = {row["variant"]: row["mean_swaps"] for row in rows}
+    assert by_variant["noise+lookahead"] <= by_variant["trivial+greedy"]

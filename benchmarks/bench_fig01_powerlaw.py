@@ -1,0 +1,21 @@
+"""Fig. 1(b): power-law degree distribution of an airport-style network.
+
+Paper: the ten busiest U.S. airports have ~10x the average connectivity
+(1300 airports, mean degree 26.49). Expect top10_over_mean near 10.
+"""
+
+from benchmarks.conftest import scale
+from repro.experiments import render_table
+from repro.experiments.figures import figure_01_powerlaw
+
+
+def test_fig01_powerlaw(benchmark):
+    rows = benchmark.pedantic(
+        figure_01_powerlaw,
+        kwargs={"num_airports": scale(400, 1300), "seed": 7},
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(render_table(rows, title="Fig 1(b): airport-network hotspot statistics"))
+    assert 5.0 <= rows[0]["top10_over_mean"] <= 15.0

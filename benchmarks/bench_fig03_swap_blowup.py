@@ -1,0 +1,21 @@
+"""Fig. 3: CX blow-up from SWAP insertion, fully-connected QAOA on a grid.
+
+Paper: post-compilation CX count grows up to 14x over pre-compilation as
+qubit count grows (10-200 qubits). Expect the blow-up ratio to increase
+monotonically with size.
+"""
+
+from benchmarks.conftest import scale
+from repro.experiments import render_table
+from repro.experiments.figures import figure_03_swap_blowup
+
+
+def test_fig03_swap_blowup(benchmark):
+    sizes = scale((4, 8, 12, 16, 20), (10, 20, 40, 60, 80, 100))
+    rows = benchmark.pedantic(
+        figure_03_swap_blowup, kwargs={"sizes": sizes}, rounds=1, iterations=1
+    )
+    print()
+    print(render_table(rows, title="Fig 3: pre/post-compilation CX on grid"))
+    blowups = [row["blowup"] for row in rows]
+    assert blowups[-1] > blowups[0]

@@ -1,0 +1,37 @@
+"""Fig. 7: CX count and depth of baseline vs FQ(m=1,2) on BA(d=1) graphs.
+
+Paper (Sec. 5.1.1): FQ reduces CX 3.13x (m=1) / 7.19x (m=2) and depth
+2.23x / 3.65x on average over 4-24 qubits on IBM-Montreal. Expect
+reduction factors of the same order.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import scale
+from repro.experiments import render_table
+from repro.experiments.figures import figure_07_cnot_depth
+
+
+def test_fig07_cnot_depth(benchmark):
+    rows = benchmark.pedantic(
+        figure_07_cnot_depth,
+        kwargs={
+            "sizes": scale((8, 12, 16), (4, 8, 12, 16, 20, 24)),
+            "trials": scale(2, 5),
+        },
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(render_table(rows, title="Fig 7: CX count and depth, baseline vs FQ"))
+    cx_factor_1 = float(np.mean([r["baseline_cx"] / max(r["fq1_cx"], 1) for r in rows]))
+    cx_factor_2 = float(np.mean([r["baseline_cx"] / max(r["fq2_cx"], 1) for r in rows]))
+    depth_factor_1 = float(
+        np.mean([r["baseline_depth"] / max(r["fq1_depth"], 1) for r in rows])
+    )
+    print(
+        f"mean CX reduction: m=1 {cx_factor_1:.2f}x, m=2 {cx_factor_2:.2f}x "
+        f"(paper: 3.13x / 7.19x); depth m=1 {depth_factor_1:.2f}x (paper: 2.23x)"
+    )
+    assert cx_factor_1 > 1.5
+    assert cx_factor_2 > cx_factor_1

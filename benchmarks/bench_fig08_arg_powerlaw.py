@@ -1,0 +1,36 @@
+"""Fig. 8: ARG of baseline vs FQ(m=1,2) on BA(d=1) graphs, IBM-Montreal.
+
+Paper: FQ improves ARG 6.75x on average (m=1, up to 47x) and 11.29x
+(m=2, up to 57x); baseline ARG grows rapidly with circuit size while FQ's
+grows slowly. Expect FQ < baseline at every size, gap widening with size.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import scale
+from repro.experiments import render_table
+from repro.experiments.figures import figure_08_arg_powerlaw
+
+
+def test_fig08_arg_powerlaw(benchmark):
+    rows = benchmark.pedantic(
+        figure_08_arg_powerlaw,
+        kwargs={
+            "sizes": scale((8, 12, 16), (4, 8, 12, 16, 20, 24)),
+            "trials": scale(2, 5),
+        },
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(render_table(rows, title="Fig 8: ARG on BA(d=1), IBM-Montreal"))
+    improvements1 = [r["baseline_arg"] / r["fq1_arg"] for r in rows if r["fq1_arg"] > 0]
+    improvements2 = [r["baseline_arg"] / r["fq2_arg"] for r in rows if r["fq2_arg"] > 0]
+    print(
+        f"mean ARG improvement: m=1 {np.mean(improvements1):.2f}x "
+        f"(paper 6.75x), m=2 {np.mean(improvements2):.2f}x (paper 11.29x)"
+    )
+    for row in rows:
+        assert row["fq1_arg"] < row["baseline_arg"]
+    # The baseline degrades faster with size than FQ (paper's observation).
+    assert rows[-1]["baseline_arg"] > rows[0]["baseline_arg"]

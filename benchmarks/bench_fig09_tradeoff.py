@@ -1,0 +1,30 @@
+"""Fig. 9: fidelity-cost trade-off — relative ARG and circuit features vs
+quantum cost for m = 0..max.
+
+Paper: relative ARG falls with quantum cost and saturates (~m=7); CX count
+and depth track the ARG trend, so they are usable as cheap proxies.
+"""
+
+from benchmarks.conftest import scale
+from repro.experiments import render_table
+from repro.experiments.figures import figure_09_tradeoff
+
+
+def test_fig09_tradeoff(benchmark):
+    rows = benchmark.pedantic(
+        figure_09_tradeoff,
+        kwargs={
+            "num_qubits": scale(12, 20),
+            "max_frozen": scale(4, 7),
+            "attachments": scale((1,), (1, 2, 3)),
+        },
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(render_table(rows, title="Fig 9: relative ARG / CX / depth vs quantum cost"))
+    first = [r for r in rows if r["d_ba"] == rows[0]["d_ba"]]
+    assert first[-1]["relative_arg"] < first[0]["relative_arg"]
+    # Circuit features track fidelity: both decrease together.
+    assert first[-1]["relative_cx"] < 1.0
+    assert first[-1]["relative_depth"] < 1.0

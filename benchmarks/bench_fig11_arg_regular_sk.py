@@ -1,0 +1,35 @@
+"""Fig. 11: ARG on 3-regular and SK-model graphs, IBM-Montreal.
+
+Paper: modest but consistent gains on non-power-law graphs — 1.25x average
+(3-regular, up to 4.52x) and 1.28x (SK, m=1). Expect FQ <= baseline on
+average with small margins.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import scale
+from repro.experiments import render_table
+from repro.experiments.figures import figure_11_arg_regular_sk
+
+
+def test_fig11_arg_regular_sk(benchmark):
+    rows = benchmark.pedantic(
+        figure_11_arg_regular_sk,
+        kwargs={
+            "regular_sizes": scale((8, 12), (4, 8, 12, 16, 20, 24)),
+            "sk_sizes": scale((6, 8), (4, 6, 8, 10, 12)),
+            "trials": scale(2, 4),
+        },
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(render_table(rows, title="Fig 11: ARG on 3-regular and SK graphs"))
+    for family, paper_factor in (("3reg", 1.25), ("sk", 1.28)):
+        group = [r for r in rows if r["family"] == family]
+        improvements = [
+            r["baseline_arg"] / r["fq1_arg"] for r in group if r["fq1_arg"] > 0
+        ]
+        mean = float(np.mean(improvements))
+        print(f"{family}: mean m=1 improvement {mean:.2f}x (paper {paper_factor}x)")
+        assert mean > 1.0

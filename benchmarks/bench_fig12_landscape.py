@@ -1,0 +1,30 @@
+"""Fig. 12: (gamma, beta) optimization-landscape blur under noise.
+
+Paper: the baseline's AR landscape on IBMQ-Auckland is blurred by noise
+while FQ(m=1,2) landscapes show sharp gradients, aiding training. Expect
+AR contrast (std of AR over the grid) and best achievable AR to increase
+from baseline to FQ(m=1) to FQ(m=2).
+"""
+
+from benchmarks.conftest import scale
+from repro.experiments import render_table
+from repro.experiments.figures import figure_12_landscape
+
+
+def test_fig12_landscape(benchmark):
+    rows = benchmark.pedantic(
+        figure_12_landscape,
+        kwargs={
+            "num_qubits": scale(12, 20),
+            "resolution": scale(16, 50),
+            "backend": "auckland",
+        },
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(render_table(rows, title="Fig 12: AR landscape contrast (IBMQ-Auckland)"))
+    by_label = {row["which"]: row for row in rows}
+    assert by_label["fq1"]["ar_contrast"] > by_label["baseline"]["ar_contrast"]
+    assert by_label["fq2"]["ar_contrast"] > by_label["baseline"]["ar_contrast"]
+    assert by_label["fq2"]["fidelity"] > by_label["fq1"]["fidelity"]

@@ -1,0 +1,33 @@
+"""Fig. 13: mean ARG improvement of FQ across the eight IBMQ machines.
+
+Paper: freezing one qubit improves mean ARG 3.69x on average across
+machines (up to 5.20x); two qubits 7.8x (up to 13.16x). Expect every
+machine's improvement factor > 1 and m=2 >= m=1 on the gmean.
+"""
+
+from benchmarks.conftest import scale
+from repro.experiments import render_table
+from repro.experiments.figures import figure_13_machines
+
+
+def test_fig13_machines(benchmark):
+    rows = benchmark.pedantic(
+        figure_13_machines,
+        kwargs={
+            "sizes": scale((8, 12), (8, 12, 16, 20)),
+            "trials": scale(1, 3),
+        },
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(render_table(rows, title="Fig 13: ARG improvement per machine"))
+    gmean_row = rows[-1]
+    assert gmean_row["backend"] == "GMEAN"
+    print(
+        f"gmean improvement: m=1 {gmean_row['fq1_improvement']:.2f}x (paper 3.69x), "
+        f"m=2 {gmean_row['fq2_improvement']:.2f}x (paper 7.8x)"
+    )
+    for row in rows:
+        assert row["fq1_improvement"] > 1.0
+    assert gmean_row["fq2_improvement"] > gmean_row["fq1_improvement"]

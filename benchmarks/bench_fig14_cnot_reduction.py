@@ -1,0 +1,33 @@
+"""Fig. 14 (Sec. 6.1): CX-reduction breakdown at practical scale, BA d=1.
+
+Paper (500 qubits on a 50x50 grid): freezing ten qubits removes 65.94% of
+post-compilation CNOTs, 91.47% of which comes from eliminated SWAPs.
+Expect the total reduction to grow with m and the SWAP share to dominate.
+"""
+
+from benchmarks.conftest import scale
+from repro.experiments import render_table
+from repro.experiments.figures import figure_14_cnot_reduction
+
+
+def test_fig14_cnot_reduction(benchmark):
+    rows = benchmark.pedantic(
+        figure_14_cnot_reduction,
+        kwargs={
+            "num_qubits": scale(120, 500),
+            "max_frozen": scale(6, 10),
+        },
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(render_table(rows, title="Fig 14: CX reduction breakdown (edge vs SWAP)"))
+    last = rows[-1]
+    print(
+        f"m={last['num_frozen']}: total CX reduction "
+        f"{100 * last['total_reduction_frac']:.1f}% (paper 65.9% at m=10/500q), "
+        f"SWAP share {100 * last['swap_share_of_reduction']:.1f}% (paper 91.5%)"
+    )
+    totals = [row["total_reduction_frac"] for row in rows]
+    assert totals[-1] > totals[0]
+    assert last["swap_share_of_reduction"] > 0.5

@@ -1,0 +1,30 @@
+"""Fig. 15 (Sec. 6.1/6.2): relative CX count and depth vs m, BA d=1,2,3.
+
+Paper: relative CX falls to ~0.4 and depth improves 1.47x-5.25x as m goes
+1..10; denser graphs benefit less. Expect monotone-ish decrease in both
+relative metrics for every density.
+"""
+
+from benchmarks.conftest import scale
+from repro.experiments import render_table
+from repro.experiments.figures import figure_15_relative_cx_depth
+
+
+def test_fig15_relative_cx_depth(benchmark):
+    rows = benchmark.pedantic(
+        figure_15_relative_cx_depth,
+        kwargs={
+            "num_qubits": scale(100, 500),
+            "max_frozen": scale(6, 10),
+            "attachments": scale((1, 2), (1, 2, 3)),
+        },
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(render_table(rows, title="Fig 15: relative CX and depth vs m"))
+    for d_ba in sorted({row["d_ba"] for row in rows}):
+        group = [row for row in rows if row["d_ba"] == d_ba]
+        assert group[-1]["relative_cx"] < 1.0
+        assert group[-1]["relative_depth"] < 1.0
+        assert group[-1]["relative_cx"] <= group[0]["relative_cx"] + 0.05

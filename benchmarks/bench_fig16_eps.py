@@ -1,0 +1,32 @@
+"""Fig. 16 (Sec. 6.3): relative Expected Probability of Success vs m.
+
+Paper: with the optimistic error model (0.1% CX, 0.5% readout, 500 us),
+FQ improves EPS by 404x on average and up to 515,900x at m=10 on 500-qubit
+BA graphs. Expect monotone growth of relative EPS with m, spanning orders
+of magnitude.
+"""
+
+from benchmarks.conftest import scale
+from repro.experiments import render_table
+from repro.experiments.figures import figure_16_eps
+
+
+def test_fig16_eps(benchmark):
+    rows = benchmark.pedantic(
+        figure_16_eps,
+        kwargs={
+            "num_qubits": scale(100, 500),
+            "max_frozen": scale(6, 10),
+            "attachments": scale((1, 2), (1, 2, 3)),
+        },
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(render_table(rows, title="Fig 16: relative EPS vs m (log10)"))
+    for d_ba in sorted({row["d_ba"] for row in rows}):
+        group = [row for row in rows if row["d_ba"] == d_ba]
+        assert group[-1]["relative_eps_log10"] > group[0]["relative_eps_log10"]
+        assert group[-1]["relative_eps_log10"] > 0.0
+    best = max(row["relative_eps"] for row in rows)
+    print(f"max relative EPS {best:.3g}x (paper: up to 515,900x at 500q/m=10)")

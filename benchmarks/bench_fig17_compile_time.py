@@ -1,0 +1,30 @@
+"""Fig. 17 (Sec. 6.4): compile-time reduction and template-editing cost.
+
+Paper: freezing ten qubits cuts compile time 22% (sub-circuits route
+faster), and generating all 2^m executables by editing the compiled
+template costs ~1e-4 of a baseline compile (parallel or sequential).
+Expect relative compile time <= ~1 and editing orders of magnitude
+cheaper than compiling.
+"""
+
+from benchmarks.conftest import scale
+from repro.experiments import render_table
+from repro.experiments.figures import figure_17_compile_time
+
+
+def test_fig17_compile_time(benchmark):
+    rows = benchmark.pedantic(
+        figure_17_compile_time,
+        kwargs={
+            "num_qubits": scale(100, 500),
+            "max_frozen": scale(6, 10),
+        },
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(render_table(rows, title="Fig 17: compile time and editing overhead"))
+    last = rows[-1]
+    assert last["relative_compile_time"] < 1.2
+    assert last["edit_relative_parallel"] < 0.05
+    assert last["edit_relative_sequential"] < 0.5

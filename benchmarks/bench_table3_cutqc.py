@@ -1,0 +1,55 @@
+"""Table 3 (Sec. 3.9): FrozenQubits vs circuit-cutting overheads.
+
+Paper: CutQC pays exponential post-processing in qubit count; FrozenQubits
+pays 2^m circuit executions but only polynomial decode. The working
+edge-cutting comparator shows the boundary blow-up concretely on power-law
+graphs.
+"""
+
+import pytest
+
+from benchmarks.conftest import scale
+from repro.baselines import edge_cut_solve, find_edge_cut
+from repro.exceptions import CutError
+from repro.experiments import render_table
+from repro.experiments.tables import table3_comparison
+from repro.graphs.generators import barabasi_albert_graph, ring_graph
+from repro.ising import IsingHamiltonian
+
+
+def test_table3_cost_models(benchmark):
+    rows = benchmark.pedantic(
+        table3_comparison,
+        kwargs={"num_qubits": scale(20, 24), "cuts": 2},
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(render_table(rows, title="Table 3: CutQC vs FrozenQubits overheads"))
+    cutqc, frozen = rows
+    assert frozen["postprocess_ops"] < cutqc["postprocess_ops"] / 1e3
+
+
+def test_edge_cutting_fails_on_powerlaw_graphs(benchmark):
+    """The structural reason edge cutting is the wrong tool (Sec. 3.9):
+    power-law graphs have no small cut once hotspots are involved."""
+
+    def run():
+        ring = ring_graph(16)
+        __, __, ring_cut = find_edge_cut(ring, max_boundary=16)
+        ba = barabasi_albert_graph(16, 2, seed=3)
+        __, __, ba_cut = find_edge_cut(ba, max_boundary=16)
+        h = IsingHamiltonian.from_graph(ring, weights="random_pm1", seed=1)
+        result = edge_cut_solve(h)
+        return ring_cut, ba_cut, result
+
+    ring_cut, ba_cut, result = benchmark.pedantic(run, rounds=1, iterations=1)
+    ring_boundary = {q for edge in ring_cut for q in edge}
+    ba_boundary = {q for edge in ba_cut for q in edge}
+    print(
+        f"\nboundary sizes: ring {len(ring_boundary)}, BA(d=2) {len(ba_boundary)}; "
+        f"edge-cut postprocess = 2^{result.boundary_size} = "
+        f"{result.postprocess_evals} conditional solves"
+    )
+    assert len(ba_boundary) > len(ring_boundary)
+    assert result.postprocess_evals == 2**result.boundary_size

@@ -1,0 +1,24 @@
+"""Shared knobs for the benchmark harness.
+
+Every bench runs at a CI-friendly scale by default and at the paper's scale
+with ``REPRO_FULL=1``. Each bench prints the regenerated data table so the
+run doubles as the paper-figure reproduction record (see EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+FULL = os.environ.get("REPRO_FULL", "0") == "1"
+
+
+def scale(quick, full):
+    """Pick the quick or full-scale value of a knob."""
+    return full if FULL else quick
+
+
+@pytest.fixture(scope="session")
+def repro_scale():
+    return {"full": FULL}

@@ -1,0 +1,96 @@
+"""Portfolio optimization with FrozenQubits (paper Table 1: finance domain).
+
+Markowitz-style selection: pick assets maximising expected return while
+penalising co-movement (correlated assets held together) and deviating
+from a target portfolio size. The QUBO is converted to an Ising
+Hamiltonian with repro's exact transform; the correlation structure is
+hub-dominated (an index-like mega-cap correlates with everything), so the
+problem graph is power-law-ish and FrozenQubits freezes the hub asset.
+
+Run:  python examples/portfolio_optimization.py
+"""
+
+import numpy as np
+
+from repro import (
+    FrozenQubitsSolver,
+    SolverConfig,
+    brute_force_minimum,
+    get_backend,
+)
+from repro.baselines import solve_classically
+from repro.ising import qubo_to_ising
+
+
+def build_market(num_assets: int, seed: int) -> tuple[np.ndarray, np.ndarray]:
+    """Synthetic market: returns + hub-dominated covariance.
+
+    Asset 0 is the index-like hub: every other asset carries exposure to
+    it, so the covariance graph has a hotspot.
+    """
+    rng = np.random.default_rng(seed)
+    returns = rng.uniform(0.02, 0.12, size=num_assets)
+    exposures = np.zeros((num_assets, num_assets))
+    exposures[:, 0] = rng.uniform(0.5, 0.9, size=num_assets)  # hub factor
+    for asset in range(1, num_assets):
+        exposures[asset, asset] = rng.uniform(0.3, 0.6)
+    covariance = exposures @ exposures.T * 0.05
+    return returns, covariance
+
+
+def build_qubo(
+    returns: np.ndarray,
+    covariance: np.ndarray,
+    risk_aversion: float = 2.0,
+    target_size: int = 5,
+    size_penalty: float = 0.08,
+) -> np.ndarray:
+    """QUBO: -return + risk_aversion * risk + size constraint penalty."""
+    n = len(returns)
+    q = risk_aversion * covariance.copy()
+    q[np.diag_indices(n)] -= returns
+    # (sum x - target)^2 penalty, dropping the constant.
+    q += size_penalty
+    q[np.diag_indices(n)] += size_penalty * (1.0 - 2.0 * target_size)
+    return q
+
+
+def main() -> None:
+    num_assets = 12
+    returns, covariance = build_market(num_assets, seed=3)
+    qubo = build_qubo(returns, covariance)
+    problem = qubo_to_ising(qubo)
+    graph = problem.to_graph()
+    hub = graph.max_degree_node()
+    print(f"portfolio problem: {num_assets} assets, "
+          f"{problem.num_terms} covariance couplings")
+    print(f"hub asset: {hub} (degree {graph.degree(hub)}) — the index proxy\n")
+
+    exact = brute_force_minimum(problem)
+    classical = solve_classically(problem, method="anneal", seed=4)
+    print(f"exact optimum cost    : {exact.value:.4f}")
+    print(f"simulated annealing   : {classical.value:.4f}\n")
+
+    # Note: the QUBO conversion introduces non-zero linear terms, so the
+    # spin-flip symmetry of Sec. 3.7.2 does NOT hold and FrozenQubits runs
+    # both sub-problems per frozen qubit — the framework handles it.
+    solver = FrozenQubitsSolver(
+        num_frozen=1,
+        config=SolverConfig(shots=4096, grid_resolution=12, maxiter=50),
+        seed=5,
+    )
+    result = solver.solve(problem, device=get_backend("hanoi"))
+    print(f"FrozenQubits (m=1) on ibm_hanoi:")
+    print(f"  frozen (hub) asset : {result.frozen_qubits}")
+    print(f"  circuits executed  : {result.num_circuits_executed} "
+          f"(no pruning: linear terms break the symmetry)")
+    print(f"  best cost found    : {result.best_value:.4f} "
+          f"(optimality gap {result.best_value - exact.value:.4f})")
+    chosen = [i for i, spin in enumerate(result.best_spins) if spin == -1]
+    expected_return = returns[chosen].sum() if chosen else 0.0
+    print(f"  selected assets    : {chosen}")
+    print(f"  expected return    : {100 * expected_return:.2f}%")
+
+
+if __name__ == "__main__":
+    main()

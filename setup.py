@@ -1,0 +1,11 @@
+"""Legacy setup shim.
+
+The pinned offline toolchain (setuptools 65 without the ``wheel`` package)
+cannot perform PEP 660 editable installs; this shim lets
+``pip install -e . --no-build-isolation`` fall back to the legacy
+``setup.py develop`` path. All metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

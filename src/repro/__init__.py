@@ -1,0 +1,85 @@
+"""repro: a from-scratch reproduction of FrozenQubits (ASPLOS 2023).
+
+FrozenQubits boosts the fidelity of QAOA on noisy quantum computers by
+*freezing* the hotspot nodes of power-law problem graphs: substituting the
+hotspot spins with ±1 partitions the state-space into sub-problems whose
+circuits carry far fewer CNOTs and SWAPs, and spin-flip symmetry lets half
+of the sub-problems be inferred for free.
+
+Quickstart::
+
+    from repro import (
+        FrozenQubitsSolver, IsingHamiltonian, barabasi_albert_graph, get_backend,
+    )
+
+    graph = barabasi_albert_graph(12, attachment=1, seed=1)
+    problem = IsingHamiltonian.from_graph(graph, weights="random_pm1", seed=2)
+    result = FrozenQubitsSolver(num_frozen=2).solve(problem, get_backend("montreal"))
+    print(result.best_spins, result.best_value)
+
+See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+paper-vs-measured record.
+"""
+
+from repro.baselines import BaselineQAOA
+from repro.circuit import Parameter, QuantumCircuit
+from repro.core import (
+    FrozenQubitsResult,
+    FrozenQubitsSolver,
+    SolverConfig,
+    recommend_num_frozen,
+    select_hotspots,
+)
+from repro.devices import Device, get_backend, grid_device, list_backends
+from repro.graphs import (
+    ProblemGraph,
+    barabasi_albert_graph,
+    sk_graph,
+    three_regular_graph,
+)
+from repro.ising import (
+    IsingHamiltonian,
+    brute_force_minimum,
+    freeze_qubits,
+    simulated_annealing,
+)
+from repro.qaoa import (
+    approximation_ratio,
+    approximation_ratio_gap,
+    build_qaoa_circuit,
+    build_qaoa_template,
+    qaoa1_expectation,
+)
+from repro.transpile import TranspileOptions, transpile
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "BaselineQAOA",
+    "Device",
+    "FrozenQubitsResult",
+    "FrozenQubitsSolver",
+    "IsingHamiltonian",
+    "Parameter",
+    "ProblemGraph",
+    "QuantumCircuit",
+    "SolverConfig",
+    "TranspileOptions",
+    "approximation_ratio",
+    "approximation_ratio_gap",
+    "barabasi_albert_graph",
+    "brute_force_minimum",
+    "build_qaoa_circuit",
+    "build_qaoa_template",
+    "freeze_qubits",
+    "get_backend",
+    "grid_device",
+    "list_backends",
+    "qaoa1_expectation",
+    "recommend_num_frozen",
+    "select_hotspots",
+    "simulated_annealing",
+    "sk_graph",
+    "three_regular_graph",
+    "transpile",
+]

@@ -1,0 +1,38 @@
+"""Analytical models and metrics used by the paper's evaluation.
+
+* :mod:`repro.analysis.eps` — Expected Probability of Success (Sec. 6.3).
+* :mod:`repro.analysis.runtime` — the Eq. (6) end-to-end runtime model with
+  the four cloud execution models of Fig. 18.
+* :mod:`repro.analysis.metrics` — ARG improvements, geometric means.
+* :mod:`repro.analysis.tradeoff` — fidelity-vs-quantum-cost curves (Fig. 9).
+"""
+
+from repro.analysis.eps import (
+    OPTIMISTIC_ERROR_MODEL,
+    ErrorModel,
+    expected_probability_of_success,
+)
+from repro.analysis.metrics import geometric_mean, improvement_factor, relative_series
+from repro.analysis.runtime import (
+    EXECUTION_MODELS,
+    ExecutionModel,
+    WorkloadTiming,
+    overall_runtime_hours,
+)
+from repro.analysis.tradeoff import TradeoffPoint, detect_plateau, tradeoff_curve
+
+__all__ = [
+    "EXECUTION_MODELS",
+    "ErrorModel",
+    "ExecutionModel",
+    "OPTIMISTIC_ERROR_MODEL",
+    "TradeoffPoint",
+    "WorkloadTiming",
+    "detect_plateau",
+    "expected_probability_of_success",
+    "geometric_mean",
+    "improvement_factor",
+    "overall_runtime_hours",
+    "relative_series",
+    "tradeoff_curve",
+]

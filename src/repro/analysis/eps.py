@@ -1,0 +1,120 @@
+"""Expected Probability of Success (EPS) — paper Sec. 6.3.
+
+EPS is the probability that every gate and measurement executes without
+error *and* no qubit decoheres for the duration of the circuit:
+
+    EPS = prod_gates (1 - eps_gate)
+        * prod_qubits (1 - eps_readout)
+        * prod_qubits exp(-T / T_dec)
+
+The paper evaluates 500-qubit circuits with an *optimistic* model — 0.1%
+CNOT error, 0.5% readout error, 500 microseconds decoherence — because
+running such circuits is infeasible; EPS is the standard compiler-evaluation
+stand-in at that scale.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.circuit.circuit import QuantumCircuit
+from repro.circuit.dag import circuit_layers
+from repro.devices.calibration import DEFAULT_DURATIONS_NS
+from repro.exceptions import SimulationError
+
+
+@dataclass(frozen=True)
+class ErrorModel:
+    """Flat error model for EPS computations.
+
+    Attributes:
+        cx_error: Two-qubit gate error probability.
+        readout_error: Per-qubit measurement error probability.
+        decoherence_us: Qubit coherence time (applies to every qubit).
+        single_qubit_error: Physical 1q gate error probability.
+    """
+
+    cx_error: float = 0.001
+    readout_error: float = 0.005
+    decoherence_us: float = 500.0
+    single_qubit_error: float = 0.0001
+
+    def __post_init__(self) -> None:
+        for name in ("cx_error", "readout_error", "single_qubit_error"):
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0:
+                raise SimulationError(f"{name} must be in [0, 1], got {value}")
+        if self.decoherence_us <= 0:
+            raise SimulationError(
+                f"decoherence_us must be positive, got {self.decoherence_us}"
+            )
+
+
+#: The paper's optimistic Sec.-6.3 model.
+OPTIMISTIC_ERROR_MODEL = ErrorModel()
+
+
+def expected_probability_of_success(
+    circuit: QuantumCircuit,
+    model: ErrorModel = OPTIMISTIC_ERROR_MODEL,
+    num_active_qubits: "int | None" = None,
+    log_space: bool = False,
+) -> float:
+    """EPS of a (physical) circuit under a flat error model.
+
+    Args:
+        circuit: Compiled circuit; ``cx`` counts as two-qubit, ``rz`` and
+            barriers are free, every other gate is a physical 1q pulse.
+        model: Error model (defaults to the paper's optimistic one).
+        num_active_qubits: Qubits exposed to readout and decoherence;
+            defaults to the number of distinct qubits touched by gates.
+        log_space: Return ``log10(EPS)`` instead (500-qubit EPS values
+            underflow double precision otherwise).
+
+    Returns:
+        EPS in [0, 1] (or its log10).
+    """
+    log_eps = 0.0
+    touched: set[int] = set()
+    for instruction in circuit:
+        name = instruction.name
+        if name in ("barrier", "measure", "rz", "p"):
+            if name == "measure":
+                touched.update(instruction.qubits)
+            continue
+        touched.update(instruction.qubits)
+        if name in ("cx", "cz"):
+            log_eps += np.log10(1.0 - model.cx_error)
+        elif name == "swap":
+            log_eps += 3.0 * np.log10(1.0 - model.cx_error)
+        elif name == "rzz":
+            log_eps += 2.0 * np.log10(1.0 - model.cx_error)
+        else:
+            log_eps += np.log10(1.0 - model.single_qubit_error)
+    active = num_active_qubits if num_active_qubits is not None else len(touched)
+    log_eps += active * np.log10(1.0 - model.readout_error)
+
+    duration_ns = 0.0
+    for layer in circuit_layers(circuit):
+        duration_ns += max(
+            (DEFAULT_DURATIONS_NS.get(op.name, 0.0) for op in layer), default=0.0
+        )
+    decoherence_ns = model.decoherence_us * 1000.0
+    log_eps += active * (-duration_ns / decoherence_ns) * np.log10(np.e)
+    if log_space:
+        return float(log_eps)
+    return float(10.0**log_eps)
+
+
+def relative_eps_log10(
+    sub_circuit: QuantumCircuit,
+    baseline_circuit: QuantumCircuit,
+    model: ErrorModel = OPTIMISTIC_ERROR_MODEL,
+) -> float:
+    """``log10(EPS_sub / EPS_baseline)`` — the Fig. 16 series, safely in
+    log space (absolute EPS underflows at 500 qubits)."""
+    return expected_probability_of_success(
+        sub_circuit, model, log_space=True
+    ) - expected_probability_of_success(baseline_circuit, model, log_space=True)

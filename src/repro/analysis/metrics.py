@@ -1,0 +1,52 @@
+"""Aggregate metrics: improvement factors and geometric means.
+
+The paper reports fidelity improvements as ratios of ARGs
+(``ARG_baseline / ARG_frozenqubits``, higher is better) and aggregates
+across benchmarks/machines with geometric means (the GMEAN bar of Fig. 13).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+from repro.exceptions import ReproError
+
+
+def improvement_factor(baseline_metric: float, improved_metric: float) -> float:
+    """``baseline / improved`` for lower-is-better metrics like ARG.
+
+    Raises:
+        ReproError: If the improved metric is zero or either is negative.
+    """
+    if baseline_metric < 0 or improved_metric < 0:
+        raise ReproError("improvement factors need non-negative metrics")
+    if improved_metric == 0.0:
+        raise ReproError("improved metric is zero; factor is unbounded")
+    return baseline_metric / improved_metric
+
+
+def geometric_mean(values: Sequence[float]) -> float:
+    """Geometric mean of positive values.
+
+    Raises:
+        ReproError: On empty input or non-positive entries.
+    """
+    if len(values) == 0:
+        raise ReproError("geometric mean of empty sequence")
+    array = np.asarray(values, dtype=float)
+    if np.any(array <= 0):
+        raise ReproError("geometric mean requires positive values")
+    return float(np.exp(np.mean(np.log(array))))
+
+
+def relative_series(values: Sequence[float], reference: float) -> list[float]:
+    """Each value divided by a reference (the paper's "Relative X" axes).
+
+    Raises:
+        ReproError: If the reference is zero.
+    """
+    if reference == 0.0:
+        raise ReproError("cannot normalise by a zero reference")
+    return [float(v) / reference for v in values]

@@ -1,0 +1,106 @@
+"""End-to-end workflow runtime model — paper Eq. (6) and Fig. 18.
+
+    T = delta_compile
+      + I * N_batch * (tau * t_NISQ + Delta_cloud)
+      + delta_opt + delta_pp
+
+with ``I`` training iterations, ``tau`` trials (shots) per circuit,
+``t_NISQ`` seconds per trial, ``N_batch`` job batches per iteration,
+``Delta_cloud`` the cloud access latency per job, ``delta_opt`` the total
+classical-optimizer latency, and ``delta_pp`` post-processing.
+
+The four execution models of Fig. 18 combine batching (up to 900 circuits
+per job, as on IBMQ) or no batching (Rigetti-style) with shared
+(Delta_cloud = 30 min) or dedicated (Delta_cloud = 0) access.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.exceptions import ReproError
+
+
+@dataclass(frozen=True)
+class ExecutionModel:
+    """A cloud execution mode.
+
+    Attributes:
+        name: Display name (matches Fig. 18 x-axis labels).
+        batch_size: Circuits per cloud job (1 = no batching).
+        cloud_latency_s: Per-job access latency.
+    """
+
+    name: str
+    batch_size: int
+    cloud_latency_s: float
+
+    def __post_init__(self) -> None:
+        if self.batch_size < 1:
+            raise ReproError(f"batch_size must be >= 1, got {self.batch_size}")
+        if self.cloud_latency_s < 0:
+            raise ReproError(
+                f"cloud_latency_s must be >= 0, got {self.cloud_latency_s}"
+            )
+
+
+#: Fig. 18's four execution models.
+EXECUTION_MODELS: dict[str, ExecutionModel] = {
+    "sequential+shared": ExecutionModel("Sequential+Shared [Azure]", 1, 1800.0),
+    "sequential+dedicated": ExecutionModel("Sequential+Dedicated [Amazon]", 1, 0.0),
+    "batched+shared": ExecutionModel("Batched+Shared [IBMQ]", 900, 1800.0),
+    "batched+dedicated": ExecutionModel("Batched+Dedicated [IBMQ]", 900, 0.0),
+}
+
+
+@dataclass(frozen=True)
+class WorkloadTiming:
+    """Per-workload constants of Eq. (6), with the paper's defaults.
+
+    Attributes:
+        iterations: Training iterations I per circuit (paper: 1000).
+        trials: Trials tau per circuit per iteration (paper: 25K).
+        trial_seconds: t_NISQ (paper: 1 ms).
+        optimizer_seconds_per_iteration: Delta_opt (paper: 1 minute).
+        compile_seconds: delta_compile (paper: 2 hours, compiled once).
+        postprocess_seconds: delta_pp (paper: 1 minute for FrozenQubits).
+    """
+
+    iterations: int = 1000
+    trials: int = 25_000
+    trial_seconds: float = 1e-3
+    optimizer_seconds_per_iteration: float = 60.0
+    compile_seconds: float = 7200.0
+    postprocess_seconds: float = 60.0
+
+
+def overall_runtime_hours(
+    num_circuits: int,
+    model: ExecutionModel,
+    timing: "WorkloadTiming | None" = None,
+) -> float:
+    """Eq. (6) evaluated for a workload of ``num_circuits`` parallel
+    sub-circuits per training iteration (baseline: 1).
+
+    Batching executes up to ``batch_size`` circuits per cloud job; the
+    quantum execution time within a job is the *sum* of its circuits'
+    trials (the device still runs them serially), but the cloud latency is
+    paid once per job.
+
+    Returns:
+        Total workflow time in hours.
+    """
+    if num_circuits < 1:
+        raise ReproError(f"num_circuits must be >= 1, got {num_circuits}")
+    t = timing or WorkloadTiming()
+    num_batches = math.ceil(num_circuits / model.batch_size)
+    per_iteration = (
+        num_batches * model.cloud_latency_s
+        + num_circuits * t.trials * t.trial_seconds
+        + t.optimizer_seconds_per_iteration
+    )
+    total_seconds = (
+        t.compile_seconds + t.iterations * per_iteration + t.postprocess_seconds
+    )
+    return total_seconds / 3600.0

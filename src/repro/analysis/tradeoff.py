@@ -1,0 +1,74 @@
+"""Fidelity-cost trade-off analysis (paper Sec. 3.4, Sec. 5.1.3, Fig. 9).
+
+Freezing more qubits shrinks sub-circuits (better fidelity) but costs
+exponentially more circuit executions. The trade-off curve pairs the
+quantum cost ``2**m`` (x-axis of Fig. 9) with a lower-is-better fidelity
+proxy (ARG, CX count, or depth, normalised to m=0); ``detect_plateau``
+finds the paper's diminishing-returns knee.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from collections.abc import Sequence
+
+from repro.exceptions import ReproError
+
+
+@dataclass(frozen=True)
+class TradeoffPoint:
+    """One point of the Fig. 9 curve.
+
+    Attributes:
+        num_frozen: m.
+        quantum_cost: Circuits required, ``2**m`` (the paper plots the
+            unpruned cost on this axis).
+        relative_value: Metric at m divided by the metric at m=0.
+    """
+
+    num_frozen: int
+    quantum_cost: int
+    relative_value: float
+
+
+def tradeoff_curve(metric_by_m: Sequence[float]) -> list[TradeoffPoint]:
+    """Build the relative trade-off curve from a metric indexed by m.
+
+    Args:
+        metric_by_m: Metric values for m = 0, 1, 2, ... (m=0 = baseline).
+
+    Raises:
+        ReproError: On empty input or a zero baseline value.
+    """
+    if len(metric_by_m) == 0:
+        raise ReproError("metric_by_m is empty")
+    baseline = metric_by_m[0]
+    if baseline == 0.0:
+        raise ReproError("baseline metric is zero; relative curve undefined")
+    return [
+        TradeoffPoint(
+            num_frozen=m,
+            quantum_cost=2**m,
+            relative_value=float(value / baseline),
+        )
+        for m, value in enumerate(metric_by_m)
+    ]
+
+
+def detect_plateau(
+    curve: Sequence[TradeoffPoint], threshold: float = 0.02
+) -> int:
+    """Smallest m after which the marginal relative improvement stays below
+    ``threshold`` — the Sec. 5.1.3 saturation point.
+
+    Returns the last worthwhile m (0 if freezing never helps by more than
+    the threshold).
+    """
+    if threshold < 0:
+        raise ReproError(f"threshold must be >= 0, got {threshold}")
+    best = 0
+    for index in range(1, len(curve)):
+        gain = curve[index - 1].relative_value - curve[index].relative_value
+        if gain >= threshold:
+            best = curve[index].num_frozen
+    return best

@@ -1,0 +1,33 @@
+"""Comparison baselines.
+
+* :class:`BaselineQAOA` — the paper's baseline (Sec. 4.2): one full-size
+  QAOA circuit, compiled noise-adaptively, trained on simulation, executed
+  under the device noise model.
+* :mod:`repro.baselines.cutqc` — the circuit-cutting comparator of Sec. 3.9
+  / Table 3: a working edge-cutting divide-and-conquer solver with
+  exponential boundary post-processing, plus the CutQC asymptotic cost
+  model.
+* :mod:`repro.baselines.classical` — classical reference solvers.
+"""
+
+from repro.baselines.classical import ClassicalResult, solve_classically
+from repro.baselines.cutqc import (
+    CutCostModel,
+    EdgeCutResult,
+    cutqc_cost_model,
+    edge_cut_solve,
+    find_edge_cut,
+)
+from repro.baselines.qaoa_baseline import BaselineQAOA, BaselineResult
+
+__all__ = [
+    "BaselineQAOA",
+    "BaselineResult",
+    "ClassicalResult",
+    "CutCostModel",
+    "EdgeCutResult",
+    "cutqc_cost_model",
+    "edge_cut_solve",
+    "find_edge_cut",
+    "solve_classically",
+]

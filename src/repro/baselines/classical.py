@@ -1,0 +1,109 @@
+"""Classical reference solvers behind one dispatching facade.
+
+Small problems get the exact vectorised brute force; larger ones get
+restart simulated annealing; ``greedy`` provides the cheap 1-opt descent
+used as a sanity floor in examples.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.exceptions import SolverError
+from repro.ising.annealer import simulated_annealing
+from repro.ising.bruteforce import brute_force_minimum
+from repro.ising.hamiltonian import IsingHamiltonian
+from repro.utils.rng import ensure_rng
+
+
+@dataclass(frozen=True)
+class ClassicalResult:
+    """Outcome of a classical solve.
+
+    Attributes:
+        value: Best cost found (exact for ``method="exact"``).
+        spins: Best assignment found.
+        method: Solver actually used.
+        exact: Whether the result is provably optimal.
+    """
+
+    value: float
+    spins: tuple[int, ...]
+    method: str
+    exact: bool
+
+
+def greedy_descent(
+    hamiltonian: IsingHamiltonian,
+    seed: "int | np.random.Generator | None" = None,
+    restarts: int = 8,
+) -> ClassicalResult:
+    """Random-restart single-spin-flip descent to a local minimum."""
+    rng = ensure_rng(seed)
+    n = hamiltonian.num_qubits
+    best_value = np.inf
+    best_spins: "np.ndarray | None" = None
+    for __ in range(restarts):
+        spins = rng.choice((-1.0, 1.0), size=n)
+        improved = True
+        value = hamiltonian.evaluate_many(spins[None, :])[0]
+        while improved:
+            improved = False
+            for site in range(n):
+                spins[site] = -spins[site]
+                candidate = hamiltonian.evaluate_many(spins[None, :])[0]
+                if candidate < value - 1e-12:
+                    value = candidate
+                    improved = True
+                else:
+                    spins[site] = -spins[site]
+        if value < best_value:
+            best_value = value
+            best_spins = spins.copy()
+    assert best_spins is not None
+    return ClassicalResult(
+        value=float(best_value),
+        spins=tuple(int(s) for s in best_spins),
+        method="greedy",
+        exact=False,
+    )
+
+
+def solve_classically(
+    hamiltonian: IsingHamiltonian,
+    method: str = "auto",
+    seed: "int | np.random.Generator | None" = None,
+    exact_threshold: int = 20,
+) -> ClassicalResult:
+    """Solve an Ising problem classically.
+
+    Args:
+        hamiltonian: The problem.
+        method: ``"exact"``, ``"anneal"``, ``"greedy"``, or ``"auto"``
+            (exact up to ``exact_threshold`` qubits, annealing beyond).
+        seed: RNG seed for the heuristics.
+        exact_threshold: Size cut-over for ``"auto"``.
+
+    Raises:
+        SolverError: Unknown method or exact on an oversized problem.
+    """
+    n = hamiltonian.num_qubits
+    if method == "auto":
+        method = "exact" if n <= exact_threshold else "anneal"
+    if method == "exact":
+        if n > 26:
+            raise SolverError(f"exact solve limited to 26 qubits, got {n}")
+        result = brute_force_minimum(hamiltonian)
+        return ClassicalResult(
+            value=result.value, spins=result.spins, method="exact", exact=True
+        )
+    if method == "anneal":
+        result = simulated_annealing(hamiltonian, seed=seed)
+        return ClassicalResult(
+            value=result.value, spins=result.spins, method="anneal", exact=False
+        )
+    if method == "greedy":
+        return greedy_descent(hamiltonian, seed=seed)
+    raise SolverError(f"unknown classical method {method!r}")

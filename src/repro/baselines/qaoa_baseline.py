@@ -1,0 +1,90 @@
+"""The standard-QAOA baseline (paper Sec. 4.2).
+
+One circuit over all N qubits, compiled with the noise-adaptive pipeline at
+the highest settings, parameters tuned on the ideal simulator, executed
+under the device noise model for the configured number of shots. Shares
+:func:`repro.core.solver.run_qaoa_instance` with FrozenQubits so both sides
+of every comparison use identical machinery.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.solver import QAOARunResult, SolverConfig, run_qaoa_instance
+from repro.devices.device import Device
+from repro.ising.hamiltonian import IsingHamiltonian
+from repro.qaoa.objective import approximation_ratio_gap
+
+
+@dataclass
+class BaselineResult:
+    """Baseline QAOA outcome.
+
+    Attributes:
+        run: The underlying single-instance run.
+        best_spins: Best sampled assignment.
+        best_value: Its cost.
+        ev_ideal: Ideal expectation at trained parameters.
+        ev_noisy: Noisy expectation at trained parameters.
+        arg: Approximation Ratio Gap (Eq. 4) of this run.
+        cx_count: Post-compilation CNOTs (0 when no device).
+        depth: Post-compilation depth (0 when no device).
+        swap_count: SWAPs inserted (0 when no device).
+    """
+
+    run: QAOARunResult
+    best_spins: tuple[int, ...]
+    best_value: float
+    ev_ideal: float
+    ev_noisy: float
+    arg: float
+    cx_count: int
+    depth: int
+    swap_count: int
+
+
+class BaselineQAOA:
+    """Plain QAOA end-to-end runner with the FrozenQubits-compatible API.
+
+    Args:
+        config: Shared runner knobs.
+        seed: RNG seed.
+    """
+
+    def __init__(
+        self,
+        config: "SolverConfig | None" = None,
+        seed: "int | np.random.Generator | None" = None,
+    ) -> None:
+        self._config = config or SolverConfig()
+        self._seed = seed
+
+    def solve(
+        self,
+        hamiltonian: IsingHamiltonian,
+        device: "Device | None" = None,
+    ) -> BaselineResult:
+        """Train and execute the full-problem QAOA circuit."""
+        run = run_qaoa_instance(
+            hamiltonian, device=device, config=self._config, seed=self._seed
+        )
+        transpiled = run.context.transpiled
+        arg = (
+            approximation_ratio_gap(run.ev_ideal, run.ev_noisy)
+            if run.ev_ideal != 0.0
+            else float("nan")
+        )
+        return BaselineResult(
+            run=run,
+            best_spins=run.best_spins,
+            best_value=run.best_value,
+            ev_ideal=run.ev_ideal,
+            ev_noisy=run.ev_noisy,
+            arg=arg,
+            cx_count=transpiled.cx_count if transpiled else 0,
+            depth=transpiled.depth if transpiled else 0,
+            swap_count=transpiled.swap_count if transpiled else 0,
+        )

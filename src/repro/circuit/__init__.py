@@ -1,0 +1,35 @@
+"""Quantum-circuit intermediate representation.
+
+A deliberately small gate-level IR: enough to express QAOA circuits, route
+them on constrained topologies, decompose to a hardware basis, bind symbolic
+angles (the paper's compile-once/edit-angles trick, Sec. 3.7.1), and feed a
+statevector simulator. No classical registers — measurement is implicit over
+all qubits, which is all QAOA needs.
+"""
+
+from repro.circuit.circuit import Instruction, QuantumCircuit
+from repro.circuit.dag import circuit_layers, layered_depth
+from repro.circuit.gates import (
+    GATE_MATRICES,
+    PARAMETRIC_GATES,
+    TWO_QUBIT_GATES,
+    gate_matrix,
+    is_rotation_gate,
+    is_two_qubit_gate,
+)
+from repro.circuit.parameter import Parameter, ParameterExpression
+
+__all__ = [
+    "GATE_MATRICES",
+    "Instruction",
+    "PARAMETRIC_GATES",
+    "Parameter",
+    "ParameterExpression",
+    "QuantumCircuit",
+    "TWO_QUBIT_GATES",
+    "circuit_layers",
+    "gate_matrix",
+    "is_rotation_gate",
+    "is_two_qubit_gate",
+    "layered_depth",
+]

@@ -1,0 +1,359 @@
+"""The :class:`QuantumCircuit` container and its :class:`Instruction` atoms.
+
+Circuits are append-only op lists over ``num_qubits`` wires. Angles may be
+floats or symbolic :class:`ParameterExpression` objects; ``bind`` produces a
+fully numeric copy, ``with_edited_angles`` swaps expression coefficients in
+place of recompilation (paper Sec. 3.7.1). Depth follows the usual
+as-soon-as-possible convention (barriers synchronise, measures count).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Mapping, Sequence
+from dataclasses import dataclass
+
+from repro.circuit.gates import (
+    NON_UNITARY,
+    PARAMETRIC_GATES,
+    TWO_QUBIT_GATES,
+    gate_matrix,
+)
+from repro.circuit.parameter import Parameter, ParameterExpression, resolve_angle
+from repro.exceptions import CircuitError, ParameterError
+
+
+@dataclass(frozen=True)
+class Instruction:
+    """One operation: a gate name, target qubits, and an optional angle.
+
+    Attributes:
+        name: Lower-case gate name ("h", "rz", "cx", "barrier", ...).
+        qubits: Target qubit indices, in gate order (control first for cx).
+        angle: ``None`` for fixed gates; float or ParameterExpression for
+            rotation gates.
+        tag: Optional provenance label (e.g. ``"quad:0:3"`` for the RZZ of
+            Hamiltonian term ``J_{0,3}``). Tags survive routing and
+            decomposition, which is what makes the paper's compile-once /
+            edit-angles scheme (Sec. 3.7.1) possible: the editor finds the
+            rotations belonging to a term by tag, not by position.
+    """
+
+    name: str
+    qubits: tuple[int, ...]
+    angle: "float | ParameterExpression | None" = None
+    tag: "str | None" = None
+
+    @property
+    def is_parametric(self) -> bool:
+        """True when the angle is still symbolic."""
+        return isinstance(self.angle, ParameterExpression)
+
+    @property
+    def is_two_qubit(self) -> bool:
+        """True for two-qubit gates."""
+        return self.name in TWO_QUBIT_GATES
+
+    def matrix(self):
+        """Unitary matrix; requires a bound (numeric) angle.
+
+        Raises:
+            CircuitError: For barriers/measures or symbolic angles.
+        """
+        if self.name in NON_UNITARY:
+            raise CircuitError(f"{self.name} has no matrix")
+        if self.is_parametric:
+            raise CircuitError(
+                f"cannot build matrix of {self.name} with unbound angle"
+            )
+        return gate_matrix(self.name, self.angle)
+
+
+class QuantumCircuit:
+    """An ordered list of instructions on ``num_qubits`` qubits.
+
+    Args:
+        num_qubits: Wire count; qubit indices are ``0 .. num_qubits-1``.
+        name: Optional label used in reprs and error messages.
+    """
+
+    def __init__(self, num_qubits: int, name: str = "circuit") -> None:
+        if num_qubits < 0:
+            raise CircuitError(f"num_qubits must be non-negative, got {num_qubits}")
+        self._num_qubits = num_qubits
+        self._name = name
+        self._instructions: list[Instruction] = []
+
+    # ------------------------------------------------------------------
+    # Basic accessors
+    # ------------------------------------------------------------------
+    @property
+    def num_qubits(self) -> int:
+        """Number of wires."""
+        return self._num_qubits
+
+    @property
+    def name(self) -> str:
+        """Circuit label."""
+        return self._name
+
+    @property
+    def instructions(self) -> tuple[Instruction, ...]:
+        """Immutable view of the op list."""
+        return tuple(self._instructions)
+
+    def __len__(self) -> int:
+        return len(self._instructions)
+
+    def __iter__(self):
+        return iter(self._instructions)
+
+    def __repr__(self) -> str:
+        return (
+            f"QuantumCircuit(name={self._name!r}, num_qubits={self._num_qubits}, "
+            f"ops={len(self._instructions)})"
+        )
+
+    # ------------------------------------------------------------------
+    # Builders
+    # ------------------------------------------------------------------
+    def append(self, instruction: Instruction) -> None:
+        """Append a pre-built instruction after validating its qubits."""
+        arity = len(instruction.qubits)
+        if instruction.name not in NON_UNITARY:
+            expected = 2 if instruction.name in TWO_QUBIT_GATES else 1
+            if arity != expected:
+                raise CircuitError(
+                    f"gate {instruction.name!r} expects {expected} qubits, got {arity}"
+                )
+            if instruction.name in PARAMETRIC_GATES and instruction.angle is None:
+                raise CircuitError(f"gate {instruction.name!r} requires an angle")
+            if instruction.name not in PARAMETRIC_GATES and instruction.angle is not None:
+                raise CircuitError(f"gate {instruction.name!r} takes no angle")
+        seen: set[int] = set()
+        for qubit in instruction.qubits:
+            if not 0 <= qubit < self._num_qubits:
+                raise CircuitError(
+                    f"qubit {qubit} out of range for {self._num_qubits} qubits"
+                )
+            if qubit in seen:
+                raise CircuitError(f"duplicate qubit {qubit} in {instruction.name}")
+            seen.add(qubit)
+        self._instructions.append(instruction)
+
+    def _gate(self, name: str, qubits: tuple[int, ...], angle=None, tag=None) -> None:
+        if angle is not None:
+            angle = resolve_angle(angle)
+        self.append(Instruction(name, qubits, angle, tag))
+
+    def h(self, qubit: int) -> None:
+        """Hadamard."""
+        self._gate("h", (qubit,))
+
+    def x(self, qubit: int) -> None:
+        """Pauli-X."""
+        self._gate("x", (qubit,))
+
+    def y(self, qubit: int) -> None:
+        """Pauli-Y."""
+        self._gate("y", (qubit,))
+
+    def z(self, qubit: int) -> None:
+        """Pauli-Z."""
+        self._gate("z", (qubit,))
+
+    def sx(self, qubit: int) -> None:
+        """Square root of X (hardware-basis gate)."""
+        self._gate("sx", (qubit,))
+
+    def rz(self, angle, qubit: int, tag: "str | None" = None) -> None:
+        """Z rotation ``exp(-i angle/2 Z)``; virtual (error-free) on hardware."""
+        self._gate("rz", (qubit,), angle, tag)
+
+    def rx(self, angle, qubit: int) -> None:
+        """X rotation ``exp(-i angle/2 X)``."""
+        self._gate("rx", (qubit,), angle)
+
+    def ry(self, angle, qubit: int) -> None:
+        """Y rotation ``exp(-i angle/2 Y)``."""
+        self._gate("ry", (qubit,), angle)
+
+    def cx(self, control: int, target: int) -> None:
+        """CNOT."""
+        self._gate("cx", (control, target))
+
+    def cz(self, control: int, target: int) -> None:
+        """Controlled-Z."""
+        self._gate("cz", (control, target))
+
+    def swap(self, a: int, b: int) -> None:
+        """SWAP (lowered to 3 CNOTs by the transpiler)."""
+        self._gate("swap", (a, b))
+
+    def rzz(self, angle, a: int, b: int, tag: "str | None" = None) -> None:
+        """Two-qubit ZZ rotation ``exp(-i angle/2 Z@Z)`` — the QAOA cost gate."""
+        self._gate("rzz", (a, b), angle, tag)
+
+    def barrier(self, *qubits: int) -> None:
+        """Scheduling barrier; defaults to all qubits."""
+        targets = qubits if qubits else tuple(range(self._num_qubits))
+        self.append(Instruction("barrier", tuple(targets)))
+
+    def measure_all(self) -> None:
+        """Terminal measurement of every qubit in the z-basis."""
+        self.append(Instruction("measure", tuple(range(self._num_qubits))))
+
+    def compose(self, other: "QuantumCircuit") -> None:
+        """Append all instructions of ``other`` (same width required)."""
+        if other.num_qubits != self._num_qubits:
+            raise CircuitError(
+                f"cannot compose {other.num_qubits}-qubit circuit onto "
+                f"{self._num_qubits}-qubit circuit"
+            )
+        for instruction in other:
+            self.append(instruction)
+
+    # ------------------------------------------------------------------
+    # Metrics
+    # ------------------------------------------------------------------
+    def count_ops(self) -> dict[str, int]:
+        """Histogram of gate names."""
+        counts: dict[str, int] = {}
+        for instruction in self._instructions:
+            counts[instruction.name] = counts.get(instruction.name, 0) + 1
+        return counts
+
+    @property
+    def cx_count(self) -> int:
+        """Number of explicit CNOTs (SWAPs not yet lowered are excluded)."""
+        return self.count_ops().get("cx", 0)
+
+    @property
+    def two_qubit_gate_count(self) -> int:
+        """All two-qubit gates: cx + cz + swap + rzz."""
+        return sum(1 for op in self._instructions if op.is_two_qubit)
+
+    def depth(self, count_measure: bool = True) -> int:
+        """ASAP circuit depth; barriers synchronise but add no depth."""
+        levels = [0] * max(self._num_qubits, 1)
+        for instruction in self._instructions:
+            touched = instruction.qubits
+            if not touched:
+                continue
+            front = max(levels[q] for q in touched)
+            if instruction.name == "barrier":
+                for q in touched:
+                    levels[q] = front
+                continue
+            if instruction.name == "measure" and not count_measure:
+                for q in touched:
+                    levels[q] = front
+                continue
+            for q in touched:
+                levels[q] = front + 1
+        return max(levels) if self._num_qubits else 0
+
+    # ------------------------------------------------------------------
+    # Parameters
+    # ------------------------------------------------------------------
+    @property
+    def parameters(self) -> tuple[Parameter, ...]:
+        """Distinct symbolic parameters, in first-appearance order."""
+        seen: list[Parameter] = []
+        for instruction in self._instructions:
+            if instruction.is_parametric:
+                parameter = instruction.angle.parameter
+                if parameter not in seen:
+                    seen.append(parameter)
+        return tuple(seen)
+
+    @property
+    def is_parametric(self) -> bool:
+        """True if any angle is still symbolic."""
+        return any(op.is_parametric for op in self._instructions)
+
+    def bind(self, values: Mapping[Parameter, float]) -> "QuantumCircuit":
+        """Numeric copy with every symbolic angle evaluated.
+
+        Raises:
+            ParameterError: If any parameter is missing a value.
+        """
+        bound = QuantumCircuit(self._num_qubits, name=self._name)
+        for instruction in self._instructions:
+            if instruction.is_parametric:
+                angle = instruction.angle.bind(values)
+                bound._instructions.append(
+                    Instruction(
+                        instruction.name, instruction.qubits, angle, instruction.tag
+                    )
+                )
+            else:
+                bound._instructions.append(instruction)
+        return bound
+
+    def with_edited_angles(
+        self, edits: Mapping[int, "float | ParameterExpression"]
+    ) -> "QuantumCircuit":
+        """Copy with selected instruction angles replaced, structure untouched.
+
+        This is the paper's template-editing primitive (Sec. 3.7.1): the
+        compiled circuit for one sub-problem becomes the executable for
+        another by swapping RZ coefficients only.
+
+        Args:
+            edits: Map of instruction index -> new angle.
+
+        Raises:
+            CircuitError: If an index is out of range or targets a
+                non-rotation instruction.
+        """
+        edited = QuantumCircuit(self._num_qubits, name=self._name)
+        edited._instructions = list(self._instructions)
+        for index, angle in edits.items():
+            if not 0 <= index < len(edited._instructions):
+                raise CircuitError(f"instruction index {index} out of range")
+            old = edited._instructions[index]
+            if old.name not in PARAMETRIC_GATES:
+                raise CircuitError(
+                    f"instruction {index} ({old.name}) has no angle to edit"
+                )
+            edited._instructions[index] = Instruction(
+                old.name, old.qubits, resolve_angle(angle), old.tag
+            )
+        return edited
+
+    # ------------------------------------------------------------------
+    # Rewiring
+    # ------------------------------------------------------------------
+    def remap_qubits(
+        self, mapping: Mapping[int, int], num_qubits: "int | None" = None
+    ) -> "QuantumCircuit":
+        """Copy with qubit indices rewritten through ``mapping``.
+
+        Args:
+            mapping: Old index -> new index; must cover every used qubit and
+                be injective.
+            num_qubits: Width of the new circuit; defaults to the current
+                width (useful when embedding into a larger device).
+        """
+        width = self._num_qubits if num_qubits is None else num_qubits
+        values = list(mapping.values())
+        if len(set(values)) != len(values):
+            raise CircuitError("qubit mapping is not injective")
+        remapped = QuantumCircuit(width, name=self._name)
+        for instruction in self._instructions:
+            try:
+                qubits = tuple(mapping[q] for q in instruction.qubits)
+            except KeyError as exc:
+                raise CircuitError(
+                    f"qubit {exc.args[0]} missing from remap mapping"
+                ) from exc
+            remapped.append(
+                Instruction(instruction.name, qubits, instruction.angle, instruction.tag)
+            )
+        return remapped
+
+    def copy(self) -> "QuantumCircuit":
+        """Shallow copy (instructions are immutable, so this is safe)."""
+        duplicate = QuantumCircuit(self._num_qubits, name=self._name)
+        duplicate._instructions = list(self._instructions)
+        return duplicate

@@ -1,0 +1,40 @@
+"""Greedy ASAP layering of circuits.
+
+Used for duration estimation (decoherence exposure in the EPS model needs to
+know *when* each qubit is busy/idle) and by tests that check depth
+accounting. A layer is a set of instructions whose qubit sets are disjoint
+and whose dependencies are all in earlier layers.
+"""
+
+from __future__ import annotations
+
+from repro.circuit.circuit import Instruction, QuantumCircuit
+
+
+def circuit_layers(circuit: QuantumCircuit) -> list[list[Instruction]]:
+    """Partition instructions into ASAP layers.
+
+    Barriers synchronise their qubits but occupy no layer themselves;
+    measures occupy a layer like gates (they have real duration).
+    """
+    levels = [0] * max(circuit.num_qubits, 1)
+    layers: list[list[Instruction]] = []
+    for instruction in circuit:
+        if not instruction.qubits:
+            continue
+        front = max(levels[q] for q in instruction.qubits)
+        if instruction.name == "barrier":
+            for q in instruction.qubits:
+                levels[q] = front
+            continue
+        while len(layers) <= front:
+            layers.append([])
+        layers[front].append(instruction)
+        for q in instruction.qubits:
+            levels[q] = front + 1
+    return layers
+
+
+def layered_depth(circuit: QuantumCircuit) -> int:
+    """Depth computed through the layering; equals ``circuit.depth()``."""
+    return len(circuit_layers(circuit))

@@ -1,0 +1,102 @@
+"""Gate definitions and unitary matrices.
+
+The gate set is the union of what QAOA emits (H, RZ, RX, RZZ), what routing
+inserts (SWAP, CX), and the IBM-style hardware basis the transpiler lowers
+into (RZ, SX, X, CX). Matrices follow the standard convention
+``R_P(theta) = exp(-i * theta / 2 * P)``; two-qubit matrices act on the
+ordered pair of qubits listed by the instruction, first qubit = most
+significant basis index.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import CircuitError
+
+_SQRT2 = np.sqrt(2.0)
+
+#: Fixed (non-parametric) gate matrices.
+GATE_MATRICES: dict[str, np.ndarray] = {
+    "h": np.array([[1, 1], [1, -1]], dtype=complex) / _SQRT2,
+    "x": np.array([[0, 1], [1, 0]], dtype=complex),
+    "y": np.array([[0, -1j], [1j, 0]], dtype=complex),
+    "z": np.array([[1, 0], [0, -1]], dtype=complex),
+    "s": np.array([[1, 0], [0, 1j]], dtype=complex),
+    "sdg": np.array([[1, 0], [0, -1j]], dtype=complex),
+    "sx": 0.5 * np.array([[1 + 1j, 1 - 1j], [1 - 1j, 1 + 1j]], dtype=complex),
+    "cx": np.array(
+        [[1, 0, 0, 0], [0, 1, 0, 0], [0, 0, 0, 1], [0, 0, 1, 0]], dtype=complex
+    ),
+    "cz": np.diag([1, 1, 1, -1]).astype(complex),
+    "swap": np.array(
+        [[1, 0, 0, 0], [0, 0, 1, 0], [0, 1, 0, 0], [0, 0, 0, 1]], dtype=complex
+    ),
+}
+
+#: Gates taking exactly one angle argument.
+PARAMETRIC_GATES: frozenset[str] = frozenset({"rz", "rx", "ry", "rzz", "p"})
+
+#: Gates acting on two qubits.
+TWO_QUBIT_GATES: frozenset[str] = frozenset({"cx", "cz", "swap", "rzz"})
+
+#: Pseudo-instructions that are not unitary gates.
+NON_UNITARY: frozenset[str] = frozenset({"barrier", "measure"})
+
+
+def gate_matrix(name: str, angle: "float | None" = None) -> np.ndarray:
+    """Unitary matrix of a gate.
+
+    Args:
+        name: Gate name (lower-case).
+        angle: Rotation angle for parametric gates; must be a bound float.
+
+    Raises:
+        CircuitError: Unknown gate, missing angle, or symbolic angle.
+    """
+    if name in GATE_MATRICES:
+        return GATE_MATRICES[name]
+    if name not in PARAMETRIC_GATES:
+        raise CircuitError(f"unknown gate {name!r}")
+    if angle is None:
+        raise CircuitError(f"gate {name!r} requires an angle")
+    theta = float(angle)
+    half = theta / 2.0
+    if name == "rz":
+        return np.diag([np.exp(-1j * half), np.exp(1j * half)])
+    if name == "rx":
+        return np.array(
+            [
+                [np.cos(half), -1j * np.sin(half)],
+                [-1j * np.sin(half), np.cos(half)],
+            ],
+            dtype=complex,
+        )
+    if name == "ry":
+        return np.array(
+            [[np.cos(half), -np.sin(half)], [np.sin(half), np.cos(half)]],
+            dtype=complex,
+        )
+    if name == "p":
+        return np.diag([1.0, np.exp(1j * theta)]).astype(complex)
+    # rzz: diagonal exp(-i theta/2 * Z (x) Z)
+    phase = np.exp(-1j * half)
+    conj = np.exp(1j * half)
+    return np.diag([phase, conj, conj, phase]).astype(complex)
+
+
+def is_two_qubit_gate(name: str) -> bool:
+    """True for gates acting on two qubits."""
+    return name in TWO_QUBIT_GATES
+
+
+def is_rotation_gate(name: str) -> bool:
+    """True for single-angle parametric gates."""
+    return name in PARAMETRIC_GATES
+
+
+def num_qubits_of(name: str) -> int:
+    """Arity of a gate by name (1 or 2); barrier/measure are variadic (-1)."""
+    if name in NON_UNITARY:
+        return -1
+    return 2 if name in TWO_QUBIT_GATES else 1

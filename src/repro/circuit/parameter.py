@@ -1,0 +1,171 @@
+"""Symbolic circuit parameters and linear parameter expressions.
+
+QAOA circuits are *parametric*: every rotation angle is a linear function of
+one trainable parameter (``angle = 2 * J_ij * gamma_l``). Restricting
+expressions to the linear form ``coefficient * parameter + constant`` keeps
+binding trivial and — crucially for the paper's Sec. 3.7.1 — lets a compiled
+template circuit be re-targeted to a different sub-Hamiltonian by swapping
+coefficients without touching circuit structure.
+"""
+
+from __future__ import annotations
+
+import itertools
+from collections.abc import Mapping
+
+from repro.exceptions import ParameterError
+
+_counter = itertools.count()
+
+
+class Parameter:
+    """A named symbolic parameter (e.g. ``gamma_0``).
+
+    Identity-based: two parameters with the same name are distinct unless
+    they are the same object, which prevents accidental capture across
+    circuits. Ordering and hashing use a global creation index.
+    """
+
+    __slots__ = ("_name", "_uid")
+
+    def __init__(self, name: str) -> None:
+        if not name:
+            raise ParameterError("parameter name must be non-empty")
+        self._name = name
+        self._uid = next(_counter)
+
+    @property
+    def name(self) -> str:
+        """Display name of the parameter."""
+        return self._name
+
+    def __mul__(self, factor: float) -> "ParameterExpression":
+        return ParameterExpression(self, coefficient=float(factor))
+
+    __rmul__ = __mul__
+
+    def __add__(self, constant: float) -> "ParameterExpression":
+        return ParameterExpression(self, constant=float(constant))
+
+    __radd__ = __add__
+
+    def __neg__(self) -> "ParameterExpression":
+        return ParameterExpression(self, coefficient=-1.0)
+
+    def __repr__(self) -> str:
+        return f"Parameter({self._name!r})"
+
+    def __hash__(self) -> int:
+        return hash(self._uid)
+
+    def __eq__(self, other: object) -> bool:
+        return self is other
+
+
+class ParameterExpression:
+    """The linear form ``coefficient * parameter + constant``.
+
+    Immutable. Supports scaling, shifting and negation — the full algebra
+    QAOA angle bookkeeping requires.
+    """
+
+    __slots__ = ("_parameter", "_coefficient", "_constant")
+
+    def __init__(
+        self,
+        parameter: Parameter,
+        coefficient: float = 1.0,
+        constant: float = 0.0,
+    ) -> None:
+        if not isinstance(parameter, Parameter):
+            raise ParameterError(f"expected a Parameter, got {parameter!r}")
+        self._parameter = parameter
+        self._coefficient = float(coefficient)
+        self._constant = float(constant)
+
+    @property
+    def parameter(self) -> Parameter:
+        """The underlying symbolic parameter."""
+        return self._parameter
+
+    @property
+    def coefficient(self) -> float:
+        """Multiplicative coefficient."""
+        return self._coefficient
+
+    @property
+    def constant(self) -> float:
+        """Additive constant."""
+        return self._constant
+
+    def bind(self, values: Mapping[Parameter, float]) -> float:
+        """Evaluate the expression under a parameter assignment.
+
+        Raises:
+            ParameterError: If the underlying parameter is missing.
+        """
+        if self._parameter not in values:
+            raise ParameterError(
+                f"no value provided for parameter {self._parameter.name!r}"
+            )
+        return self._coefficient * float(values[self._parameter]) + self._constant
+
+    def with_coefficient(self, coefficient: float) -> "ParameterExpression":
+        """Copy with the coefficient replaced — the template-editing primitive."""
+        return ParameterExpression(self._parameter, coefficient, self._constant)
+
+    def __mul__(self, factor: float) -> "ParameterExpression":
+        return ParameterExpression(
+            self._parameter, self._coefficient * float(factor), self._constant * float(factor)
+        )
+
+    __rmul__ = __mul__
+
+    def __add__(self, constant: float) -> "ParameterExpression":
+        return ParameterExpression(
+            self._parameter, self._coefficient, self._constant + float(constant)
+        )
+
+    __radd__ = __add__
+
+    def __neg__(self) -> "ParameterExpression":
+        return ParameterExpression(self._parameter, -self._coefficient, -self._constant)
+
+    def __repr__(self) -> str:
+        return (
+            f"{self._coefficient}*{self._parameter.name}"
+            + (f" + {self._constant}" if self._constant else "")
+        )
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, ParameterExpression):
+            return NotImplemented
+        return (
+            self._parameter is other._parameter
+            and self._coefficient == other._coefficient
+            and self._constant == other._constant
+        )
+
+    def __hash__(self) -> int:
+        return hash((self._parameter, self._coefficient, self._constant))
+
+
+AngleLike = "float | Parameter | ParameterExpression"
+
+
+def resolve_angle(
+    angle: "float | Parameter | ParameterExpression",
+    values: "Mapping[Parameter, float] | None" = None,
+) -> "float | ParameterExpression":
+    """Normalise an angle: bind if values are given, else keep symbolic.
+
+    Plain floats pass through; bare parameters become unit expressions so
+    downstream code only ever sees floats or :class:`ParameterExpression`.
+    """
+    if isinstance(angle, Parameter):
+        angle = ParameterExpression(angle)
+    if isinstance(angle, ParameterExpression):
+        if values is not None and angle.parameter in values:
+            return angle.bind(values)
+        return angle
+    return float(angle)

@@ -1,0 +1,39 @@
+"""FrozenQubits: the paper's primary contribution.
+
+The pipeline (paper Fig. 4): pick the hotspot qubits (Sec. 3.5), freeze
+them to partition the state-space into ``2**m`` sub-problems (Sec. 3.3),
+prune the symmetric half when the parent Hamiltonian has zero linear terms
+(Sec. 3.7.2), compile one template circuit and edit its angles per
+sub-problem (Sec. 3.7.1), train and execute each sub-circuit, decode
+outcomes back to the original variables, and keep the best solution
+(Sec. 3.6).
+"""
+
+from repro.core.costs import (
+    CostReport,
+    quantum_cost,
+    recommend_num_frozen,
+)
+from repro.core.hotspots import select_hotspots
+from repro.core.partition import SubProblem, partition_problem
+from repro.core.solver import (
+    FrozenQubitsResult,
+    FrozenQubitsSolver,
+    SolverConfig,
+    SubProblemOutcome,
+    run_qaoa_instance,
+)
+
+__all__ = [
+    "CostReport",
+    "FrozenQubitsResult",
+    "FrozenQubitsSolver",
+    "SolverConfig",
+    "SubProblem",
+    "SubProblemOutcome",
+    "partition_problem",
+    "quantum_cost",
+    "recommend_num_frozen",
+    "run_qaoa_instance",
+    "select_hotspots",
+]

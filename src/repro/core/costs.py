@@ -1,0 +1,130 @@
+"""Cost accounting and the fidelity-cost trade-off advisor (Sec. 3.4).
+
+Freezing ``m`` qubits costs ``2**m`` circuits — ``2**(m-1)`` after symmetry
+pruning (and for ``m = 1`` on a symmetric problem, *no extra* quantum cost
+relative to the baseline's single circuit, as Sec. 5.1.2 notes). The
+advisor transpiles sub-circuit templates for growing ``m`` and stops at
+diminishing returns on CNOT count, the proxy the paper recommends
+(Sec. 5.1.3: circuit features like CX count and depth track the fidelity
+plateau).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.hotspots import select_hotspots
+from repro.core.partition import executed_subproblems, partition_problem
+from repro.devices.device import Device
+from repro.exceptions import SolverError
+from repro.ising.hamiltonian import IsingHamiltonian
+from repro.qaoa.circuits import build_qaoa_template
+from repro.transpile.compiler import TranspileOptions, transpile
+
+
+def quantum_cost(num_frozen: int, pruned: bool = True) -> int:
+    """Circuits to execute when freezing ``m`` qubits.
+
+    ``2**m`` in general; ``2**(m-1)`` (minimum 1) under symmetry pruning.
+    """
+    if num_frozen < 0:
+        raise SolverError(f"num_frozen must be >= 0, got {num_frozen}")
+    if num_frozen == 0:
+        return 1
+    if pruned:
+        return 2 ** (num_frozen - 1)
+    return 2**num_frozen
+
+
+@dataclass(frozen=True)
+class CostReport:
+    """Transpile metrics of the FrozenQubits sub-circuit at one ``m``.
+
+    Attributes:
+        num_frozen: m.
+        num_circuits: Executions required (pruning-aware).
+        cx_count: Post-compilation CNOTs of one sub-circuit.
+        depth: Post-compilation depth of one sub-circuit.
+        swap_count: SWAPs inserted for one sub-circuit.
+        pre_cx_count: CX-equivalents before routing (edge CNOTs only).
+    """
+
+    num_frozen: int
+    num_circuits: int
+    cx_count: int
+    depth: int
+    swap_count: int
+    pre_cx_count: int
+
+
+def cost_curve(
+    hamiltonian: IsingHamiltonian,
+    device: Device,
+    max_frozen: int,
+    num_layers: int = 1,
+    policy: str = "degree",
+    transpile_options: "TranspileOptions | None" = None,
+) -> list[CostReport]:
+    """Transpile metrics for ``m = 0 .. max_frozen`` (m=0 is the baseline).
+
+    Only the canonical (executed) sub-circuit is compiled per ``m`` — all
+    siblings share its structure (Sec. 3.7.1).
+    """
+    if max_frozen < 0:
+        raise SolverError(f"max_frozen must be >= 0, got {max_frozen}")
+    reports: list[CostReport] = []
+    hotspots = select_hotspots(hamiltonian, min(max_frozen, hamiltonian.num_qubits - 1), policy=policy)
+    for m in range(0, max_frozen + 1):
+        if m >= hamiltonian.num_qubits:
+            break
+        if m == 0:
+            target = hamiltonian
+        else:
+            subproblems = partition_problem(hamiltonian, hotspots[:m])
+            target = executed_subproblems(subproblems)[0].hamiltonian
+        template = build_qaoa_template(target, num_layers=num_layers)
+        compiled = transpile(template.circuit, device, transpile_options)
+        reports.append(
+            CostReport(
+                num_frozen=m,
+                num_circuits=quantum_cost(m),
+                cx_count=compiled.cx_count,
+                depth=compiled.depth,
+                swap_count=compiled.swap_count,
+                pre_cx_count=compiled.pre_cx_count,
+            )
+        )
+    return reports
+
+
+def recommend_num_frozen(
+    hamiltonian: IsingHamiltonian,
+    device: Device,
+    budget_circuits: int = 2,
+    max_frozen: int = 10,
+    plateau_threshold: float = 0.05,
+    num_layers: int = 1,
+) -> int:
+    """Pick ``m``: freeze while CX keeps dropping meaningfully, within budget.
+
+    Walks the :func:`cost_curve` and stops when (a) the quantum cost would
+    exceed ``budget_circuits`` or (b) the marginal CX reduction falls below
+    ``plateau_threshold`` of the baseline CX count — the paper's
+    diminishing-returns criterion (Sec. 5.1.3).
+    """
+    if budget_circuits < 1:
+        raise SolverError(f"budget_circuits must be >= 1, got {budget_circuits}")
+    curve = cost_curve(
+        hamiltonian, device, max_frozen=max_frozen, num_layers=num_layers
+    )
+    baseline_cx = max(curve[0].cx_count, 1)
+    chosen = 0
+    for report in curve[1:]:
+        if report.num_circuits > budget_circuits:
+            break
+        previous = curve[report.num_frozen - 1]
+        marginal = (previous.cx_count - report.cx_count) / baseline_cx
+        if marginal < plateau_threshold:
+            break
+        chosen = report.num_frozen
+    return chosen

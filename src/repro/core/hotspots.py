@@ -1,0 +1,102 @@
+"""Hotspot selection: which qubits to freeze (paper Sec. 3.5).
+
+The paper freezes the nodes with the highest connectivity, because they
+contribute the most CNOTs directly (two per incident edge per layer) and
+disproportionately many SWAPs after routing. Selection policies:
+
+* ``degree`` — most incident quadratic terms (the paper's default);
+* ``weighted`` — largest sum of |J| over incident terms;
+* ``swap_aware`` — degree weighted by expected routing distance on a target
+  device (hotspots on sparse topologies cost extra SWAPs);
+* ``random`` — uniform choice, the ablation control.
+
+Selection is *sequential*: after choosing a node, its edges are discounted
+so the next pick maximises additional dropped edges (matters when two hubs
+share many edges).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.devices.device import Device
+from repro.exceptions import SolverError
+from repro.ising.hamiltonian import IsingHamiltonian
+from repro.utils.rng import ensure_rng
+
+POLICIES = ("degree", "weighted", "swap_aware", "random")
+
+
+def select_hotspots(
+    hamiltonian: IsingHamiltonian,
+    num_frozen: int,
+    policy: str = "degree",
+    device: "Device | None" = None,
+    seed: "int | np.random.Generator | None" = None,
+) -> list[int]:
+    """Choose ``num_frozen`` qubits to freeze.
+
+    Args:
+        hamiltonian: The problem.
+        num_frozen: How many qubits to select (0 <= m <= N).
+        policy: One of ``degree``, ``weighted``, ``swap_aware``, ``random``.
+        device: Required by ``swap_aware`` (distances come from it).
+        seed: RNG for ``random``.
+
+    Returns:
+        Selected qubit indices in selection order (most valuable first).
+
+    Raises:
+        SolverError: On bad policy/m, or ``swap_aware`` without a device.
+    """
+    n = hamiltonian.num_qubits
+    if not 0 <= num_frozen <= n:
+        raise SolverError(
+            f"num_frozen must be in [0, {n}], got {num_frozen}"
+        )
+    if policy not in POLICIES:
+        raise SolverError(f"unknown hotspot policy {policy!r}; known: {POLICIES}")
+    if num_frozen == 0:
+        return []
+    if policy == "random":
+        rng = ensure_rng(seed)
+        return [int(q) for q in rng.choice(n, size=num_frozen, replace=False)]
+
+    remaining_terms = dict(hamiltonian.quadratic)
+    if policy == "swap_aware":
+        if device is None:
+            raise SolverError("swap_aware policy requires a device")
+        distances = device.coupling.distance_matrix()
+
+    selected: list[int] = []
+    for __ in range(num_frozen):
+        scores = np.zeros(n)
+        for (i, j), coupling in remaining_terms.items():
+            if policy == "degree":
+                value = 1.0
+            elif policy == "weighted":
+                value = abs(coupling)
+            else:  # swap_aware: an edge's routing cost grows with distance
+                limit = min(i, j, device.num_qubits - 1)
+                other = min(max(i, j), device.num_qubits - 1)
+                value = 1.0 + max(int(distances[limit, other]) - 1, 0)
+            scores[i] += value
+            scores[j] += value
+        for q in selected:
+            scores[q] = -np.inf
+        best = int(np.argmax(scores))
+        selected.append(best)
+        remaining_terms = {
+            pair: coupling
+            for pair, coupling in remaining_terms.items()
+            if best not in pair
+        }
+    return selected
+
+
+def dropped_edges(hamiltonian: IsingHamiltonian, frozen: list[int]) -> int:
+    """How many quadratic terms vanish when freezing these qubits."""
+    frozen_set = set(frozen)
+    return sum(
+        1 for (i, j) in hamiltonian.quadratic if i in frozen_set or j in frozen_set
+    )

@@ -1,0 +1,417 @@
+"""The FrozenQubits end-to-end solver and the shared single-QAOA runner.
+
+``run_qaoa_instance`` trains and "executes" one QAOA instance — the same
+path serves the plain-QAOA baseline (Sec. 4.2) and every FrozenQubits
+sub-problem, so comparisons never mix machinery. Training follows the
+paper's protocol: parameters are tuned on the *ideal* simulator (p = 1 uses
+the closed form), then the circuit is evaluated under the device noise
+model; sampling draws shots from the depolarized distribution with readout
+errors.
+
+``FrozenQubitsSolver`` composes hotspot selection, partitioning, symmetry
+pruning, compile-once template editing, per-sub-problem training, outcome
+decoding and final minimum selection (paper Fig. 4).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from collections.abc import Sequence
+
+import numpy as np
+
+from repro.core.hotspots import select_hotspots
+from repro.core.partition import (
+    SubProblem,
+    executed_subproblems,
+    linear_support_union,
+    partition_problem,
+)
+from repro.devices.device import Device
+from repro.exceptions import SolverError
+from repro.ising.annealer import simulated_annealing
+from repro.ising.freeze import decode_spins
+from repro.ising.hamiltonian import IsingHamiltonian
+from repro.qaoa.circuits import build_qaoa_template, linear_tag
+from repro.qaoa.executor import (
+    EvaluationContext,
+    evaluate_ideal,
+    evaluate_noisy,
+    make_context,
+)
+from repro.qaoa.optimizer import OptimizationResult, optimize_qaoa
+from repro.sim.depolarizing import flip_probabilities_from_factors, noisy_counts
+from repro.sim.noise import NoiseModel
+from repro.sim.sampling import Counts, sample_counts
+from repro.sim.statevector import MAX_SIM_QUBITS, probabilities
+from repro.transpile.compiler import (
+    TranspileOptions,
+    TranspiledCircuit,
+    edit_template,
+    transpile,
+)
+from repro.utils.bitstrings import bits_to_spins, int_to_bits, spins_to_bits
+from repro.utils.rng import ensure_rng
+
+
+@dataclass(frozen=True)
+class SolverConfig:
+    """Knobs shared by the baseline runner and the FrozenQubits solver.
+
+    Attributes:
+        num_layers: QAOA depth p.
+        shots: Measurement shots per executed circuit.
+        grid_resolution: Grid points per axis for p=1 parameter seeding.
+        maxiter: Nelder-Mead budget per optimizer start.
+        max_sampled_qubits: Above this size, skip statevector sampling and
+            fall back to simulated annealing for the solution bitstring
+            (expectations stay analytic at p=1).
+        transpile_options: Compiler knobs for the (template) circuit.
+        train_noisy: Train on the noisy objective instead of the ideal one
+            (the paper trains on simulation => default False).
+    """
+
+    num_layers: int = 1
+    shots: int = 4096
+    grid_resolution: int = 12
+    maxiter: int = 60
+    max_sampled_qubits: int = 20
+    transpile_options: "TranspileOptions | None" = None
+    train_noisy: bool = False
+
+
+@dataclass
+class QAOARunResult:
+    """Outcome of training + executing one QAOA instance.
+
+    Attributes:
+        context: The evaluation context (fidelity, readout, compiled circuit).
+        optimization: Optimizer output (trained on the configured objective).
+        ev_ideal: Ideal expectation at the trained parameters.
+        ev_noisy: Depolarizing-model expectation at the trained parameters.
+        counts: Sampled noisy outcomes over the instance's own qubits
+            (``None`` when the instance exceeded the sampling cap).
+        best_spins: Best sampled (or annealed) assignment for the instance.
+        best_value: Instance cost of ``best_spins``.
+    """
+
+    context: EvaluationContext
+    optimization: OptimizationResult
+    ev_ideal: float
+    ev_noisy: float
+    counts: "Counts | None"
+    best_spins: tuple[int, ...]
+    best_value: float
+
+
+def run_qaoa_instance(
+    hamiltonian: IsingHamiltonian,
+    device: "Device | None" = None,
+    config: "SolverConfig | None" = None,
+    seed: "int | np.random.Generator | None" = None,
+    context: "EvaluationContext | None" = None,
+) -> QAOARunResult:
+    """Train and execute a single QAOA instance.
+
+    Args:
+        hamiltonian: Problem (or sub-problem) Hamiltonian.
+        device: Optional device; enables the noisy path.
+        config: Runner knobs.
+        seed: RNG seed or generator.
+        context: Reuse a pre-built evaluation context (e.g. one whose
+            compiled template was *edited* from a sibling's — Sec. 3.7.1 —
+            so no recompilation happens).
+    """
+    cfg = config or SolverConfig()
+    rng = ensure_rng(seed)
+    if context is None:
+        context = make_context(
+            hamiltonian,
+            num_layers=cfg.num_layers,
+            device=device,
+            transpile_options=cfg.transpile_options,
+        )
+    objective = evaluate_noisy if cfg.train_noisy else evaluate_ideal
+    optimization = optimize_qaoa(
+        lambda gammas, betas: objective(context, gammas, betas),
+        num_layers=cfg.num_layers,
+        grid_resolution=cfg.grid_resolution,
+        maxiter=cfg.maxiter,
+        seed=rng,
+    )
+    gammas, betas = optimization.gammas, optimization.betas
+    ev_ideal = evaluate_ideal(context, gammas, betas)
+    ev_noisy = evaluate_noisy(context, gammas, betas)
+
+    n = hamiltonian.num_qubits
+    counts: "Counts | None" = None
+    if n <= min(cfg.max_sampled_qubits, MAX_SIM_QUBITS):
+        template = context.ensure_template()
+        bound = template.bind(gammas, betas)
+        ideal_probs = probabilities(bound)
+        if context.noise_model is not None:
+            flips = (
+                flip_probabilities_from_factors(context.readout, n)
+                if context.readout
+                else None
+            )
+            counts = noisy_counts(
+                ideal_probs,
+                context.fidelity,
+                context.noise_model,
+                cfg.shots,
+                n,
+                measured_wires=context.measured_wires,
+                seed=rng,
+                flip_probabilities=flips,
+            )
+        else:
+            counts = sample_counts(ideal_probs, cfg.shots, n, seed=rng)
+        best_value = np.inf
+        best_spins: tuple[int, ...] = ()
+        for spins, __ in counts.spin_items():
+            value = hamiltonian.evaluate(spins)
+            if value < best_value:
+                best_value = value
+                best_spins = spins
+    else:
+        anneal = simulated_annealing(hamiltonian, seed=rng)
+        best_spins, best_value = anneal.spins, anneal.value
+    return QAOARunResult(
+        context=context,
+        optimization=optimization,
+        ev_ideal=float(ev_ideal),
+        ev_noisy=float(ev_noisy),
+        counts=counts,
+        best_spins=tuple(best_spins),
+        best_value=float(best_value),
+    )
+
+
+@dataclass
+class SubProblemOutcome:
+    """A solved (or mirrored) sub-problem, decoded into parent variables.
+
+    Attributes:
+        subproblem: The partition cell.
+        run: The QAOA run (``None`` for mirrors — nothing was executed).
+        decoded_counts: Outcome histogram in the *parent* variable space.
+        best_spins: Best decoded assignment (parent space).
+        best_value: Parent cost of ``best_spins``.
+        ev_ideal: Ideal expectation of this cell's circuit (parent-
+            comparable: includes the cell's offset).
+        ev_noisy: Noisy expectation, same convention.
+    """
+
+    subproblem: SubProblem
+    run: "QAOARunResult | None"
+    decoded_counts: "Counts | None"
+    best_spins: tuple[int, ...]
+    best_value: float
+    ev_ideal: float
+    ev_noisy: float
+
+
+@dataclass
+class FrozenQubitsResult:
+    """Full output of a FrozenQubits solve.
+
+    Attributes:
+        hamiltonian: The parent problem.
+        frozen_qubits: Hotspots frozen, in selection order.
+        outcomes: Per-sub-problem outcomes (executed and mirrored).
+        best_spins: Overall best assignment (parent space).
+        best_value: Parent cost of the best assignment.
+        num_circuits_executed: Quantum cost actually paid (pruning-aware).
+        ev_ideal: Mixture ideal expectation over all sub-spaces.
+        ev_noisy: Mixture noisy expectation over all sub-spaces.
+        template: The one compiled template (when a device was used).
+        edited_circuits: Number of executables produced by angle editing
+            instead of compilation.
+    """
+
+    hamiltonian: IsingHamiltonian
+    frozen_qubits: list[int]
+    outcomes: list[SubProblemOutcome]
+    best_spins: tuple[int, ...]
+    best_value: float
+    num_circuits_executed: int
+    ev_ideal: float
+    ev_noisy: float
+    template: "TranspiledCircuit | None" = None
+    edited_circuits: int = 0
+
+    @property
+    def combined_counts(self) -> "Counts | None":
+        """Union of decoded outcome histograms across all sub-spaces."""
+        merged: "Counts | None" = None
+        for outcome in self.outcomes:
+            if outcome.decoded_counts is None:
+                continue
+            merged = (
+                outcome.decoded_counts
+                if merged is None
+                else merged.merge(outcome.decoded_counts)
+            )
+        return merged
+
+
+class FrozenQubitsSolver:
+    """The FrozenQubits framework (paper Fig. 4).
+
+    Args:
+        num_frozen: Qubits to freeze, m (paper default: up to 2).
+        hotspot_policy: Selection policy (see :mod:`repro.core.hotspots`).
+        prune_symmetric: Apply the Sec. 3.7.2 pruning theorem.
+        config: Shared runner knobs.
+        seed: RNG seed for the whole solve.
+    """
+
+    def __init__(
+        self,
+        num_frozen: int = 1,
+        hotspot_policy: str = "degree",
+        prune_symmetric: bool = True,
+        config: "SolverConfig | None" = None,
+        seed: "int | np.random.Generator | None" = None,
+    ) -> None:
+        if num_frozen < 0:
+            raise SolverError(f"num_frozen must be >= 0, got {num_frozen}")
+        self._num_frozen = num_frozen
+        self._policy = hotspot_policy
+        self._prune = prune_symmetric
+        self._config = config or SolverConfig()
+        self._seed = seed
+
+    def solve(
+        self,
+        hamiltonian: IsingHamiltonian,
+        device: "Device | None" = None,
+    ) -> FrozenQubitsResult:
+        """Run the full pipeline on a problem.
+
+        Args:
+            hamiltonian: Parent Ising problem.
+            device: Optional device model (enables noise + compilation).
+
+        Returns:
+            A :class:`FrozenQubitsResult`.
+        """
+        rng = ensure_rng(self._seed)
+        cfg = self._config
+        hotspots = select_hotspots(
+            hamiltonian,
+            self._num_frozen,
+            policy=self._policy,
+            device=device,
+            seed=rng,
+        )
+        subproblems = partition_problem(
+            hamiltonian, hotspots, prune_symmetric=self._prune
+        )
+        executed = executed_subproblems(subproblems)
+        support = linear_support_union(subproblems)
+
+        # Compile once (Sec. 3.7.1): the first executed sub-problem's
+        # template is the master; siblings get angle-edited copies.
+        template_compiled: "TranspiledCircuit | None" = None
+        master_template = None
+        if device is not None and executed:
+            master_template = build_qaoa_template(
+                executed[0].hamiltonian,
+                num_layers=cfg.num_layers,
+                linear_support=support,
+            )
+            template_compiled = transpile(
+                master_template.circuit, device, cfg.transpile_options
+            )
+
+        outcomes: dict[int, SubProblemOutcome] = {}
+        edited = 0
+        for sp in executed:
+            context = None
+            if template_compiled is not None:
+                if sp is not executed[0]:
+                    # Demonstrate the editing path: produce this sibling's
+                    # executable from the master template without routing.
+                    updates = {
+                        linear_tag(q): sp.hamiltonian.linear_coefficient(q)
+                        for q in support
+                    }
+                    edit_template(template_compiled, updates)
+                    edited += 1
+                context = make_context(
+                    sp.hamiltonian,
+                    num_layers=cfg.num_layers,
+                    transpiled=template_compiled,
+                )
+            run = run_qaoa_instance(
+                sp.hamiltonian, device=device, config=cfg, seed=rng, context=context
+            )
+            decoded = self._decode_counts(sp, run.counts)
+            full_spins = decode_spins(sp.spec, sp.assignment, run.best_spins)
+            outcomes[sp.index] = SubProblemOutcome(
+                subproblem=sp,
+                run=run,
+                decoded_counts=decoded,
+                best_spins=full_spins,
+                best_value=hamiltonian.evaluate(full_spins),
+                ev_ideal=run.ev_ideal,
+                ev_noisy=run.ev_noisy,
+            )
+        for sp in subproblems:
+            if not sp.is_mirror:
+                continue
+            twin = outcomes[sp.mirror_of]
+            flipped_counts = (
+                twin.decoded_counts.flip_all_bits()
+                if twin.decoded_counts is not None
+                else None
+            )
+            mirrored_spins = tuple(-s for s in twin.best_spins)
+            outcomes[sp.index] = SubProblemOutcome(
+                subproblem=sp,
+                run=None,
+                decoded_counts=flipped_counts,
+                best_spins=mirrored_spins,
+                best_value=hamiltonian.evaluate(mirrored_spins),
+                ev_ideal=twin.ev_ideal,
+                ev_noisy=twin.ev_noisy,
+            )
+
+        ordered = [outcomes[sp.index] for sp in subproblems]
+        best = min(ordered, key=lambda o: o.best_value)
+        ev_ideal = float(np.mean([o.ev_ideal for o in ordered]))
+        ev_noisy = float(np.mean([o.ev_noisy for o in ordered]))
+        return FrozenQubitsResult(
+            hamiltonian=hamiltonian,
+            frozen_qubits=hotspots,
+            outcomes=ordered,
+            best_spins=best.best_spins,
+            best_value=best.best_value,
+            num_circuits_executed=len(executed),
+            ev_ideal=ev_ideal,
+            ev_noisy=ev_noisy,
+            template=template_compiled,
+            edited_circuits=edited,
+        )
+
+    @staticmethod
+    def _decode_counts(sp: SubProblem, counts: "Counts | None") -> "Counts | None":
+        """Lift sub-space outcomes into the parent variable space."""
+        if counts is None:
+            return None
+        frozen_bits = spins_to_bits(sp.assignment)
+        frozen_mask = 0
+        for qubit, bit in zip(sp.spec.frozen_qubits, frozen_bits):
+            frozen_mask |= bit << qubit
+        kept = sp.spec.kept_qubits
+
+        def lift(key: int) -> int:
+            full = frozen_mask
+            for position, original in enumerate(kept):
+                full |= ((key >> position) & 1) << original
+            return full
+
+        lifted = {lift(key): count for key, count in counts.items()}
+        return Counts(lifted, sp.spec.num_qubits)

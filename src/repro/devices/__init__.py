@@ -1,0 +1,37 @@
+"""Device models: coupling maps, topologies, calibrations, IBMQ backends.
+
+The paper evaluates on eight IBM machines (27–127 qubits, heavy-hex
+lattices) and, for the practical-scale study of Sec. 6, a 50x50 grid.
+Real calibration data is not available offline, so each backend carries a
+*seeded synthetic* calibration drawn from published ranges — every backend
+gets its own error profile (which is what Fig. 13's machine-to-machine
+spread measures), and results are reproducible bit-for-bit.
+"""
+
+from repro.devices.calibration import DeviceCalibration, uniform_calibration
+from repro.devices.coupling import CouplingMap
+from repro.devices.device import Device
+from repro.devices.ibm import IBM_BACKENDS, get_backend, grid_device, list_backends
+from repro.devices.topologies import (
+    grid_coupling,
+    heavy_hex_coupling,
+    heavy_hex_falcon27,
+    linear_coupling,
+    ring_coupling,
+)
+
+__all__ = [
+    "CouplingMap",
+    "Device",
+    "DeviceCalibration",
+    "IBM_BACKENDS",
+    "get_backend",
+    "grid_coupling",
+    "grid_device",
+    "heavy_hex_coupling",
+    "heavy_hex_falcon27",
+    "linear_coupling",
+    "list_backends",
+    "ring_coupling",
+    "uniform_calibration",
+]

@@ -1,0 +1,159 @@
+"""Device calibrations: gate errors, readout errors, coherence, durations.
+
+Mirrors the fields a Qiskit ``BackendProperties`` exposes, reduced to what
+the noise models and the transpiler's noise-aware passes consume. Durations
+follow the paper's numbers: CNOTs average 400 ns — ~10x slower than
+single-qubit gates — and RZ is virtual (zero duration, zero error).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.devices.coupling import CouplingMap
+from repro.exceptions import DeviceError
+from repro.utils.rng import ensure_rng
+
+#: Default gate durations in nanoseconds (paper Sec. 1 / Sec. 2.2).
+DEFAULT_DURATIONS_NS: dict[str, float] = {
+    "cx": 400.0,
+    "swap": 1200.0,  # three CNOTs
+    "h": 40.0,
+    "x": 40.0,
+    "sx": 40.0,
+    "rx": 40.0,
+    "ry": 40.0,
+    "rz": 0.0,  # virtual Z: software frame update
+    "p": 0.0,
+    "rzz": 880.0,  # 2 cx + 1 rz when not decomposed
+    "measure": 700.0,
+    "barrier": 0.0,
+}
+
+
+@dataclass
+class DeviceCalibration:
+    """Per-device error and timing data.
+
+    Attributes:
+        cx_error: Map physical edge (a, b) with a < b -> CX error rate.
+        readout_error: Per-qubit readout (measurement) error rate.
+        t1_us: Per-qubit T1 relaxation time, microseconds.
+        t2_us: Per-qubit T2 dephasing time, microseconds.
+        single_qubit_error: Per-qubit error rate of physical 1q gates.
+        durations_ns: Gate-name -> duration in nanoseconds.
+    """
+
+    cx_error: dict[tuple[int, int], float]
+    readout_error: list[float]
+    t1_us: list[float]
+    t2_us: list[float]
+    single_qubit_error: list[float]
+    durations_ns: dict[str, float] = field(
+        default_factory=lambda: dict(DEFAULT_DURATIONS_NS)
+    )
+
+    @property
+    def num_qubits(self) -> int:
+        """Number of calibrated qubits."""
+        return len(self.readout_error)
+
+    def edge_error(self, a: int, b: int) -> float:
+        """CX error on a physical edge (order-insensitive).
+
+        Raises:
+            DeviceError: If the edge is not calibrated.
+        """
+        key = (min(a, b), max(a, b))
+        try:
+            return self.cx_error[key]
+        except KeyError as exc:
+            raise DeviceError(f"no CX calibration for edge {key}") from exc
+
+    def gate_duration(self, name: str) -> float:
+        """Duration of a gate in nanoseconds (0.0 for unknown pseudo-ops)."""
+        return self.durations_ns.get(name, 0.0)
+
+    def mean_cx_error(self) -> float:
+        """Average CX error over all calibrated edges."""
+        if not self.cx_error:
+            raise DeviceError("calibration has no CX edges")
+        return float(np.mean(list(self.cx_error.values())))
+
+
+def uniform_calibration(
+    coupling: CouplingMap,
+    cx_error: float = 0.01,
+    readout_error: float = 0.02,
+    t1_us: float = 100.0,
+    t2_us: float = 100.0,
+    single_qubit_error: float = 0.0005,
+) -> DeviceCalibration:
+    """Flat calibration: every edge/qubit identical. Used by unit tests and
+    the optimistic Sec. 6.3 error model (0.1% CX, 0.5% readout, 500 us)."""
+    return DeviceCalibration(
+        cx_error={(a, b): cx_error for a, b in coupling.edges()},
+        readout_error=[readout_error] * coupling.num_qubits,
+        t1_us=[t1_us] * coupling.num_qubits,
+        t2_us=[t2_us] * coupling.num_qubits,
+        single_qubit_error=[single_qubit_error] * coupling.num_qubits,
+    )
+
+
+def sampled_calibration(
+    coupling: CouplingMap,
+    seed: "int | np.random.Generator | None",
+    cx_error_median: float = 0.011,
+    cx_error_spread: float = 0.45,
+    readout_error_median: float = 0.02,
+    readout_error_spread: float = 0.5,
+    t1_mean_us: float = 100.0,
+    t2_mean_us: float = 90.0,
+) -> DeviceCalibration:
+    """Seeded synthetic calibration in published IBMQ ranges.
+
+    CX and readout errors are log-normal (heavy right tail, as on real
+    devices); T1/T2 are truncated normals. Each backend seeds this
+    differently, which produces the machine-to-machine fidelity spread that
+    Fig. 13 measures.
+    """
+    rng = ensure_rng(seed)
+    cx_error = {
+        (a, b): float(
+            np.clip(
+                rng.lognormal(np.log(cx_error_median), cx_error_spread), 2e-3, 0.12
+            )
+        )
+        for a, b in coupling.edges()
+    }
+    readout = [
+        float(
+            np.clip(
+                rng.lognormal(np.log(readout_error_median), readout_error_spread),
+                3e-3,
+                0.2,
+            )
+        )
+        for _ in range(coupling.num_qubits)
+    ]
+    t1 = [
+        float(np.clip(rng.normal(t1_mean_us, t1_mean_us * 0.25), 20.0, 350.0))
+        for _ in range(coupling.num_qubits)
+    ]
+    t2 = [
+        float(np.clip(rng.normal(t2_mean_us, t2_mean_us * 0.3), 10.0, 300.0))
+        for _ in range(coupling.num_qubits)
+    ]
+    single = [
+        float(np.clip(rng.lognormal(np.log(4e-4), 0.4), 5e-5, 5e-3))
+        for _ in range(coupling.num_qubits)
+    ]
+    return DeviceCalibration(
+        cx_error=cx_error,
+        readout_error=readout,
+        t1_us=t1,
+        t2_us=t2,
+        single_qubit_error=single,
+    )

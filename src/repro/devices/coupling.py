@@ -1,0 +1,166 @@
+"""Physical-qubit connectivity: the :class:`CouplingMap`.
+
+An undirected connectivity graph over physical qubits with cached all-pairs
+BFS distances and shortest-path extraction — the two queries SWAP routing
+needs in its inner loop.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from collections.abc import Iterable
+
+import numpy as np
+
+from repro.exceptions import DeviceError
+
+
+class CouplingMap:
+    """Undirected qubit-connectivity graph.
+
+    Args:
+        num_qubits: Number of physical qubits.
+        edges: Iterable of ``(a, b)`` physical couplings.
+    """
+
+    def __init__(self, num_qubits: int, edges: Iterable[tuple[int, int]]) -> None:
+        if num_qubits < 1:
+            raise DeviceError(f"num_qubits must be >= 1, got {num_qubits}")
+        self._num_qubits = num_qubits
+        self._adjacency: list[set[int]] = [set() for _ in range(num_qubits)]
+        self._edges: set[tuple[int, int]] = set()
+        for a, b in edges:
+            self._check_qubit(a)
+            self._check_qubit(b)
+            if a == b:
+                raise DeviceError(f"self-coupling on qubit {a}")
+            key = (min(a, b), max(a, b))
+            if key in self._edges:
+                continue
+            self._edges.add(key)
+            self._adjacency[a].add(b)
+            self._adjacency[b].add(a)
+        self._distances: "np.ndarray | None" = None
+
+    @property
+    def num_qubits(self) -> int:
+        """Number of physical qubits."""
+        return self._num_qubits
+
+    @property
+    def num_edges(self) -> int:
+        """Number of physical couplings."""
+        return len(self._edges)
+
+    def edges(self) -> list[tuple[int, int]]:
+        """Sorted list of couplings with ``a < b``."""
+        return sorted(self._edges)
+
+    def neighbors(self, qubit: int) -> tuple[int, ...]:
+        """Physically adjacent qubits."""
+        self._check_qubit(qubit)
+        return tuple(sorted(self._adjacency[qubit]))
+
+    def degree(self, qubit: int) -> int:
+        """Number of couplings on a qubit."""
+        self._check_qubit(qubit)
+        return len(self._adjacency[qubit])
+
+    def are_adjacent(self, a: int, b: int) -> bool:
+        """True if a CX between ``a`` and ``b`` needs no routing."""
+        self._check_qubit(a)
+        self._check_qubit(b)
+        return b in self._adjacency[a]
+
+    def is_connected(self) -> bool:
+        """True when every qubit is reachable from qubit 0."""
+        seen = {0}
+        queue = deque([0])
+        while queue:
+            node = queue.popleft()
+            for neighbor in self._adjacency[node]:
+                if neighbor not in seen:
+                    seen.add(neighbor)
+                    queue.append(neighbor)
+        return len(seen) == self._num_qubits
+
+    def distance_matrix(self) -> np.ndarray:
+        """All-pairs hop distances (cached). Unreachable pairs are -1.
+
+        Uses scipy's C-level BFS so 2500-qubit grids (the Sec.-6 device)
+        stay fast.
+        """
+        if self._distances is None:
+            from scipy.sparse import csr_matrix
+            from scipy.sparse.csgraph import shortest_path
+
+            n = self._num_qubits
+            if self._edges:
+                rows, cols = zip(*self._edges)
+                data = np.ones(len(self._edges), dtype=np.int8)
+                adjacency = csr_matrix(
+                    (data, (rows, cols)), shape=(n, n), dtype=np.int8
+                )
+            else:
+                adjacency = csr_matrix((n, n), dtype=np.int8)
+            raw = shortest_path(
+                adjacency, method="D", directed=False, unweighted=True
+            )
+            distances = np.where(np.isinf(raw), -1, raw).astype(np.int32)
+            self._distances = distances
+        return self._distances
+
+    def distance(self, a: int, b: int) -> int:
+        """Hop distance between two physical qubits (-1 if unreachable)."""
+        self._check_qubit(a)
+        self._check_qubit(b)
+        return int(self.distance_matrix()[a, b])
+
+    def shortest_path(self, a: int, b: int) -> list[int]:
+        """One BFS shortest path from ``a`` to ``b`` inclusive.
+
+        Ties are broken toward lower qubit indices so routing is
+        deterministic.
+
+        Raises:
+            DeviceError: If ``b`` is unreachable from ``a``.
+        """
+        self._check_qubit(a)
+        self._check_qubit(b)
+        if a == b:
+            return [a]
+        distances = self.distance_matrix()
+        if distances[a, b] < 0:
+            raise DeviceError(f"qubit {b} unreachable from {a}")
+        # Walk backwards from b choosing any neighbor one hop closer to a.
+        path = [b]
+        current = b
+        while current != a:
+            closer = [
+                n for n in sorted(self._adjacency[current])
+                if distances[a, n] == distances[a, current] - 1
+            ]
+            current = closer[0]
+            path.append(current)
+        path.reverse()
+        return path
+
+    def subgraph_retaining(self, keep: Iterable[int]) -> "CouplingMap":
+        """Coupling map induced on a subset of qubits, reindexed compactly."""
+        kept = sorted(set(keep))
+        index = {old: new for new, old in enumerate(kept)}
+        edges = [
+            (index[a], index[b])
+            for a, b in self._edges
+            if a in index and b in index
+        ]
+        return CouplingMap(len(kept), edges)
+
+    def __repr__(self) -> str:
+        return f"CouplingMap(num_qubits={self._num_qubits}, num_edges={len(self._edges)})"
+
+    def _check_qubit(self, qubit: int) -> None:
+        if not 0 <= qubit < self._num_qubits:
+            raise DeviceError(
+                f"physical qubit {qubit} out of range for {self._num_qubits} qubits"
+            )

@@ -1,0 +1,49 @@
+"""The :class:`Device`: a coupling map plus a calibration plus a name.
+
+This is the object the transpiler, noise models and solvers consume; it is
+deliberately passive (pure data + convenience queries).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.devices.calibration import DeviceCalibration
+from repro.devices.coupling import CouplingMap
+from repro.exceptions import DeviceError
+
+
+@dataclass(frozen=True)
+class Device:
+    """A named quantum device model.
+
+    Attributes:
+        name: Backend name (e.g. ``"ibm_montreal"`` or ``"grid50x50"``).
+        coupling: Physical connectivity.
+        calibration: Error/timing data matching the coupling map.
+    """
+
+    name: str
+    coupling: CouplingMap
+    calibration: DeviceCalibration
+
+    def __post_init__(self) -> None:
+        if self.calibration.num_qubits != self.coupling.num_qubits:
+            raise DeviceError(
+                f"calibration covers {self.calibration.num_qubits} qubits but "
+                f"coupling map has {self.coupling.num_qubits}"
+            )
+
+    @property
+    def num_qubits(self) -> int:
+        """Number of physical qubits."""
+        return self.coupling.num_qubits
+
+    def best_edges(self) -> list[tuple[int, int]]:
+        """Physical edges sorted by ascending CX error (noise-aware layout)."""
+        return sorted(
+            self.coupling.edges(), key=lambda e: self.calibration.edge_error(*e)
+        )
+
+    def __repr__(self) -> str:
+        return f"Device(name={self.name!r}, num_qubits={self.num_qubits})"

@@ -1,0 +1,127 @@
+"""Coupling-map topology generators: grid, linear, ring, heavy-hex.
+
+The heavy-hex lattice is IBM's production topology: long horizontal chains
+of qubits joined by sparse vertical *bridge* qubits every four columns, with
+the bridge offset alternating by two columns between successive gaps. The
+27-qubit Falcon layout is reproduced exactly from the published coupling
+list; larger sizes (65-qubit Hummingbird, 127-qubit Eagle) come from the
+parametric generator trimmed to the exact qubit count.
+"""
+
+from __future__ import annotations
+
+from repro.devices.coupling import CouplingMap
+from repro.exceptions import DeviceError
+
+
+def linear_coupling(num_qubits: int) -> CouplingMap:
+    """A 1-D chain of qubits."""
+    return CouplingMap(num_qubits, [(i, i + 1) for i in range(num_qubits - 1)])
+
+
+def ring_coupling(num_qubits: int) -> CouplingMap:
+    """A cycle of qubits."""
+    if num_qubits < 3:
+        raise DeviceError(f"ring needs >= 3 qubits, got {num_qubits}")
+    edges = [(i, (i + 1) % num_qubits) for i in range(num_qubits)]
+    return CouplingMap(num_qubits, edges)
+
+
+def grid_coupling(rows: int, cols: int) -> CouplingMap:
+    """A ``rows x cols`` square lattice (the Sec. 6 50x50 device; Fig. 3's
+    "grid qubit architecture"). Qubit ``(r, c)`` has index ``r * cols + c``."""
+    if rows < 1 or cols < 1:
+        raise DeviceError(f"grid dimensions must be >= 1, got {rows}x{cols}")
+    edges = []
+    for r in range(rows):
+        for c in range(cols):
+            q = r * cols + c
+            if c + 1 < cols:
+                edges.append((q, q + 1))
+            if r + 1 < rows:
+                edges.append((q, q + cols))
+    return CouplingMap(rows * cols, edges)
+
+
+#: Published coupling list of the 27-qubit IBM Falcon processors
+#: (Montreal, Mumbai, Toronto, Auckland, Hanoi, Cairo all share it).
+_FALCON27_EDGES: tuple[tuple[int, int], ...] = (
+    (0, 1), (1, 2), (1, 4), (2, 3), (3, 5), (4, 7), (5, 8), (6, 7),
+    (7, 10), (8, 9), (8, 11), (10, 12), (11, 14), (12, 13), (12, 15),
+    (13, 14), (14, 16), (15, 18), (16, 19), (17, 18), (18, 21), (19, 20),
+    (19, 22), (21, 23), (22, 25), (23, 24), (24, 25), (25, 26),
+)
+
+
+def heavy_hex_falcon27() -> CouplingMap:
+    """The exact 27-qubit IBM Falcon heavy-hex coupling map."""
+    return CouplingMap(27, _FALCON27_EDGES)
+
+
+def heavy_hex_coupling(
+    num_rows: int,
+    row_length: int,
+    trim_to: "int | None" = None,
+) -> CouplingMap:
+    """Parametric heavy-hex lattice.
+
+    ``num_rows`` horizontal chains of ``row_length`` qubits each; between
+    consecutive rows, bridge qubits sit at every fourth column, offset by two
+    columns in alternating gaps (matching IBM's layout rhythm).
+
+    Args:
+        num_rows: Number of horizontal chains (>= 1).
+        row_length: Qubits per chain (>= 2).
+        trim_to: Optionally remove highest-index qubits (connectivity
+            preserving) until exactly this many remain.
+
+    Returns:
+        A connected heavy-hex style coupling map.
+    """
+    if num_rows < 1 or row_length < 2:
+        raise DeviceError(
+            f"need num_rows >= 1 and row_length >= 2, got {num_rows}, {row_length}"
+        )
+    edges: list[tuple[int, int]] = []
+
+    def row_qubit(row: int, col: int) -> int:
+        return row * row_length + col
+
+    for row in range(num_rows):
+        for col in range(row_length - 1):
+            edges.append((row_qubit(row, col), row_qubit(row, col + 1)))
+    next_index = num_rows * row_length
+    for gap in range(num_rows - 1):
+        offset = 0 if gap % 2 == 0 else 2
+        for col in range(offset, row_length, 4):
+            bridge = next_index
+            next_index += 1
+            edges.append((row_qubit(gap, col), bridge))
+            edges.append((bridge, row_qubit(gap + 1, col)))
+    coupling = CouplingMap(next_index, edges)
+    if trim_to is not None:
+        coupling = _trim_connected(coupling, trim_to)
+    return coupling
+
+
+def _trim_connected(coupling: CouplingMap, target: int) -> CouplingMap:
+    """Remove highest-index qubits (keeping connectivity) down to ``target``."""
+    if target < 1 or target > coupling.num_qubits:
+        raise DeviceError(
+            f"cannot trim {coupling.num_qubits}-qubit map to {target} qubits"
+        )
+    kept = list(range(coupling.num_qubits))
+    current = coupling
+    while current.num_qubits > target:
+        removed = False
+        for candidate in reversed(range(current.num_qubits)):
+            remaining = [q for q in range(current.num_qubits) if q != candidate]
+            trial = current.subgraph_retaining(remaining)
+            if trial.is_connected():
+                current = trial
+                kept.pop(candidate)
+                removed = True
+                break
+        if not removed:
+            raise DeviceError("could not trim without disconnecting the lattice")
+    return current

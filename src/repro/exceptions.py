@@ -1,0 +1,56 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+Every error raised by this library derives from :class:`ReproError`, so a
+caller can catch the whole family with a single ``except`` clause while still
+being able to discriminate the subsystem that failed.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class GraphError(ReproError):
+    """Invalid problem-graph construction or query."""
+
+
+class HamiltonianError(ReproError):
+    """Invalid Ising Hamiltonian construction, algebra, or evaluation."""
+
+
+class FreezeError(ReproError):
+    """Invalid qubit-freezing request (unknown qubit, bad assignment, ...)."""
+
+
+class CircuitError(ReproError):
+    """Invalid quantum-circuit construction or manipulation."""
+
+
+class ParameterError(CircuitError):
+    """Invalid use of a symbolic circuit parameter (unbound, unknown, ...)."""
+
+
+class DeviceError(ReproError):
+    """Invalid device model, coupling map, or calibration data."""
+
+
+class TranspileError(ReproError):
+    """Transpilation failure (unroutable circuit, too few qubits, ...)."""
+
+
+class SimulationError(ReproError):
+    """Statevector or noisy-simulation failure."""
+
+
+class QAOAError(ReproError):
+    """QAOA construction or optimization failure."""
+
+
+class SolverError(ReproError):
+    """FrozenQubits solver orchestration failure."""
+
+
+class CutError(ReproError):
+    """Circuit-cutting (CutQC comparator) failure."""

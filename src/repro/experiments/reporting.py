@@ -1,0 +1,73 @@
+"""Plain-text and CSV reporting of experiment rows.
+
+Every figure builder returns ``list[dict]`` rows; these helpers render them
+as aligned ASCII tables (what the benchmark harness prints, standing in for
+the paper's plots) or dump them as CSV for external plotting.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+from collections.abc import Sequence
+
+from repro.exceptions import ReproError
+
+
+def _format_cell(value) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        magnitude = abs(value)
+        if magnitude >= 1e5 or magnitude < 1e-3:
+            return f"{value:.3e}"
+        return f"{value:.4g}"
+    return str(value)
+
+
+def render_table(
+    rows: Sequence[dict],
+    columns: "Sequence[str] | None" = None,
+    title: "str | None" = None,
+) -> str:
+    """Render rows as an aligned monospace table.
+
+    Args:
+        rows: Homogeneous dict rows.
+        columns: Column order; defaults to the first row's key order.
+        title: Optional heading line.
+
+    Raises:
+        ReproError: On empty input or unknown column names.
+    """
+    if not rows:
+        raise ReproError("no rows to render")
+    keys = list(columns) if columns is not None else list(rows[0].keys())
+    for key in keys:
+        if key not in rows[0]:
+            raise ReproError(f"unknown column {key!r}")
+    table = [[_format_cell(row.get(key, "")) for key in keys] for row in rows]
+    widths = [
+        max(len(keys[i]), max(len(line[i]) for line in table))
+        for i in range(len(keys))
+    ]
+    out = io.StringIO()
+    if title:
+        out.write(title + "\n")
+    header = "  ".join(key.ljust(widths[i]) for i, key in enumerate(keys))
+    out.write(header + "\n")
+    out.write("  ".join("-" * w for w in widths) + "\n")
+    for line in table:
+        out.write("  ".join(cell.ljust(widths[i]) for i, cell in enumerate(line)))
+        out.write("\n")
+    return out.getvalue()
+
+
+def rows_to_csv(rows: Sequence[dict], path: str) -> None:
+    """Write rows to a CSV file (columns from the first row)."""
+    if not rows:
+        raise ReproError("no rows to write")
+    with open(path, "w", newline="") as handle:
+        writer = csv.DictWriter(handle, fieldnames=list(rows[0].keys()))
+        writer.writeheader()
+        writer.writerows(rows)

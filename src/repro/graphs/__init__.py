@@ -1,0 +1,55 @@
+"""Problem graphs: the combinatorial substrate of QAOA instances.
+
+A :class:`ProblemGraph` is an undirected weighted graph whose nodes are spin
+variables and whose edges are quadratic Ising couplings. The generators
+reproduce the benchmark families of the paper (Sec. 4.1): Barabási–Albert
+power-law graphs with preferential-attachment density 1–3, 3-regular graphs,
+and fully-connected Sherrington–Kirkpatrick graphs, plus auxiliary families
+used by examples (hub-and-spoke "airport" networks, Erdős–Rényi, stars).
+"""
+
+from repro.graphs.generators import (
+    airport_network,
+    barabasi_albert_graph,
+    complete_graph,
+    erdos_renyi_graph,
+    hub_and_spoke_graph,
+    random_regular_graph,
+    ring_graph,
+    sk_graph,
+    star_graph,
+    three_regular_graph,
+)
+from repro.graphs.io import graph_from_dict, graph_from_edges, graph_to_dict
+from repro.graphs.model import ProblemGraph
+from repro.graphs.powerlaw import (
+    DegreeStats,
+    degree_histogram,
+    degree_stats,
+    fit_powerlaw_exponent,
+    hotspot_ratio,
+    is_powerlaw_like,
+)
+
+__all__ = [
+    "DegreeStats",
+    "ProblemGraph",
+    "airport_network",
+    "barabasi_albert_graph",
+    "complete_graph",
+    "degree_histogram",
+    "degree_stats",
+    "erdos_renyi_graph",
+    "fit_powerlaw_exponent",
+    "graph_from_dict",
+    "graph_from_edges",
+    "graph_to_dict",
+    "hotspot_ratio",
+    "hub_and_spoke_graph",
+    "is_powerlaw_like",
+    "random_regular_graph",
+    "ring_graph",
+    "sk_graph",
+    "star_graph",
+    "three_regular_graph",
+]

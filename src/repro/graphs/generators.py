@@ -1,0 +1,238 @@
+"""Random-graph generators for the paper's benchmark families (Sec. 4.1).
+
+The three families evaluated in the paper:
+
+* **Barabási–Albert (BA)** power-law graphs with preferential-attachment
+  density ``d_BA`` of 1, 2 and 3 — the proxy for real-world graphs;
+* **3-regular** graphs — the family most QAOA studies use;
+* **SK-model** fully-connected graphs (Sherrington–Kirkpatrick).
+
+Each generator returns a bare :class:`ProblemGraph`; edge *weights* here are
+structural (1.0). Random ±1 Ising couplings are drawn later by
+:func:`repro.ising.hamiltonian.IsingHamiltonian.from_graph`, matching the
+paper's setup of weights in {-1, +1} and all linear coefficients zero.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import GraphError
+from repro.graphs.model import ProblemGraph
+from repro.utils.rng import ensure_rng
+
+
+def barabasi_albert_graph(
+    num_nodes: int,
+    attachment: int = 1,
+    seed: "int | np.random.Generator | None" = None,
+) -> ProblemGraph:
+    """Barabási–Albert preferential-attachment graph.
+
+    Starts from a star on ``attachment + 1`` nodes and attaches every later
+    node to ``attachment`` distinct existing nodes chosen proportionally to
+    their current degree (the repeated-nodes urn method of Batagelj–Brandes,
+    which realises exact preferential attachment).
+
+    Args:
+        num_nodes: Total node count; must exceed ``attachment``.
+        attachment: The paper's ``d_BA`` density parameter (1, 2 or 3 in the
+            evaluation; any positive value is accepted).
+        seed: RNG seed or generator.
+
+    Returns:
+        A connected power-law graph with ``(num_nodes - attachment - 1) *
+        attachment + attachment`` edges.
+    """
+    if attachment < 1:
+        raise GraphError(f"attachment must be >= 1, got {attachment}")
+    if num_nodes <= attachment:
+        raise GraphError(
+            f"num_nodes must exceed attachment ({attachment}), got {num_nodes}"
+        )
+    rng = ensure_rng(seed)
+    graph = ProblemGraph(num_nodes)
+    # Seed clique is a star: node `attachment` connected to 0..attachment-1.
+    # The urn starts with these endpoints so early degrees bias attachment.
+    urn: list[int] = []
+    for node in range(attachment):
+        graph.add_edge(node, attachment)
+        urn.extend((node, attachment))
+    for node in range(attachment + 1, num_nodes):
+        targets: set[int] = set()
+        while len(targets) < attachment:
+            targets.add(urn[int(rng.integers(len(urn)))])
+        for target in targets:
+            graph.add_edge(node, target)
+            urn.extend((node, target))
+    return graph
+
+
+def random_regular_graph(
+    num_nodes: int,
+    degree: int,
+    seed: "int | np.random.Generator | None" = None,
+    max_tries: int = 200,
+) -> ProblemGraph:
+    """Random ``degree``-regular graph via the pairing (configuration) model.
+
+    Repeatedly shuffles ``num_nodes * degree`` half-edges and pairs them,
+    rejecting pairings with self-loops or parallel edges, which yields the
+    uniform distribution over simple regular graphs.
+
+    Args:
+        num_nodes: Node count; ``num_nodes * degree`` must be even and
+            ``degree < num_nodes``.
+        degree: Target degree of every node.
+        seed: RNG seed or generator.
+        max_tries: Rejection-sampling attempts before giving up.
+
+    Raises:
+        GraphError: If the (n, d) pair is infeasible or sampling failed.
+    """
+    if degree < 0:
+        raise GraphError(f"degree must be non-negative, got {degree}")
+    if degree >= num_nodes:
+        raise GraphError(f"degree {degree} must be < num_nodes {num_nodes}")
+    if (num_nodes * degree) % 2 != 0:
+        raise GraphError(f"num_nodes * degree must be even, got {num_nodes}*{degree}")
+    rng = ensure_rng(seed)
+    half_edges = np.repeat(np.arange(num_nodes), degree)
+    for _ in range(max_tries):
+        rng.shuffle(half_edges)
+        pairs = half_edges.reshape(-1, 2)
+        seen: set[tuple[int, int]] = set()
+        ok = True
+        for u, v in pairs:
+            u, v = int(u), int(v)
+            if u == v:
+                ok = False
+                break
+            key = (min(u, v), max(u, v))
+            if key in seen:
+                ok = False
+                break
+            seen.add(key)
+        if ok:
+            return ProblemGraph(num_nodes, seen)
+    raise GraphError(
+        f"failed to sample a simple {degree}-regular graph on {num_nodes} nodes "
+        f"in {max_tries} tries"
+    )
+
+
+def three_regular_graph(
+    num_nodes: int, seed: "int | np.random.Generator | None" = None
+) -> ProblemGraph:
+    """Random 3-regular graph (paper Sec. 5.2); ``num_nodes`` must be even."""
+    return random_regular_graph(num_nodes, 3, seed=seed)
+
+
+def complete_graph(num_nodes: int) -> ProblemGraph:
+    """Fully-connected graph on ``num_nodes`` nodes."""
+    edges = [(u, v) for u in range(num_nodes) for v in range(u + 1, num_nodes)]
+    return ProblemGraph(num_nodes, edges)
+
+
+def sk_graph(num_nodes: int) -> ProblemGraph:
+    """Sherrington–Kirkpatrick topology: an alias for the complete graph.
+
+    The SK *model* also draws random ±1 couplings; that happens at the
+    Hamiltonian layer so the structural generator stays deterministic.
+    """
+    return complete_graph(num_nodes)
+
+
+def erdos_renyi_graph(
+    num_nodes: int,
+    edge_probability: float,
+    seed: "int | np.random.Generator | None" = None,
+) -> ProblemGraph:
+    """G(n, p) random graph; used by tests and ablations, not the paper suite."""
+    if not 0.0 <= edge_probability <= 1.0:
+        raise GraphError(f"edge_probability must be in [0, 1], got {edge_probability}")
+    rng = ensure_rng(seed)
+    graph = ProblemGraph(num_nodes)
+    for u in range(num_nodes):
+        for v in range(u + 1, num_nodes):
+            if rng.random() < edge_probability:
+                graph.add_edge(u, v)
+    return graph
+
+
+def star_graph(num_nodes: int) -> ProblemGraph:
+    """Star graph: node 0 is the single hotspot connected to all others."""
+    if num_nodes < 1:
+        raise GraphError(f"star graph needs at least 1 node, got {num_nodes}")
+    return ProblemGraph(num_nodes, [(0, v) for v in range(1, num_nodes)])
+
+
+def ring_graph(num_nodes: int) -> ProblemGraph:
+    """Cycle graph: every node has degree 2; the no-hotspot extreme."""
+    if num_nodes < 3:
+        raise GraphError(f"ring graph needs at least 3 nodes, got {num_nodes}")
+    edges = [(v, (v + 1) % num_nodes) for v in range(num_nodes)]
+    return ProblemGraph(num_nodes, edges)
+
+
+def hub_and_spoke_graph(
+    num_hubs: int,
+    spokes_per_hub: int,
+    inter_hub_edges: bool = True,
+) -> ProblemGraph:
+    """Deterministic hub-and-spoke network.
+
+    Hubs occupy nodes ``0 .. num_hubs-1`` (fully interconnected when
+    ``inter_hub_edges``); each hub then owns ``spokes_per_hub`` private
+    leaf nodes. Used by examples to mimic airline route maps.
+    """
+    if num_hubs < 1:
+        raise GraphError(f"need at least 1 hub, got {num_hubs}")
+    if spokes_per_hub < 0:
+        raise GraphError(f"spokes_per_hub must be >= 0, got {spokes_per_hub}")
+    num_nodes = num_hubs + num_hubs * spokes_per_hub
+    graph = ProblemGraph(num_nodes)
+    if inter_hub_edges:
+        for u in range(num_hubs):
+            for v in range(u + 1, num_hubs):
+                graph.add_edge(u, v)
+    next_leaf = num_hubs
+    for hub in range(num_hubs):
+        for _ in range(spokes_per_hub):
+            graph.add_edge(hub, next_leaf)
+            next_leaf += 1
+    return graph
+
+
+def airport_network(
+    num_airports: int = 1300,
+    num_hubs: int = 10,
+    seed: "int | np.random.Generator | None" = None,
+) -> ProblemGraph:
+    """Synthetic U.S.-airport-style network (paper Fig. 1(b)).
+
+    A BA power-law core augmented so the top ``num_hubs`` nodes carry roughly
+    10x the mean connectivity, matching the paper's observation that the ten
+    busiest airports have ~10x the average number of connections.
+
+    Args:
+        num_airports: Total node count (paper uses 1300).
+        num_hubs: Number of hub airports to inflate.
+        seed: RNG seed or generator.
+    """
+    rng = ensure_rng(seed)
+    graph = barabasi_albert_graph(num_airports, attachment=2, seed=rng)
+    hubs = graph.nodes_by_degree()[:num_hubs]
+    mean_degree = 2.0 * graph.num_edges / graph.num_nodes
+    target = int(round(10.0 * mean_degree))
+    for hub in hubs:
+        deficit = target - graph.degree(hub)
+        candidates = [n for n in range(num_airports) if n != hub]
+        rng.shuffle(candidates)
+        for node in candidates:
+            if deficit <= 0:
+                break
+            if not graph.has_edge(hub, node):
+                graph.add_edge(hub, node)
+                deficit -= 1
+    return graph

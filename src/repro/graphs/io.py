@@ -1,0 +1,49 @@
+"""Problem-graph serialisation: plain dicts / edge lists, JSON-friendly.
+
+Keeps experiment configs and golden files human-readable without pulling in
+any storage dependency.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+from repro.exceptions import GraphError
+from repro.graphs.model import ProblemGraph
+
+
+def graph_to_dict(graph: ProblemGraph) -> dict:
+    """Serialise to ``{"num_nodes": n, "edges": [[u, v, w], ...]}``."""
+    return {
+        "num_nodes": graph.num_nodes,
+        "edges": [[u, v, w] for u, v, w in graph.edges()],
+    }
+
+
+def graph_from_dict(data: dict) -> ProblemGraph:
+    """Inverse of :func:`graph_to_dict`.
+
+    Raises:
+        GraphError: If required keys are missing or malformed.
+    """
+    try:
+        num_nodes = int(data["num_nodes"])
+        edges = data["edges"]
+    except (KeyError, TypeError) as exc:
+        raise GraphError(f"malformed graph dict: {exc}") from exc
+    return ProblemGraph(num_nodes, [tuple(edge) for edge in edges])
+
+
+def graph_from_edges(edges: Iterable[tuple], num_nodes: "int | None" = None) -> ProblemGraph:
+    """Build a graph from an edge list, inferring the node count if omitted.
+
+    Args:
+        edges: Iterable of ``(u, v)`` or ``(u, v, weight)``.
+        num_nodes: Explicit node count; defaults to ``max endpoint + 1``.
+    """
+    edge_list = [tuple(e) for e in edges]
+    if num_nodes is None:
+        num_nodes = 0
+        for edge in edge_list:
+            num_nodes = max(num_nodes, int(edge[0]) + 1, int(edge[1]) + 1)
+    return ProblemGraph(num_nodes, edge_list)

@@ -1,0 +1,187 @@
+"""The :class:`ProblemGraph` model.
+
+A minimal, dependency-free undirected weighted graph tailored to what the
+rest of the library needs: O(1) degree queries, adjacency iteration, edge
+weights, and degree-ranking for hotspot selection. Nodes are always the
+integers ``0 .. n-1`` (they double as qubit indices).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator
+
+from repro.exceptions import GraphError
+
+
+class ProblemGraph:
+    """Undirected weighted graph on nodes ``0 .. n-1``.
+
+    Parallel edges are rejected; self-loops are rejected (an Ising model has
+    no ``z_i * z_i`` term — it would be a constant). Edge weights default to
+    ``1.0`` and are stored symmetrically.
+
+    Args:
+        num_nodes: Number of nodes; nodes are ``range(num_nodes)``.
+        edges: Optional iterable of ``(u, v)`` or ``(u, v, weight)`` tuples.
+    """
+
+    def __init__(self, num_nodes: int, edges: Iterable[tuple] = ()) -> None:
+        if num_nodes < 0:
+            raise GraphError(f"num_nodes must be non-negative, got {num_nodes}")
+        self._num_nodes = num_nodes
+        self._adjacency: list[dict[int, float]] = [{} for _ in range(num_nodes)]
+        self._num_edges = 0
+        for edge in edges:
+            if len(edge) == 2:
+                u, v = edge
+                self.add_edge(u, v)
+            elif len(edge) == 3:
+                u, v, weight = edge
+                self.add_edge(u, v, weight)
+            else:
+                raise GraphError(f"edge tuple must have 2 or 3 entries, got {edge!r}")
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def add_edge(self, u: int, v: int, weight: float = 1.0) -> None:
+        """Add the undirected edge ``(u, v)`` with the given weight.
+
+        Raises:
+            GraphError: If an endpoint is out of range, ``u == v``, or the
+                edge already exists.
+        """
+        self._check_node(u)
+        self._check_node(v)
+        if u == v:
+            raise GraphError(f"self-loop on node {u} is not allowed")
+        if v in self._adjacency[u]:
+            raise GraphError(f"edge ({u}, {v}) already exists")
+        self._adjacency[u][v] = float(weight)
+        self._adjacency[v][u] = float(weight)
+        self._num_edges += 1
+
+    def remove_node_edges(self, node: int) -> int:
+        """Remove every edge incident to ``node`` (the graph view of freezing).
+
+        The node itself stays (nodes are positional); only its edges go away.
+
+        Returns:
+            The number of edges removed.
+        """
+        self._check_node(node)
+        neighbors = list(self._adjacency[node])
+        for other in neighbors:
+            del self._adjacency[other][node]
+        removed = len(neighbors)
+        self._adjacency[node].clear()
+        self._num_edges -= removed
+        return removed
+
+    def copy(self) -> "ProblemGraph":
+        """Return a deep copy of the graph."""
+        return ProblemGraph(self._num_nodes, self.edges())
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    @property
+    def num_nodes(self) -> int:
+        """Number of nodes."""
+        return self._num_nodes
+
+    @property
+    def num_edges(self) -> int:
+        """Number of undirected edges."""
+        return self._num_edges
+
+    def has_edge(self, u: int, v: int) -> bool:
+        """True if the undirected edge ``(u, v)`` exists."""
+        self._check_node(u)
+        self._check_node(v)
+        return v in self._adjacency[u]
+
+    def weight(self, u: int, v: int) -> float:
+        """Weight of edge ``(u, v)``.
+
+        Raises:
+            GraphError: If the edge does not exist.
+        """
+        self._check_node(u)
+        self._check_node(v)
+        try:
+            return self._adjacency[u][v]
+        except KeyError as exc:
+            raise GraphError(f"edge ({u}, {v}) does not exist") from exc
+
+    def neighbors(self, node: int) -> tuple[int, ...]:
+        """Neighbors of ``node`` in insertion order."""
+        self._check_node(node)
+        return tuple(self._adjacency[node])
+
+    def degree(self, node: int) -> int:
+        """Number of edges incident to ``node``."""
+        self._check_node(node)
+        return len(self._adjacency[node])
+
+    def degrees(self) -> list[int]:
+        """Degrees of all nodes, indexed by node id."""
+        return [len(adj) for adj in self._adjacency]
+
+    def weighted_degree(self, node: int) -> float:
+        """Sum of ``|weight|`` over edges incident to ``node``."""
+        self._check_node(node)
+        return sum(abs(w) for w in self._adjacency[node].values())
+
+    def edges(self) -> Iterator[tuple[int, int, float]]:
+        """Iterate ``(u, v, weight)`` with ``u < v``, each edge once."""
+        for u in range(self._num_nodes):
+            for v, weight in self._adjacency[u].items():
+                if u < v:
+                    yield (u, v, weight)
+
+    def nodes_by_degree(self, descending: bool = True) -> list[int]:
+        """Node ids sorted by degree (ties broken by node id, ascending)."""
+        order = sorted(range(self._num_nodes), key=lambda n: (-self.degree(n), n))
+        if not descending:
+            order.reverse()
+        return order
+
+    def max_degree_node(self) -> int:
+        """The node with the highest degree — the paper's *hotspot*.
+
+        Raises:
+            GraphError: If the graph has no nodes.
+        """
+        if self._num_nodes == 0:
+            raise GraphError("graph has no nodes")
+        return self.nodes_by_degree()[0]
+
+    def is_connected(self) -> bool:
+        """True if the graph is connected (the empty graph counts as connected)."""
+        if self._num_nodes <= 1:
+            return True
+        seen = {0}
+        stack = [0]
+        while stack:
+            node = stack.pop()
+            for neighbor in self._adjacency[node]:
+                if neighbor not in seen:
+                    seen.add(neighbor)
+                    stack.append(neighbor)
+        return len(seen) == self._num_nodes
+
+    def __repr__(self) -> str:
+        return f"ProblemGraph(num_nodes={self._num_nodes}, num_edges={self._num_edges})"
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, ProblemGraph):
+            return NotImplemented
+        return (
+            self._num_nodes == other._num_nodes
+            and self._adjacency == other._adjacency
+        )
+
+    def _check_node(self, node: int) -> None:
+        if not 0 <= node < self._num_nodes:
+            raise GraphError(f"node {node} out of range for {self._num_nodes} nodes")

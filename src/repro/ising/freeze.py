@@ -1,0 +1,206 @@
+"""Qubit freezing: the core state-space partition of FrozenQubits (Sec. 3.3).
+
+Freezing qubit ``k`` substitutes ``z_k`` with a fixed value ``a in {-1, +1}``
+in Eq. (1), producing a sub-Hamiltonian on the remaining ``N - 1`` qubits
+with (Table 2 of the paper):
+
+* ``h_i  <- h_i + a * J_ik`` for every neighbour ``i`` of ``k``,
+* ``offset <- offset + a * h_k``,
+* every quadratic term touching ``k`` removed.
+
+Freezing ``m`` qubits yields ``2**m`` sub-problems whose state-spaces
+partition the original state-space exactly; :func:`decode_spins` maps a
+sub-problem assignment back into the original variable ordering. The
+bookkeeping lives in :class:`FrozenSpec` so solvers and tests can round-trip
+without re-deriving index maps.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import product
+from collections.abc import Sequence
+
+from repro.exceptions import FreezeError
+from repro.ising.hamiltonian import IsingHamiltonian
+
+
+@dataclass(frozen=True)
+class FrozenSpec:
+    """Index bookkeeping for a freezing transform.
+
+    Attributes:
+        num_qubits: Qubit count of the *original* Hamiltonian.
+        frozen_qubits: Original indices that were frozen, in freezing order.
+        kept_qubits: Original indices that survive, ascending; position in
+            this tuple is the sub-problem qubit index.
+    """
+
+    num_qubits: int
+    frozen_qubits: tuple[int, ...]
+    kept_qubits: tuple[int, ...]
+
+    @property
+    def num_frozen(self) -> int:
+        """How many qubits were frozen (the paper's ``m``)."""
+        return len(self.frozen_qubits)
+
+    @property
+    def num_kept(self) -> int:
+        """Sub-problem qubit count, ``N - m``."""
+        return len(self.kept_qubits)
+
+    def sub_index(self, original_qubit: int) -> int:
+        """Sub-problem index of an original (kept) qubit.
+
+        Raises:
+            FreezeError: If the qubit was frozen or is out of range.
+        """
+        try:
+            return self.kept_qubits.index(original_qubit)
+        except ValueError as exc:
+            raise FreezeError(
+                f"original qubit {original_qubit} is frozen or out of range"
+            ) from exc
+
+
+def _build_spec(num_qubits: int, frozen: Sequence[int]) -> FrozenSpec:
+    seen: set[int] = set()
+    for qubit in frozen:
+        if not 0 <= qubit < num_qubits:
+            raise FreezeError(f"qubit {qubit} out of range for {num_qubits} qubits")
+        if qubit in seen:
+            raise FreezeError(f"qubit {qubit} frozen twice")
+        seen.add(qubit)
+    kept = tuple(q for q in range(num_qubits) if q not in seen)
+    return FrozenSpec(num_qubits, tuple(frozen), kept)
+
+
+def freeze_qubit(
+    hamiltonian: IsingHamiltonian, qubit: int, value: int
+) -> IsingHamiltonian:
+    """Freeze one qubit of a Hamiltonian (paper Eqs. 2-3).
+
+    Args:
+        hamiltonian: The parent problem.
+        qubit: Original index of the qubit to freeze.
+        value: The substituted measurement outcome, +1 or -1.
+
+    Returns:
+        The sub-Hamiltonian on ``num_qubits - 1`` qubits. Sub-problem qubit
+        indices are the kept original indices compacted in ascending order.
+    """
+    sub, __ = freeze_qubits(hamiltonian, [qubit], [value])
+    return sub
+
+
+def freeze_qubits(
+    hamiltonian: IsingHamiltonian,
+    qubits: Sequence[int],
+    values: Sequence[int],
+) -> tuple[IsingHamiltonian, FrozenSpec]:
+    """Freeze several qubits at once.
+
+    Args:
+        hamiltonian: The parent problem.
+        qubits: Original indices to freeze (no duplicates).
+        values: Substituted ±1 value per frozen qubit, aligned with `qubits`.
+
+    Returns:
+        ``(sub_hamiltonian, spec)`` where ``spec`` records the index maps.
+
+    Raises:
+        FreezeError: On index or value errors.
+    """
+    if len(qubits) != len(values):
+        raise FreezeError(
+            f"got {len(qubits)} qubits but {len(values)} values to substitute"
+        )
+    for value in values:
+        if value not in (-1, 1):
+            raise FreezeError(f"substituted value must be +1 or -1, got {value}")
+    spec = _build_spec(hamiltonian.num_qubits, qubits)
+    assignment = dict(zip(qubits, values))
+
+    h = hamiltonian.linear
+    offset = hamiltonian.offset
+    # offset absorbs a*h_k for every frozen qubit (Table 2).
+    for qubit, value in assignment.items():
+        offset += value * h[qubit]
+    new_linear: dict[int, float] = {}
+    new_quadratic: dict[tuple[int, int], float] = {}
+    for new_index, original in enumerate(spec.kept_qubits):
+        if h[original] != 0.0:
+            new_linear[new_index] = float(h[original])
+    for (i, j), coupling in hamiltonian.quadratic.items():
+        i_frozen = i in assignment
+        j_frozen = j in assignment
+        if i_frozen and j_frozen:
+            # Both endpoints fixed: the term is a constant a_i * a_j * J_ij.
+            offset += assignment[i] * assignment[j] * coupling
+        elif i_frozen:
+            new_index = spec.sub_index(j)
+            new_linear[new_index] = (
+                new_linear.get(new_index, 0.0) + assignment[i] * coupling
+            )
+        elif j_frozen:
+            new_index = spec.sub_index(i)
+            new_linear[new_index] = (
+                new_linear.get(new_index, 0.0) + assignment[j] * coupling
+            )
+        else:
+            key = (spec.sub_index(i), spec.sub_index(j))
+            new_quadratic[key] = coupling
+    sub = IsingHamiltonian(
+        spec.num_kept, linear=new_linear, quadratic=new_quadratic, offset=offset
+    )
+    return sub, spec
+
+
+def frozen_assignments(num_frozen: int) -> list[tuple[int, ...]]:
+    """All ``2**m`` substitution tuples over {-1, +1}, in lexicographic order.
+
+    Ordered so that index ``b`` has qubit ``t`` frozen to ``+1`` when bit
+    ``t`` of ``b`` is 0 (matching the bit convention of the rest of the
+    library), i.e. the first tuple is all ``+1``.
+    """
+    if num_frozen < 0:
+        raise FreezeError(f"num_frozen must be non-negative, got {num_frozen}")
+    return [tuple(values) for values in product((1, -1), repeat=num_frozen)]
+
+
+def decode_spins(
+    spec: FrozenSpec,
+    assignment: Sequence[int],
+    sub_spins: Sequence[int],
+) -> tuple[int, ...]:
+    """Re-insert frozen values into a sub-problem assignment (Sec. 3.6).
+
+    Args:
+        spec: Bookkeeping from :func:`freeze_qubits`.
+        assignment: ±1 value per frozen qubit, aligned with
+            ``spec.frozen_qubits``.
+        sub_spins: ±1 assignment of the sub-problem's qubits.
+
+    Returns:
+        Full spin assignment in the original variable order.
+    """
+    if len(assignment) != spec.num_frozen:
+        raise FreezeError(
+            f"assignment length {len(assignment)} != num_frozen {spec.num_frozen}"
+        )
+    if len(sub_spins) != spec.num_kept:
+        raise FreezeError(
+            f"sub_spins length {len(sub_spins)} != num_kept {spec.num_kept}"
+        )
+    full = [0] * spec.num_qubits
+    for qubit, value in zip(spec.frozen_qubits, assignment):
+        if value not in (-1, 1):
+            raise FreezeError(f"frozen value must be +1 or -1, got {value}")
+        full[qubit] = value
+    for position, original in enumerate(spec.kept_qubits):
+        spin = sub_spins[position]
+        if spin not in (-1, 1):
+            raise FreezeError(f"sub spin must be +1 or -1, got {spin}")
+        full[original] = spin
+    return tuple(full)

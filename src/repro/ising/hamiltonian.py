@@ -1,0 +1,314 @@
+"""The :class:`IsingHamiltonian` problem encoding (paper Eq. 1).
+
+``C(z) = sum_i h_i z_i + sum_{i<j} J_ij z_i z_j + offset`` over spins
+``z_i in {-1, +1}``. Linear coefficients live in a dense vector ``h``;
+quadratic coefficients in a dict keyed by ``(i, j)`` with ``i < j``. The
+class is immutable-by-convention: transforms return new instances.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Mapping, Sequence
+
+import numpy as np
+
+from repro.exceptions import HamiltonianError
+from repro.graphs.model import ProblemGraph
+from repro.utils.rng import ensure_rng
+
+
+class IsingHamiltonian:
+    """An Ising cost function on ``num_qubits`` spin variables.
+
+    Args:
+        num_qubits: Number of spin variables.
+        linear: Mapping or sequence of linear coefficients ``h_i``. A mapping
+            may be sparse; a sequence must have length ``num_qubits``.
+        quadratic: Mapping ``(i, j) -> J_ij``. Keys are normalised to
+            ``i < j``; duplicate keys that normalise to the same pair are an
+            error; zero coefficients are dropped.
+        offset: Constant energy offset.
+    """
+
+    def __init__(
+        self,
+        num_qubits: int,
+        linear: "Mapping[int, float] | Sequence[float] | None" = None,
+        quadratic: "Mapping[tuple[int, int], float] | None" = None,
+        offset: float = 0.0,
+    ) -> None:
+        if num_qubits < 0:
+            raise HamiltonianError(f"num_qubits must be non-negative, got {num_qubits}")
+        self._num_qubits = num_qubits
+        self._h = np.zeros(num_qubits, dtype=float)
+        if linear is not None:
+            if isinstance(linear, Mapping):
+                for index, value in linear.items():
+                    self._check_qubit(index)
+                    self._h[index] = float(value)
+            else:
+                values = list(linear)
+                if len(values) != num_qubits:
+                    raise HamiltonianError(
+                        f"linear sequence has length {len(values)}, "
+                        f"expected {num_qubits}"
+                    )
+                self._h = np.asarray(values, dtype=float)
+        self._J: dict[tuple[int, int], float] = {}
+        if quadratic is not None:
+            for (i, j), value in quadratic.items():
+                self._check_qubit(i)
+                self._check_qubit(j)
+                if i == j:
+                    raise HamiltonianError(f"diagonal term ({i}, {j}) is not allowed")
+                key = (min(i, j), max(i, j))
+                if key in self._J:
+                    raise HamiltonianError(f"duplicate quadratic term for pair {key}")
+                if value != 0.0:
+                    self._J[key] = float(value)
+        self._offset = float(offset)
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_graph(
+        cls,
+        graph: ProblemGraph,
+        weights: "str | None" = "graph",
+        seed: "int | np.random.Generator | None" = None,
+    ) -> "IsingHamiltonian":
+        """Build a Hamiltonian from a problem graph.
+
+        Args:
+            graph: The problem graph; each edge becomes a quadratic term.
+            weights: ``"graph"`` uses the stored edge weights; ``"random_pm1"``
+                draws J uniformly from {-1, +1} (the paper's benchmark setup,
+                Sec. 4.1); ``None`` sets every J to 1.0.
+            seed: RNG for ``"random_pm1"``.
+
+        Returns:
+            A Hamiltonian with ``h = 0`` everywhere (as in the paper's
+            benchmarks) and one J term per edge.
+        """
+        rng = ensure_rng(seed)
+        quadratic: dict[tuple[int, int], float] = {}
+        for u, v, weight in graph.edges():
+            if weights == "graph":
+                coupling = weight
+            elif weights == "random_pm1":
+                coupling = float(rng.choice((-1.0, 1.0)))
+            elif weights is None:
+                coupling = 1.0
+            else:
+                raise HamiltonianError(f"unknown weights mode {weights!r}")
+            quadratic[(u, v)] = coupling
+        return cls(graph.num_nodes, quadratic=quadratic)
+
+    @classmethod
+    def maxcut(cls, graph: ProblemGraph) -> "IsingHamiltonian":
+        """Max-Cut encoding (Sec. 2.1): minimise ``sum w_ij * z_i z_j``.
+
+        Spins on opposite sides of the cut contribute ``-w_ij``; minimising
+        the Hamiltonian maximises total cut weight. The offset makes the
+        optimum value equal ``-cut_weight`` shifted so that
+        ``cut_weight = (offset_total - C(z)) / 2`` with
+        ``offset_total = sum w_ij``.
+        """
+        quadratic = {(u, v): w for u, v, w in graph.edges()}
+        return cls(graph.num_nodes, quadratic=quadratic)
+
+    # ------------------------------------------------------------------
+    # Accessors
+    # ------------------------------------------------------------------
+    @property
+    def num_qubits(self) -> int:
+        """Number of spin variables."""
+        return self._num_qubits
+
+    @property
+    def offset(self) -> float:
+        """Constant energy offset."""
+        return self._offset
+
+    @property
+    def linear(self) -> np.ndarray:
+        """Copy of the dense linear coefficient vector ``h``."""
+        return self._h.copy()
+
+    @property
+    def quadratic(self) -> dict[tuple[int, int], float]:
+        """Copy of the quadratic coefficient dict ``{(i, j): J_ij}``, i < j."""
+        return dict(self._J)
+
+    @property
+    def num_terms(self) -> int:
+        """Number of non-zero quadratic terms, the paper's ``|J|``."""
+        return len(self._J)
+
+    def linear_coefficient(self, i: int) -> float:
+        """The coefficient ``h_i``."""
+        self._check_qubit(i)
+        return float(self._h[i])
+
+    def quadratic_coefficient(self, i: int, j: int) -> float:
+        """The coefficient ``J_ij`` (0.0 when absent)."""
+        self._check_qubit(i)
+        self._check_qubit(j)
+        if i == j:
+            raise HamiltonianError("no diagonal quadratic coefficients exist")
+        return self._J.get((min(i, j), max(i, j)), 0.0)
+
+    def has_zero_linear(self, tolerance: float = 0.0) -> bool:
+        """True when every ``|h_i| <= tolerance`` — the paper's symmetry condition."""
+        return bool(np.all(np.abs(self._h) <= tolerance))
+
+    def degree(self, i: int) -> int:
+        """Number of quadratic terms touching qubit ``i``."""
+        self._check_qubit(i)
+        return sum(1 for (a, b) in self._J if a == i or b == i)
+
+    def neighbors(self, i: int) -> tuple[int, ...]:
+        """Qubits coupled to qubit ``i`` by a non-zero J."""
+        self._check_qubit(i)
+        out = []
+        for a, b in self._J:
+            if a == i:
+                out.append(b)
+            elif b == i:
+                out.append(a)
+        return tuple(sorted(out))
+
+    def to_graph(self) -> ProblemGraph:
+        """Problem graph whose edges are the non-zero quadratic terms."""
+        return ProblemGraph(
+            self._num_qubits, [(i, j, J) for (i, j), J in self._J.items()]
+        )
+
+    # ------------------------------------------------------------------
+    # Evaluation
+    # ------------------------------------------------------------------
+    def evaluate(self, spins: Sequence[int]) -> float:
+        """Cost ``C(z)`` of one spin assignment (paper Eq. 1).
+
+        Args:
+            spins: Sequence of ±1 of length ``num_qubits``.
+        """
+        z = np.asarray(spins, dtype=float)
+        if z.shape != (self._num_qubits,):
+            raise HamiltonianError(
+                f"expected {self._num_qubits} spins, got shape {z.shape}"
+            )
+        if not np.all(np.abs(z) == 1.0):
+            raise HamiltonianError("spins must be +1 or -1")
+        value = float(self._h @ z) + self._offset
+        for (i, j), coupling in self._J.items():
+            value += coupling * z[i] * z[j]
+        return value
+
+    def evaluate_many(self, spins: np.ndarray) -> np.ndarray:
+        """Vectorised cost of a batch of assignments.
+
+        Args:
+            spins: Array of shape ``(batch, num_qubits)`` with ±1 entries.
+
+        Returns:
+            Array of shape ``(batch,)`` of costs.
+        """
+        z = np.asarray(spins, dtype=float)
+        if z.ndim != 2 or z.shape[1] != self._num_qubits:
+            raise HamiltonianError(
+                f"expected shape (batch, {self._num_qubits}), got {z.shape}"
+            )
+        values = z @ self._h + self._offset
+        if self._J:
+            pairs = np.asarray(list(self._J.keys()), dtype=int)
+            couplings = np.asarray(list(self._J.values()), dtype=float)
+            values = values + (z[:, pairs[:, 0]] * z[:, pairs[:, 1]]) @ couplings
+        return values
+
+    def energy_landscape(self) -> np.ndarray:
+        """Cost of all ``2**n`` assignments, indexed by bitstring integer.
+
+        Index ``b`` encodes qubit i as bit i (LSB first); bit 0 means spin +1.
+        Memory is O(2**n); guarded to 26 qubits.
+        """
+        if self._num_qubits > 26:
+            raise HamiltonianError(
+                f"energy_landscape is limited to 26 qubits, got {self._num_qubits}"
+            )
+        n = self._num_qubits
+        size = 1 << n
+        indices = np.arange(size, dtype=np.uint32)
+        # spins[b, i] = +1 if bit i of b is 0 else -1
+        bits = (indices[:, None] >> np.arange(n, dtype=np.uint32)[None, :]) & 1
+        spins = 1.0 - 2.0 * bits.astype(float)
+        return self.evaluate_many(spins)
+
+    # ------------------------------------------------------------------
+    # Algebra
+    # ------------------------------------------------------------------
+    def with_offset(self, offset: float) -> "IsingHamiltonian":
+        """Copy with the offset replaced."""
+        return IsingHamiltonian(self._num_qubits, self._h, self._J, offset)
+
+    def scaled(self, factor: float) -> "IsingHamiltonian":
+        """Copy with every coefficient (h, J, offset) multiplied by ``factor``."""
+        return IsingHamiltonian(
+            self._num_qubits,
+            self._h * factor,
+            {k: v * factor for k, v in self._J.items()},
+            self._offset * factor,
+        )
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, IsingHamiltonian):
+            return NotImplemented
+        return (
+            self._num_qubits == other._num_qubits
+            and np.array_equal(self._h, other._h)
+            and self._J == other._J
+            and self._offset == other._offset
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"IsingHamiltonian(num_qubits={self._num_qubits}, "
+            f"|J|={len(self._J)}, offset={self._offset})"
+        )
+
+    def to_dict(self) -> dict:
+        """JSON-friendly serialisation."""
+        return {
+            "num_qubits": self._num_qubits,
+            "linear": self._h.tolist(),
+            "quadratic": [[i, j, J] for (i, j), J in self._J.items()],
+            "offset": self._offset,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "IsingHamiltonian":
+        """Inverse of :meth:`to_dict`."""
+        try:
+            quadratic = {(int(i), int(j)): float(J) for i, j, J in data["quadratic"]}
+            return cls(
+                int(data["num_qubits"]),
+                data["linear"],
+                quadratic,
+                float(data["offset"]),
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise HamiltonianError(f"malformed Hamiltonian dict: {exc}") from exc
+
+    def _check_qubit(self, index: int) -> None:
+        if not 0 <= index < self._num_qubits:
+            raise HamiltonianError(
+                f"qubit {index} out of range for {self._num_qubits} qubits"
+            )
+
+
+def random_pm1_hamiltonian(
+    graph: ProblemGraph, seed: "int | np.random.Generator | None" = None
+) -> IsingHamiltonian:
+    """Shorthand for the paper's benchmark Hamiltonians: J in {-1,+1}, h = 0."""
+    return IsingHamiltonian.from_graph(graph, weights="random_pm1", seed=seed)

@@ -1,0 +1,73 @@
+"""QUBO <-> Ising conversions.
+
+Many application encodings (portfolio optimisation, vehicle routing) arrive
+as QUBO matrices over binary variables ``x in {0, 1}``; QAOA wants the spin
+form. The standard change of variables is ``x_i = (1 - z_i) / 2`` so that
+bit 0 maps to spin +1, consistent with the measurement convention used
+throughout this library.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import HamiltonianError
+from repro.ising.hamiltonian import IsingHamiltonian
+
+
+def qubo_to_ising(q_matrix: np.ndarray, constant: float = 0.0) -> IsingHamiltonian:
+    """Convert a QUBO ``x^T Q x + constant`` to an Ising Hamiltonian.
+
+    The matrix is symmetrised first, so upper-triangular, lower-triangular
+    and symmetric conventions all produce the same Hamiltonian.
+
+    Args:
+        q_matrix: Square QUBO matrix; diagonal entries are the linear binary
+            coefficients.
+        constant: Additive constant carried into the Ising offset.
+    """
+    q = np.asarray(q_matrix, dtype=float)
+    if q.ndim != 2 or q.shape[0] != q.shape[1]:
+        raise HamiltonianError(f"QUBO matrix must be square, got shape {q.shape}")
+    n = q.shape[0]
+    symmetric = (q + q.T) / 2.0
+    linear = np.zeros(n)
+    quadratic: dict[tuple[int, int], float] = {}
+    offset = constant
+    # x_i = (1 - z_i)/2:   Q_ii x_i      -> Q_ii/2 - (Q_ii/2) z_i
+    #                      2 S_ij x_i x_j -> S_ij/2 (1 - z_i - z_j + z_i z_j)
+    for i in range(n):
+        offset += symmetric[i, i] / 2.0
+        linear[i] -= symmetric[i, i] / 2.0
+        for j in range(i + 1, n):
+            coupling = 2.0 * symmetric[i, j]
+            if coupling == 0.0:
+                continue
+            offset += coupling / 4.0
+            linear[i] -= coupling / 4.0
+            linear[j] -= coupling / 4.0
+            quadratic[(i, j)] = coupling / 4.0
+    return IsingHamiltonian(n, linear=linear, quadratic=quadratic, offset=offset)
+
+
+def ising_to_qubo(hamiltonian: IsingHamiltonian) -> tuple[np.ndarray, float]:
+    """Convert an Ising Hamiltonian to ``(Q, constant)``; inverse of
+    :func:`qubo_to_ising` up to floating-point round-off.
+
+    Uses ``z_i = 1 - 2 x_i``.
+    """
+    n = hamiltonian.num_qubits
+    q = np.zeros((n, n))
+    constant = hamiltonian.offset
+    for i, h in enumerate(hamiltonian.linear):
+        # h z = h - 2h x
+        constant += h
+        q[i, i] -= 2.0 * h
+    for (i, j), coupling in hamiltonian.quadratic.items():
+        # J z_i z_j = J (1 - 2x_i)(1 - 2x_j) = J - 2J x_i - 2J x_j + 4J x_i x_j
+        constant += coupling
+        q[i, i] -= 2.0 * coupling
+        q[j, j] -= 2.0 * coupling
+        q[i, j] += 2.0 * coupling
+        q[j, i] += 2.0 * coupling
+    return q, constant

@@ -1,0 +1,70 @@
+"""Spin-flip symmetry of Ising landscapes (paper Sec. 3.7.2).
+
+The paper's pruning theorem: when every linear coefficient of a Hamiltonian
+is zero, ``C(z) = C(-z)`` for all ``z`` — each quadratic term ``J_ij z_i
+z_j`` is invariant under the global flip. Consequently the two sub-problems
+obtained by freezing one qubit of such a Hamiltonian to +1 and to -1 are
+mirror images, and FrozenQubits only needs to run one of them, flipping its
+outcomes to recover the other (halving the quantum cost). The helpers here
+both *decide* the symmetry condition and *verify* it empirically, and count
+ground states (the paper notes the count is even under symmetry).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.ising.bruteforce import brute_force_minimum
+from repro.ising.hamiltonian import IsingHamiltonian
+from repro.utils.rng import ensure_rng
+
+
+def has_spin_flip_symmetry(
+    hamiltonian: IsingHamiltonian, tolerance: float = 0.0
+) -> bool:
+    """Decide symmetry structurally: all ``|h_i| <= tolerance``.
+
+    This is the exact condition of the paper's theorem; no enumeration
+    needed. The offset is irrelevant (a constant shifts both C(z) and
+    C(-z) equally).
+    """
+    return hamiltonian.has_zero_linear(tolerance)
+
+
+def verify_spin_flip_symmetry(
+    hamiltonian: IsingHamiltonian,
+    num_samples: int = 256,
+    seed: "int | np.random.Generator | None" = None,
+    tolerance: float = 1e-9,
+) -> bool:
+    """Empirically check ``C(z) == C(-z)`` on random assignments.
+
+    A Monte-Carlo cross-check of :func:`has_spin_flip_symmetry`, used by
+    property tests; for ``num_qubits == 0`` it is vacuously true.
+
+    Args:
+        hamiltonian: Problem to probe.
+        num_samples: Number of random assignments to test.
+        seed: RNG seed or generator.
+        tolerance: Absolute tolerance on ``|C(z) - C(-z)|``.
+    """
+    if hamiltonian.num_qubits == 0:
+        return True
+    rng = ensure_rng(seed)
+    spins = rng.choice((-1.0, 1.0), size=(num_samples, hamiltonian.num_qubits))
+    forward = hamiltonian.evaluate_many(spins)
+    backward = hamiltonian.evaluate_many(-spins)
+    return bool(np.all(np.abs(forward - backward) <= tolerance))
+
+
+def count_ground_states(
+    hamiltonian: IsingHamiltonian, tolerance: float = 1e-9
+) -> int:
+    """Number of global minima, by exhaustive enumeration (≤ 26 qubits).
+
+    Under spin-flip symmetry this count is even (paper Sec. 3.7.2): minima
+    come in ``{z*, -z*}`` pairs.
+    """
+    result = brute_force_minimum(hamiltonian)
+    landscape = hamiltonian.energy_landscape()
+    return int(np.sum(np.abs(landscape - result.value) <= tolerance))

@@ -1,0 +1,46 @@
+"""QAOA: circuits, expectations, metrics, classical optimization.
+
+Implements the algorithm of paper Sec. 2.1: a p-layer parametric circuit
+with 2p parameters (gamma_l, beta_l), trained by a classical optimizer on
+expectation values of the problem Hamiltonian. The p=1 expectation has a
+closed form (Ozaeta-van Dam-McMahon), cross-validated against the
+statevector simulator, which makes landscape scans (paper Fig. 12) and
+large-instance ideal expectations cheap.
+"""
+
+from repro.qaoa.analytic import (
+    qaoa1_expectation,
+    qaoa1_term_expectations,
+)
+from repro.qaoa.circuits import QAOATemplate, build_qaoa_circuit, build_qaoa_template
+from repro.qaoa.executor import (
+    EvaluationContext,
+    evaluate_ideal,
+    evaluate_noisy,
+    make_context,
+)
+from repro.qaoa.objective import approximation_ratio, approximation_ratio_gap
+from repro.qaoa.optimizer import (
+    LandscapeScan,
+    OptimizationResult,
+    landscape_scan,
+    optimize_qaoa,
+)
+
+__all__ = [
+    "EvaluationContext",
+    "LandscapeScan",
+    "OptimizationResult",
+    "QAOATemplate",
+    "approximation_ratio",
+    "approximation_ratio_gap",
+    "build_qaoa_circuit",
+    "build_qaoa_template",
+    "evaluate_ideal",
+    "evaluate_noisy",
+    "landscape_scan",
+    "make_context",
+    "optimize_qaoa",
+    "qaoa1_expectation",
+    "qaoa1_term_expectations",
+]

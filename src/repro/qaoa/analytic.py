@@ -1,0 +1,130 @@
+"""Closed-form single-layer QAOA expectations.
+
+For p = 1 the expectations of ``Z_i`` and ``Z_i Z_j`` in the QAOA state
+``|gamma, beta> = e^{-i beta B} e^{-i gamma C} |+>^n`` have exact formulas
+(Ozaeta, van Dam, McMahon, "Expectation values from the single-layer QAOA
+on Ising problems", Quantum Sci. Technol. 2022):
+
+    <Z_i> = sin(2 beta) sin(2 gamma h_i) * prod_{k != i} cos(2 gamma J_ik)
+
+    <Z_i Z_j> =
+        (1/2) sin(4 beta) sin(2 gamma J_ij)
+            * [ cos(2 gamma h_i) prod_{k != i,j} cos(2 gamma J_ik)
+              + cos(2 gamma h_j) prod_{k != i,j} cos(2 gamma J_jk) ]
+      + (1/2) sin^2(2 beta)
+            * [ cos(2 gamma (h_i - h_j)) prod_{k != i,j} cos(2 gamma (J_ik - J_jk))
+              - cos(2 gamma (h_i + h_j)) prod_{k != i,j} cos(2 gamma (J_ik + J_jk)) ]
+
+with ``J_ik = 0`` for non-edges. The signs above were re-derived from
+scratch (Heisenberg picture: conjugate Z_i Z_j through the mixer, then
+through the diagonal cost unitary, and keep the identity component in
+``|+>^n``) and are validated against the statevector simulator by property
+tests to machine precision. The closed form makes ideal expectations
+O(|J| * max_degree) instead of O(2^n) — the workhorse behind the landscape
+scans of Fig. 12 and all large ARG sweeps.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import QAOAError
+from repro.ising.hamiltonian import IsingHamiltonian
+
+
+def _coupling_row(
+    hamiltonian: IsingHamiltonian,
+) -> dict[int, dict[int, float]]:
+    """Symmetric adjacency view ``row[i][k] = J_ik`` of the quadratic terms."""
+    rows: dict[int, dict[int, float]] = {
+        i: {} for i in range(hamiltonian.num_qubits)
+    }
+    for (i, j), coupling in hamiltonian.quadratic.items():
+        rows[i][j] = coupling
+        rows[j][i] = coupling
+    return rows
+
+
+def qaoa1_term_expectations(
+    hamiltonian: IsingHamiltonian, gamma: float, beta: float
+) -> tuple[dict[int, float], dict[tuple[int, int], float]]:
+    """Exact p=1 expectations of every Hamiltonian term.
+
+    Args:
+        hamiltonian: Problem Hamiltonian.
+        gamma: Phase-separation angle.
+        beta: Mixing angle.
+
+    Returns:
+        ``(z_values, zz_values)``: ``<Z_i>`` for qubits with non-zero h_i
+        and ``<Z_i Z_j>`` for every quadratic term.
+    """
+    if hamiltonian.num_qubits == 0:
+        raise QAOAError("empty Hamiltonian")
+    rows = _coupling_row(hamiltonian)
+    h = hamiltonian.linear
+    sin_2b = np.sin(2.0 * beta)
+    sin_4b = np.sin(4.0 * beta)
+
+    z_values: dict[int, float] = {}
+    for i in range(hamiltonian.num_qubits):
+        if h[i] == 0.0:
+            continue
+        product = 1.0
+        for k, coupling in rows[i].items():
+            product *= np.cos(2.0 * gamma * coupling)
+        z_values[i] = float(sin_2b * np.sin(2.0 * gamma * h[i]) * product)
+
+    zz_values: dict[tuple[int, int], float] = {}
+    for (i, j), coupling_ij in hamiltonian.quadratic.items():
+        prod_i = 1.0
+        for k, coupling in rows[i].items():
+            if k != j:
+                prod_i *= np.cos(2.0 * gamma * coupling)
+        prod_j = 1.0
+        for k, coupling in rows[j].items():
+            if k != i:
+                prod_j *= np.cos(2.0 * gamma * coupling)
+        term1 = (
+            0.5
+            * sin_4b
+            * np.sin(2.0 * gamma * coupling_ij)
+            * (
+                np.cos(2.0 * gamma * h[i]) * prod_i
+                + np.cos(2.0 * gamma * h[j]) * prod_j
+            )
+        )
+        neighbors = set(rows[i]) | set(rows[j])
+        neighbors.discard(i)
+        neighbors.discard(j)
+        prod_minus = 1.0
+        prod_plus = 1.0
+        for k in neighbors:
+            j_ik = rows[i].get(k, 0.0)
+            j_jk = rows[j].get(k, 0.0)
+            prod_minus *= np.cos(2.0 * gamma * (j_ik - j_jk))
+            prod_plus *= np.cos(2.0 * gamma * (j_ik + j_jk))
+        term2 = (
+            0.5
+            * sin_2b**2
+            * (
+                np.cos(2.0 * gamma * (h[i] - h[j])) * prod_minus
+                - np.cos(2.0 * gamma * (h[i] + h[j])) * prod_plus
+            )
+        )
+        zz_values[(i, j)] = float(term1 + term2)
+    return z_values, zz_values
+
+
+def qaoa1_expectation(
+    hamiltonian: IsingHamiltonian, gamma: float, beta: float
+) -> float:
+    """Exact p=1 expectation ``<gamma, beta| C |gamma, beta>``."""
+    z_values, zz_values = qaoa1_term_expectations(hamiltonian, gamma, beta)
+    value = hamiltonian.offset
+    h = hamiltonian.linear
+    for qubit, expectation in z_values.items():
+        value += h[qubit] * expectation
+    for pair, expectation in zz_values.items():
+        value += hamiltonian.quadratic_coefficient(*pair) * expectation
+    return float(value)

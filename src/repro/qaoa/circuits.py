@@ -1,0 +1,144 @@
+"""QAOA circuit construction (paper Fig. 2).
+
+One layer of the circuit for Hamiltonian ``C``:
+
+* phase separation: ``RZ(2 h_i gamma_l)`` per linear term (tag ``lin:i``)
+  and ``RZZ(2 J_ij gamma_l)`` per quadratic term (tag ``quad:i:j``);
+* mixing: ``RX(2 beta_l)`` on every qubit.
+
+An initial Hadamard wall prepares ``|+>^n``. Templates keep the angles
+symbolic in the 2p parameters; the tags are the edit surface for the
+compile-once scheme (Sec. 3.7.1). The builder emits an RZ for *every* qubit
+in ``linear_support`` (default: qubits with non-zero h) so sibling
+sub-problems whose h differs only in values — including exact zeros — share
+one compiled structure.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+from repro.circuit.circuit import QuantumCircuit
+from repro.circuit.parameter import Parameter
+from repro.exceptions import QAOAError
+from repro.ising.hamiltonian import IsingHamiltonian
+
+
+def linear_tag(qubit: int) -> str:
+    """Edit-surface tag of the RZ implementing linear term ``h_i``."""
+    return f"lin:{qubit}"
+
+
+def quadratic_tag(i: int, j: int) -> str:
+    """Edit-surface tag of the RZZ implementing quadratic term ``J_ij``."""
+    a, b = (i, j) if i < j else (j, i)
+    return f"quad:{a}:{b}"
+
+
+@dataclass(frozen=True)
+class QAOATemplate:
+    """A parametric QAOA circuit plus its parameter handles.
+
+    Attributes:
+        circuit: The symbolic circuit (unbound gammas/betas).
+        gammas: Phase parameters, one per layer.
+        betas: Mixing parameters, one per layer.
+        hamiltonian: The Hamiltonian the template was built from.
+    """
+
+    circuit: QuantumCircuit
+    gammas: tuple[Parameter, ...]
+    betas: tuple[Parameter, ...]
+    hamiltonian: IsingHamiltonian
+
+    @property
+    def num_layers(self) -> int:
+        """The paper's ``p``."""
+        return len(self.gammas)
+
+    def bind(self, gammas: Sequence[float], betas: Sequence[float]) -> QuantumCircuit:
+        """Numeric circuit at specific parameter values."""
+        if len(gammas) != len(self.gammas) or len(betas) != len(self.betas):
+            raise QAOAError(
+                f"expected {len(self.gammas)} gammas and betas, got "
+                f"{len(gammas)}/{len(betas)}"
+            )
+        values = dict(zip(self.gammas, (float(g) for g in gammas)))
+        values.update(zip(self.betas, (float(b) for b in betas)))
+        return self.circuit.bind(values)
+
+
+def build_qaoa_template(
+    hamiltonian: IsingHamiltonian,
+    num_layers: int = 1,
+    linear_support: "Sequence[int] | None" = None,
+    measure: bool = True,
+) -> QAOATemplate:
+    """Build the symbolic p-layer QAOA circuit for a Hamiltonian.
+
+    Args:
+        hamiltonian: Problem Hamiltonian.
+        num_layers: Number of QAOA layers (p >= 1).
+        linear_support: Qubits that get an RZ each layer even when their
+            ``h_i`` is currently zero — used when the circuit must serve as
+            a shared template across sub-problems (Sec. 3.7.1). Defaults to
+            the qubits with non-zero ``h_i``.
+        measure: Append a terminal measurement of all qubits.
+
+    Returns:
+        The parametric template.
+
+    Raises:
+        QAOAError: For invalid layer counts or empty problems.
+    """
+    if num_layers < 1:
+        raise QAOAError(f"num_layers must be >= 1, got {num_layers}")
+    n = hamiltonian.num_qubits
+    if n == 0:
+        raise QAOAError("cannot build a QAOA circuit for zero qubits")
+    if linear_support is None:
+        support = [q for q in range(n) if hamiltonian.linear_coefficient(q) != 0.0]
+    else:
+        support = sorted(set(linear_support))
+        for q in support:
+            if not 0 <= q < n:
+                raise QAOAError(f"linear_support qubit {q} out of range")
+    gammas = tuple(Parameter(f"gamma_{l}") for l in range(num_layers))
+    betas = tuple(Parameter(f"beta_{l}") for l in range(num_layers))
+    circuit = QuantumCircuit(n, name=f"qaoa_p{num_layers}")
+    for qubit in range(n):
+        circuit.h(qubit)
+    for layer in range(num_layers):
+        gamma = gammas[layer]
+        beta = betas[layer]
+        for qubit in support:
+            coefficient = hamiltonian.linear_coefficient(qubit)
+            circuit.rz(gamma * (2.0 * coefficient), qubit, tag=linear_tag(qubit))
+        for (i, j), coupling in sorted(hamiltonian.quadratic.items()):
+            circuit.rzz(gamma * (2.0 * coupling), i, j, tag=quadratic_tag(i, j))
+        for qubit in range(n):
+            circuit.rx(beta * 2.0, qubit)
+    if measure:
+        circuit.measure_all()
+    return QAOATemplate(
+        circuit=circuit, gammas=gammas, betas=betas, hamiltonian=hamiltonian
+    )
+
+
+def build_qaoa_circuit(
+    hamiltonian: IsingHamiltonian,
+    gammas: Sequence[float],
+    betas: Sequence[float],
+    measure: bool = True,
+) -> QuantumCircuit:
+    """Numeric QAOA circuit at given parameters (p = len(gammas))."""
+    if len(gammas) != len(betas):
+        raise QAOAError(
+            f"gammas and betas must have equal length, got "
+            f"{len(gammas)}/{len(betas)}"
+        )
+    template = build_qaoa_template(
+        hamiltonian, num_layers=len(gammas), measure=measure
+    )
+    return template.bind(gammas, betas)

@@ -1,0 +1,175 @@
+"""Expectation-value evaluation contexts: the bridge from parameters to EV.
+
+A :class:`EvaluationContext` fixes everything except (gammas, betas): the
+Hamiltonian, layer count, and — when a device is supplied — the compiled
+circuit's fidelity and readout attenuation under the global-depolarizing
+model. The optimizer then treats ``evaluate_noisy(ctx, g, b)`` as its black
+box, exactly like the classical outer loop of the paper trains against
+hardware expectation values.
+
+Ideal expectations use the closed form at p=1 and the statevector simulator
+for deeper circuits (bounded by the simulator's qubit cap).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from collections.abc import Sequence
+
+from repro.exceptions import QAOAError
+from repro.ising.hamiltonian import IsingHamiltonian
+from repro.qaoa.analytic import qaoa1_term_expectations
+from repro.qaoa.circuits import QAOATemplate, build_qaoa_template
+from repro.sim.depolarizing import (
+    circuit_fidelity,
+    decoherence_factors,
+    noisy_expectation,
+    readout_factors,
+)
+from repro.sim.expectation import (
+    expectation_from_probabilities,
+    term_expectations_from_probabilities,
+)
+from repro.sim.noise import NoiseModel, noise_model_for_transpiled
+from repro.sim.statevector import MAX_SIM_QUBITS, probabilities
+from repro.transpile.compiler import TranspileOptions, TranspiledCircuit, transpile
+
+
+@dataclass
+class EvaluationContext:
+    """Everything fixed across evaluations of one QAOA training run.
+
+    Attributes:
+        hamiltonian: Problem Hamiltonian.
+        num_layers: QAOA depth p.
+        template: Parametric logical circuit (built lazily when simulating).
+        fidelity: Global-depolarizing circuit fidelity F (1.0 = ideal).
+        readout: Per-logical-qubit readout attenuation factors.
+        transpiled: The compiled template, when a device was supplied.
+    """
+
+    hamiltonian: IsingHamiltonian
+    num_layers: int
+    template: "QAOATemplate | None" = None
+    fidelity: float = 1.0
+    readout: "dict[int, float] | None" = None
+    transpiled: "TranspiledCircuit | None" = None
+    noise_model: "NoiseModel | None" = None
+    measured_wires: "list[int] | None" = None
+
+    def ensure_template(self) -> QAOATemplate:
+        """Build (and cache) the logical template for simulation paths."""
+        if self.template is None:
+            self.template = build_qaoa_template(
+                self.hamiltonian, num_layers=self.num_layers
+            )
+        return self.template
+
+
+def make_context(
+    hamiltonian: IsingHamiltonian,
+    num_layers: int = 1,
+    device=None,
+    transpile_options: "TranspileOptions | None" = None,
+    transpiled: "TranspiledCircuit | None" = None,
+) -> EvaluationContext:
+    """Build an evaluation context, compiling for a device if one is given.
+
+    Args:
+        hamiltonian: Problem Hamiltonian.
+        num_layers: QAOA depth p.
+        device: Optional target device; enables the noisy path (the
+            template is transpiled once, per Sec. 3.7.1).
+        transpile_options: Compiler knobs for the template.
+        transpiled: Reuse an already-compiled template (e.g. an edited
+            sibling sub-problem executable) instead of compiling.
+    """
+    context = EvaluationContext(hamiltonian=hamiltonian, num_layers=num_layers)
+    if transpiled is None and device is not None:
+        template = build_qaoa_template(hamiltonian, num_layers=num_layers)
+        context.template = template
+        transpiled = transpile(template.circuit, device, transpile_options)
+    if transpiled is not None:
+        model = noise_model_for_transpiled(transpiled.device.calibration)
+        context.transpiled = transpiled
+        context.noise_model = model
+        context.measured_wires = transpiled.measured_physical_qubits()
+        # Gate errors scramble globally (depolarizing fidelity); decoherence
+        # and readout act per measured qubit and combine multiplicatively
+        # into the per-qubit attenuation factors.
+        context.fidelity = circuit_fidelity(
+            transpiled.circuit, model, include_idle_errors=False
+        )
+        readout = readout_factors(model, context.measured_wires)
+        decoherence = decoherence_factors(
+            model, transpiled.duration_ns, context.measured_wires
+        )
+        context.readout = {
+            qubit: readout[qubit] * decoherence[qubit] for qubit in readout
+        }
+    return context
+
+
+def _ideal_terms(
+    context: EvaluationContext,
+    gammas: Sequence[float],
+    betas: Sequence[float],
+) -> tuple[dict[int, float], dict[tuple[int, int], float]]:
+    hamiltonian = context.hamiltonian
+    if len(gammas) != context.num_layers or len(betas) != context.num_layers:
+        raise QAOAError(
+            f"expected {context.num_layers} gammas/betas, got "
+            f"{len(gammas)}/{len(betas)}"
+        )
+    if context.num_layers == 1:
+        return qaoa1_term_expectations(hamiltonian, gammas[0], betas[0])
+    if hamiltonian.num_qubits > MAX_SIM_QUBITS:
+        raise QAOAError(
+            f"p={context.num_layers} QAOA on {hamiltonian.num_qubits} qubits "
+            f"exceeds the {MAX_SIM_QUBITS}-qubit statevector cap"
+        )
+    template = context.ensure_template()
+    bound = template.bind(gammas, betas)
+    probs = probabilities(bound)
+    z_all, zz_all = term_expectations_from_probabilities(hamiltonian, probs)
+    return z_all, zz_all
+
+
+def evaluate_ideal(
+    context: EvaluationContext,
+    gammas: Sequence[float],
+    betas: Sequence[float],
+) -> float:
+    """Noiseless expectation value at the given parameters."""
+    if context.num_layers == 1:
+        z_values, zz_values = _ideal_terms(context, gammas, betas)
+        value = context.hamiltonian.offset
+        h = context.hamiltonian.linear
+        for qubit, expectation in z_values.items():
+            value += h[qubit] * expectation
+        for pair, expectation in zz_values.items():
+            value += context.hamiltonian.quadratic_coefficient(*pair) * expectation
+        return float(value)
+    template = context.ensure_template()
+    bound = template.bind(gammas, betas)
+    return expectation_from_probabilities(context.hamiltonian, probabilities(bound))
+
+
+def evaluate_noisy(
+    context: EvaluationContext,
+    gammas: Sequence[float],
+    betas: Sequence[float],
+) -> float:
+    """Expectation under the context's depolarizing fidelity and readout.
+
+    With ``fidelity == 1`` and no readout factors this equals
+    :func:`evaluate_ideal`.
+    """
+    z_values, zz_values = _ideal_terms(context, gammas, betas)
+    return noisy_expectation(
+        context.hamiltonian,
+        z_values,
+        zz_values,
+        fidelity=context.fidelity,
+        readout=context.readout,
+    )

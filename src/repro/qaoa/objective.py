@@ -1,0 +1,34 @@
+"""QAOA figures of merit.
+
+* **Approximation Ratio Gap (ARG)** — paper Eq. (4), the primary metric:
+  ``ARG = 100 * |(EV_ideal - EV_real) / EV_ideal|``; lower is better.
+* **Approximation Ratio (AR)** — paper Eq. (5): ``AR = EV / C_min``;
+  in [-inf, 1], 1 when every sampled outcome is a global optimum.
+"""
+
+from __future__ import annotations
+
+from repro.exceptions import QAOAError
+
+
+def approximation_ratio_gap(ev_ideal: float, ev_real: float) -> float:
+    """ARG of paper Eq. (4); lower is better.
+
+    Raises:
+        QAOAError: If the ideal expectation is zero (the metric is
+            undefined; callers should exclude such degenerate instances).
+    """
+    if ev_ideal == 0.0:
+        raise QAOAError("ARG undefined: ideal expectation is zero")
+    return 100.0 * abs((ev_ideal - ev_real) / ev_ideal)
+
+
+def approximation_ratio(expected_value: float, c_min: float) -> float:
+    """AR of paper Eq. (5); 1.0 means every outcome is a global optimum.
+
+    Raises:
+        QAOAError: If ``c_min`` is zero.
+    """
+    if c_min == 0.0:
+        raise QAOAError("AR undefined: global minimum value is zero")
+    return expected_value / c_min

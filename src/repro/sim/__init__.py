@@ -1,0 +1,46 @@
+"""Quantum-circuit simulation: ideal statevector, sampling, noise models.
+
+Three execution fidelities, trading accuracy for scale:
+
+* **ideal** — dense statevector (exact, <= 24 qubits);
+* **trajectory** — stochastic Pauli-error trajectories over the statevector
+  (faithful gate/readout/idle noise for small circuits; the validation
+  reference);
+* **depolarizing** — the global-depolarizing analytic model: the noisy
+  expectation of an Ising observable is the ideal expectation scaled by a
+  circuit fidelity computed from calibration data, plus independent readout
+  attenuation. This is the scalable stand-in for the paper's real-hardware
+  runs (see DESIGN.md "Substitutions") and is validated against the
+  trajectory simulator in tests.
+"""
+
+from repro.sim.depolarizing import (
+    circuit_fidelity,
+    noisy_counts,
+    noisy_expectation,
+    readout_factors,
+)
+from repro.sim.expectation import (
+    expectation_from_counts,
+    expectation_from_probabilities,
+    term_expectations_from_probabilities,
+)
+from repro.sim.noise import NoiseModel, trajectory_counts
+from repro.sim.sampling import Counts, sample_counts
+from repro.sim.statevector import probabilities, simulate_statevector
+
+__all__ = [
+    "Counts",
+    "NoiseModel",
+    "circuit_fidelity",
+    "expectation_from_counts",
+    "expectation_from_probabilities",
+    "noisy_counts",
+    "noisy_expectation",
+    "probabilities",
+    "readout_factors",
+    "sample_counts",
+    "simulate_statevector",
+    "term_expectations_from_probabilities",
+    "trajectory_counts",
+]

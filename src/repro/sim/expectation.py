@@ -1,0 +1,78 @@
+"""Ising expectation values from simulation output.
+
+Both the dense path (probability vector over all ``2**n`` outcomes) and the
+sparse path (sampled :class:`Counts`), plus per-term expectations
+``<Z_i>`` / ``<Z_i Z_j>`` which the depolarizing noise model attenuates
+term-by-term.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import SimulationError
+from repro.ising.hamiltonian import IsingHamiltonian
+from repro.sim.sampling import Counts
+
+
+def expectation_from_probabilities(
+    hamiltonian: IsingHamiltonian, probs: np.ndarray
+) -> float:
+    """Exact expectation ``sum_b p_b C(b)`` over the full outcome space."""
+    p = np.asarray(probs, dtype=float)
+    expected_size = 1 << hamiltonian.num_qubits
+    if p.shape != (expected_size,):
+        raise SimulationError(
+            f"probability vector must have length {expected_size}, got {p.shape}"
+        )
+    landscape = hamiltonian.energy_landscape()
+    return float(p @ landscape)
+
+
+def expectation_from_counts(hamiltonian: IsingHamiltonian, counts: Counts) -> float:
+    """Empirical expectation from sampled outcomes."""
+    if counts.num_qubits != hamiltonian.num_qubits:
+        raise SimulationError(
+            f"counts are over {counts.num_qubits} qubits, Hamiltonian over "
+            f"{hamiltonian.num_qubits}"
+        )
+    total = counts.total_shots
+    if total == 0:
+        raise SimulationError("counts are empty")
+    value = 0.0
+    for spins, count in counts.spin_items():
+        value += count * hamiltonian.evaluate(spins)
+    return value / total
+
+
+def term_expectations_from_probabilities(
+    hamiltonian: IsingHamiltonian, probs: np.ndarray
+) -> tuple[dict[int, float], dict[tuple[int, int], float]]:
+    """Per-term ``<Z_i>`` and ``<Z_i Z_j>`` under an outcome distribution.
+
+    Only terms present in the Hamiltonian (non-zero h or J) are returned;
+    that is all the noise model needs.
+    """
+    n = hamiltonian.num_qubits
+    p = np.asarray(probs, dtype=float)
+    if p.shape != (1 << n,):
+        raise SimulationError(
+            f"probability vector must have length {1 << n}, got {p.shape}"
+        )
+    indices = np.arange(1 << n, dtype=np.uint32)
+    spin_columns: dict[int, np.ndarray] = {}
+
+    def spins_of(qubit: int) -> np.ndarray:
+        if qubit not in spin_columns:
+            bits = (indices >> np.uint32(qubit)) & 1
+            spin_columns[qubit] = 1.0 - 2.0 * bits.astype(float)
+        return spin_columns[qubit]
+
+    z_values: dict[int, float] = {}
+    for qubit, coefficient in enumerate(hamiltonian.linear):
+        if coefficient != 0.0:
+            z_values[qubit] = float(p @ spins_of(qubit))
+    zz_values: dict[tuple[int, int], float] = {}
+    for (i, j) in hamiltonian.quadratic:
+        zz_values[(i, j)] = float(p @ (spins_of(i) * spins_of(j)))
+    return z_values, zz_values

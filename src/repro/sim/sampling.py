@@ -1,0 +1,146 @@
+"""Measurement sampling and the :class:`Counts` container.
+
+Counts are keyed by the integer basis index (bit ``i`` = qubit ``i``,
+LSB-first); helpers expose bitstring and spin views. The container is
+intentionally dict-like so tests can build literals easily.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator, Mapping
+
+import numpy as np
+
+from repro.exceptions import SimulationError
+from repro.utils.bitstrings import bits_to_spins, int_to_bits
+from repro.utils.rng import ensure_rng
+
+
+class Counts(Mapping):
+    """Histogram of measurement outcomes.
+
+    Args:
+        data: Map basis-state integer -> shot count.
+        num_qubits: Number of measured qubits (defines key range).
+    """
+
+    def __init__(self, data: Mapping[int, int], num_qubits: int) -> None:
+        if num_qubits < 0:
+            raise SimulationError(f"num_qubits must be >= 0, got {num_qubits}")
+        self._num_qubits = num_qubits
+        size = 1 << num_qubits
+        cleaned: dict[int, int] = {}
+        for key, value in data.items():
+            if not 0 <= key < size:
+                raise SimulationError(
+                    f"outcome {key} out of range for {num_qubits} qubits"
+                )
+            if value < 0:
+                raise SimulationError(f"negative count for outcome {key}")
+            if value:
+                cleaned[int(key)] = int(value)
+        self._data = cleaned
+
+    @property
+    def num_qubits(self) -> int:
+        """Number of measured qubits."""
+        return self._num_qubits
+
+    @property
+    def total_shots(self) -> int:
+        """Sum of all counts."""
+        return sum(self._data.values())
+
+    def __getitem__(self, key: int) -> int:
+        return self._data[key]
+
+    def __iter__(self) -> Iterator[int]:
+        return iter(self._data)
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def probability(self, key: int) -> float:
+        """Empirical probability of an outcome."""
+        total = self.total_shots
+        if total == 0:
+            raise SimulationError("counts are empty")
+        return self._data.get(key, 0) / total
+
+    def most_common(self, k: "int | None" = None) -> list[tuple[int, int]]:
+        """Outcomes by descending count (ties by key)."""
+        ranked = sorted(self._data.items(), key=lambda kv: (-kv[1], kv[0]))
+        return ranked if k is None else ranked[:k]
+
+    def spin_items(self) -> Iterator[tuple[tuple[int, ...], int]]:
+        """Iterate ``(spins, count)`` pairs."""
+        for key, count in self._data.items():
+            yield bits_to_spins(int_to_bits(key, self._num_qubits)), count
+
+    def map_outcomes(self, transform) -> "Counts":
+        """New Counts with every key passed through ``transform`` (merging
+        collisions). Used to decode sub-problem outcomes into the parent
+        space and to apply the spin-flip of the symmetry mirror."""
+        merged: dict[int, int] = {}
+        for key, count in self._data.items():
+            new_key = int(transform(key))
+            merged[new_key] = merged.get(new_key, 0) + count
+        return Counts(merged, self._num_qubits)
+
+    def flip_all_bits(self) -> "Counts":
+        """Counts of the spin-flipped distribution (Sec. 3.7.2 mirror)."""
+        mask = (1 << self._num_qubits) - 1
+        return self.map_outcomes(lambda key: key ^ mask)
+
+    def merge(self, other: "Counts") -> "Counts":
+        """Shot-wise union of two histograms over the same qubit count."""
+        if other.num_qubits != self._num_qubits:
+            raise SimulationError(
+                f"cannot merge counts over {other.num_qubits} qubits into "
+                f"{self._num_qubits}"
+            )
+        merged = dict(self._data)
+        for key, count in other.items():
+            merged[key] = merged.get(key, 0) + count
+        return Counts(merged, self._num_qubits)
+
+    def __repr__(self) -> str:
+        return (
+            f"Counts(num_qubits={self._num_qubits}, outcomes={len(self._data)}, "
+            f"shots={self.total_shots})"
+        )
+
+
+def sample_counts(
+    probs: np.ndarray,
+    shots: int,
+    num_qubits: int,
+    seed: "int | np.random.Generator | None" = None,
+) -> Counts:
+    """Draw a multinomial sample from an outcome distribution.
+
+    Args:
+        probs: Probability vector of length ``2**num_qubits`` (renormalised
+            defensively against simulator round-off).
+        shots: Number of samples.
+        num_qubits: Qubit count (defines the key space).
+        seed: RNG seed or generator.
+    """
+    if shots < 0:
+        raise SimulationError(f"shots must be >= 0, got {shots}")
+    p = np.asarray(probs, dtype=float)
+    if p.shape != (1 << num_qubits,):
+        raise SimulationError(
+            f"probability vector must have length {1 << num_qubits}, got {p.shape}"
+        )
+    if np.any(p < -1e-9):
+        raise SimulationError("probabilities must be non-negative")
+    p = np.clip(p, 0.0, None)
+    total = p.sum()
+    if total <= 0:
+        raise SimulationError("probability vector sums to zero")
+    p = p / total
+    rng = ensure_rng(seed)
+    drawn = rng.multinomial(shots, p)
+    data = {int(i): int(c) for i, c in enumerate(drawn) if c}
+    return Counts(data, num_qubits)

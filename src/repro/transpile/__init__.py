@@ -1,0 +1,43 @@
+"""The transpiler: layout, SWAP routing, decomposition, metrics.
+
+Turns an all-to-all logical circuit into one executable on a device with
+restricted connectivity, mirroring the Qiskit pipeline the paper uses
+(noise-adaptive layout + routing at optimization level 3):
+
+1. **Layout** — choose an initial logical-to-physical embedding.
+2. **Routing** — insert SWAPs so every two-qubit gate acts on coupled qubits.
+3. **Decomposition** — lower SWAP to 3 CX and RZZ to CX-RZ-CX, optionally
+   down to the IBM hardware basis {rz, sx, x, cx}.
+4. **Cleanup** — cancel adjacent CX pairs, merge adjacent RZ rotations.
+
+The driver returns a :class:`TranspiledCircuit` carrying the physical
+circuit, both layouts, and the metric set the paper's evaluation plots
+(CX count, SWAP count, depth, duration).
+"""
+
+from repro.transpile.compiler import TranspileOptions, TranspiledCircuit, transpile
+from repro.transpile.decompose import (
+    decompose_rzz,
+    decompose_swap,
+    merge_adjacent_rz,
+    cancel_adjacent_cx,
+    translate_to_basis,
+)
+from repro.transpile.layout import Layout, degree_aware_layout, trivial_layout
+from repro.transpile.routing import RoutingResult, route
+
+__all__ = [
+    "Layout",
+    "RoutingResult",
+    "TranspileOptions",
+    "TranspiledCircuit",
+    "cancel_adjacent_cx",
+    "decompose_rzz",
+    "decompose_swap",
+    "degree_aware_layout",
+    "merge_adjacent_rz",
+    "route",
+    "translate_to_basis",
+    "transpile",
+    "trivial_layout",
+]

@@ -1,0 +1,171 @@
+"""Gate decomposition and peephole cleanup passes.
+
+Lowerings (all exact up to global phase, verified by unit tests):
+
+* ``rzz(t; a, b)``  ->  ``cx(a, b); rz(t, b); cx(a, b)`` — the two CNOTs per
+  problem-graph edge the paper counts (Sec. 1);
+* ``swap(a, b)``    ->  ``cx(a, b); cx(b, a); cx(a, b)``;
+* ``h(q)``          ->  ``rz(pi/2, q); sx(q); rz(pi/2, q)``;
+* ``rx(t, q)``      ->  ``rz(pi/2); sx; rz(t + pi); sx; rz(5*pi/2)`` —
+  hardware-basis RX via two SX pulses.
+
+Cleanups: adjacent-CX cancellation and adjacent-RZ merging (both respecting
+intervening gates on the same wires).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.circuit.circuit import Instruction, QuantumCircuit
+from repro.circuit.parameter import ParameterExpression
+from repro.exceptions import TranspileError
+
+#: The IBM hardware basis the paper's devices expose.
+HARDWARE_BASIS: frozenset[str] = frozenset({"rz", "sx", "x", "cx"})
+
+
+def _copy_into(circuit: QuantumCircuit, instruction: Instruction) -> None:
+    circuit.append(instruction)
+
+
+def decompose_rzz(circuit: QuantumCircuit) -> QuantumCircuit:
+    """Lower every RZZ into CX - RZ - CX, angle and tag preserved."""
+    lowered = QuantumCircuit(circuit.num_qubits, name=circuit.name)
+    for instruction in circuit:
+        if instruction.name != "rzz":
+            _copy_into(lowered, instruction)
+            continue
+        a, b = instruction.qubits
+        lowered.append(Instruction("cx", (a, b), tag=instruction.tag))
+        lowered.append(Instruction("rz", (b,), instruction.angle, instruction.tag))
+        lowered.append(Instruction("cx", (a, b), tag=instruction.tag))
+    return lowered
+
+
+def decompose_swap(circuit: QuantumCircuit) -> QuantumCircuit:
+    """Lower every SWAP into three CNOTs (tag preserved)."""
+    lowered = QuantumCircuit(circuit.num_qubits, name=circuit.name)
+    for instruction in circuit:
+        if instruction.name != "swap":
+            _copy_into(lowered, instruction)
+            continue
+        a, b = instruction.qubits
+        lowered.append(Instruction("cx", (a, b), tag=instruction.tag))
+        lowered.append(Instruction("cx", (b, a), tag=instruction.tag))
+        lowered.append(Instruction("cx", (a, b), tag=instruction.tag))
+    return lowered
+
+
+def translate_to_basis(circuit: QuantumCircuit) -> QuantumCircuit:
+    """Lower to the IBM hardware basis {rz, sx, x, cx}.
+
+    RZZ and SWAP must already be lowered (run :func:`decompose_rzz` /
+    :func:`decompose_swap` first). Symbolic RZ/RZZ angles survive; symbolic
+    RX angles survive too because the RX lowering keeps the angle inside a
+    single RZ.
+
+    Raises:
+        TranspileError: On gates without a known lowering.
+    """
+    half_pi = np.pi / 2.0
+    lowered = QuantumCircuit(circuit.num_qubits, name=circuit.name)
+    for instruction in circuit:
+        name = instruction.name
+        if name in HARDWARE_BASIS or name in ("barrier", "measure"):
+            _copy_into(lowered, instruction)
+            continue
+        qubit = instruction.qubits[0]
+        tag = instruction.tag
+        if name == "h":
+            lowered.append(Instruction("rz", (qubit,), half_pi, tag))
+            lowered.append(Instruction("sx", (qubit,), tag=tag))
+            lowered.append(Instruction("rz", (qubit,), half_pi, tag))
+        elif name == "rx":
+            # rx(t) = rz(pi/2) sx rz(t + pi) sx rz(5pi/2), global phase aside.
+            angle = instruction.angle
+            shifted = angle + np.pi if isinstance(angle, ParameterExpression) else (
+                float(angle) + np.pi
+            )
+            lowered.append(Instruction("rz", (qubit,), half_pi, tag))
+            lowered.append(Instruction("sx", (qubit,), tag=tag))
+            lowered.append(Instruction("rz", (qubit,), shifted, tag))
+            lowered.append(Instruction("sx", (qubit,), tag=tag))
+            lowered.append(Instruction("rz", (qubit,), 5.0 * half_pi, tag))
+        elif name == "z":
+            lowered.append(Instruction("rz", (qubit,), float(np.pi), tag))
+        elif name == "s":
+            lowered.append(Instruction("rz", (qubit,), half_pi, tag))
+        elif name == "sdg":
+            lowered.append(Instruction("rz", (qubit,), -half_pi, tag))
+        else:
+            raise TranspileError(f"no hardware-basis lowering for gate {name!r}")
+    return lowered
+
+
+def cancel_adjacent_cx(circuit: QuantumCircuit) -> QuantumCircuit:
+    """Remove back-to-back identical CNOT pairs (nothing between them on
+    either wire). Applied after routing, this cleans up SWAP-CX dovetails."""
+    kept: list[Instruction] = []
+    last_on_wire: dict[int, int] = {}
+    for instruction in circuit:
+        if instruction.name == "cx":
+            previous_index = None
+            a, b = instruction.qubits
+            ia, ib = last_on_wire.get(a), last_on_wire.get(b)
+            if ia is not None and ia == ib:
+                previous = kept[ia]
+                if previous.name == "cx" and previous.qubits == instruction.qubits:
+                    previous_index = ia
+            if previous_index is not None:
+                kept[previous_index] = None  # type: ignore[call-overload]
+                for q in instruction.qubits:
+                    last_on_wire.pop(q, None)
+                continue
+        kept.append(instruction)
+        for q in instruction.qubits:
+            last_on_wire[q] = len(kept) - 1
+    cleaned = QuantumCircuit(circuit.num_qubits, name=circuit.name)
+    for instruction in kept:
+        if instruction is not None:
+            cleaned.append(instruction)
+    return cleaned
+
+
+def merge_adjacent_rz(circuit: QuantumCircuit) -> QuantumCircuit:
+    """Merge runs of numeric RZ on the same wire into one rotation.
+
+    Symbolic RZ instructions are left untouched (they are the editing
+    handles of the compiled template and must stay individually addressable).
+    """
+    kept: list[Instruction] = []
+    last_numeric_rz: dict[int, int] = {}
+    for instruction in circuit:
+        if (
+            instruction.name == "rz"
+            and not instruction.is_parametric
+        ):
+            qubit = instruction.qubits[0]
+            previous_index = last_numeric_rz.get(qubit)
+            if previous_index is not None:
+                previous = kept[previous_index]
+                merged_angle = float(previous.angle) + float(instruction.angle)
+                kept[previous_index] = Instruction(
+                    "rz", (qubit,), merged_angle, previous.tag
+                )
+                continue
+            kept.append(instruction)
+            last_numeric_rz[qubit] = len(kept) - 1
+            continue
+        kept.append(instruction)
+        for q in instruction.qubits:
+            last_numeric_rz.pop(q, None)
+    merged = QuantumCircuit(circuit.num_qubits, name=circuit.name)
+    for instruction in kept:
+        if not (
+            instruction.name == "rz"
+            and not instruction.is_parametric
+            and abs(float(instruction.angle)) < 1e-15
+        ):
+            merged.append(instruction)
+    return merged

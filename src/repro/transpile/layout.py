@@ -1,0 +1,183 @@
+"""Initial layout selection: embedding logical qubits onto physical qubits.
+
+Two policies:
+
+* ``trivial`` — logical i on physical i (the control for ablations);
+* ``degree_aware`` — a greedy embedder that places the most-connected
+  logical qubits first, each as close as possible to its already-placed
+  interaction partners, optionally weighting physical edges by CX quality
+  (the "noise-adaptive" flavour the paper's baseline compiler uses).
+
+Hotspot nodes interact with many partners, so their placement dominates SWAP
+counts — exactly the effect FrozenQubits removes by freezing them.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping
+
+from repro.circuit.circuit import QuantumCircuit
+from repro.devices.device import Device
+from repro.exceptions import TranspileError
+
+
+class Layout:
+    """A bijective partial map between logical and physical qubits.
+
+    Args:
+        logical_to_physical: Initial assignment; must be injective.
+        num_logical: Number of logical qubits (defaults to the map size).
+    """
+
+    def __init__(
+        self,
+        logical_to_physical: Mapping[int, int],
+        num_logical: "int | None" = None,
+    ) -> None:
+        values = list(logical_to_physical.values())
+        if len(set(values)) != len(values):
+            raise TranspileError("layout is not injective")
+        self._l2p = dict(logical_to_physical)
+        self._p2l = {p: l for l, p in self._l2p.items()}
+        self._num_logical = (
+            num_logical if num_logical is not None else len(self._l2p)
+        )
+
+    @property
+    def num_logical(self) -> int:
+        """Number of logical qubits covered."""
+        return self._num_logical
+
+    def physical(self, logical: int) -> int:
+        """Physical qubit currently holding ``logical``."""
+        try:
+            return self._l2p[logical]
+        except KeyError as exc:
+            raise TranspileError(f"logical qubit {logical} is not placed") from exc
+
+    def logical(self, physical: int) -> "int | None":
+        """Logical qubit on ``physical``, or None if the wire is an ancilla."""
+        return self._p2l.get(physical)
+
+    def swap_physical(self, a: int, b: int) -> None:
+        """Record a SWAP between two physical wires (routing bookkeeping)."""
+        la, lb = self._p2l.get(a), self._p2l.get(b)
+        if la is not None:
+            self._l2p[la] = b
+        if lb is not None:
+            self._l2p[lb] = a
+        if la is not None:
+            self._p2l[b] = la
+        elif b in self._p2l:
+            del self._p2l[b]
+        if lb is not None:
+            self._p2l[a] = lb
+        elif a in self._p2l:
+            del self._p2l[a]
+
+    def copy(self) -> "Layout":
+        """Independent copy."""
+        return Layout(dict(self._l2p), self._num_logical)
+
+    def to_dict(self) -> dict[int, int]:
+        """Logical -> physical mapping as a plain dict."""
+        return dict(self._l2p)
+
+    def __repr__(self) -> str:
+        return f"Layout({self._l2p})"
+
+
+def interaction_graph(circuit: QuantumCircuit) -> dict[tuple[int, int], int]:
+    """Count two-qubit interactions per logical pair (i < j)."""
+    weights: dict[tuple[int, int], int] = {}
+    for instruction in circuit:
+        if instruction.is_two_qubit:
+            a, b = instruction.qubits
+            key = (min(a, b), max(a, b))
+            weights[key] = weights.get(key, 0) + 1
+    return weights
+
+
+def trivial_layout(circuit: QuantumCircuit, device: Device) -> Layout:
+    """Logical i -> physical i.
+
+    Raises:
+        TranspileError: If the device is too small.
+    """
+    if circuit.num_qubits > device.num_qubits:
+        raise TranspileError(
+            f"circuit needs {circuit.num_qubits} qubits; device "
+            f"{device.name} has {device.num_qubits}"
+        )
+    return Layout({q: q for q in range(circuit.num_qubits)}, circuit.num_qubits)
+
+
+def degree_aware_layout(
+    circuit: QuantumCircuit,
+    device: Device,
+    noise_aware: bool = False,
+) -> Layout:
+    """Greedy interaction-aware placement.
+
+    Logical qubits are placed in descending interaction-degree order; each
+    goes to the free physical qubit minimising the (interaction-weighted)
+    sum of distances to its already-placed partners. When ``noise_aware``,
+    distances are scaled by the local CX error so noisy regions repel
+    placement — a light-weight stand-in for Qiskit's noise-adaptive layout.
+
+    Args:
+        circuit: The logical circuit (only its 2q structure matters).
+        device: Target device.
+        noise_aware: Weight placement by calibration quality.
+    """
+    if circuit.num_qubits > device.num_qubits:
+        raise TranspileError(
+            f"circuit needs {circuit.num_qubits} qubits; device "
+            f"{device.name} has {device.num_qubits}"
+        )
+    weights = interaction_graph(circuit)
+    degree = [0.0] * circuit.num_qubits
+    partners: dict[int, list[tuple[int, int]]] = {
+        q: [] for q in range(circuit.num_qubits)
+    }
+    for (a, b), count in weights.items():
+        degree[a] += count
+        degree[b] += count
+        partners[a].append((b, count))
+        partners[b].append((a, count))
+    order = sorted(range(circuit.num_qubits), key=lambda q: (-degree[q], q))
+
+    distances = device.coupling.distance_matrix()
+    if noise_aware:
+        error_penalty = [0.0] * device.num_qubits
+        for (a, b) in device.coupling.edges():
+            err = device.calibration.edge_error(a, b)
+            error_penalty[a] += err
+            error_penalty[b] += err
+    else:
+        error_penalty = [0.0] * device.num_qubits
+
+    placement: dict[int, int] = {}
+    free = set(range(device.num_qubits))
+
+    # Seed: put the highest-degree logical qubit on the best-connected
+    # physical qubit (lowest error penalty among max-degree candidates).
+    def seed_key(p: int) -> tuple:
+        return (-device.coupling.degree(p), error_penalty[p], p)
+
+    first = order[0] if order else None
+    if first is not None:
+        best = min(free, key=seed_key)
+        placement[first] = best
+        free.remove(best)
+    for logical in order[1:]:
+        placed_partners = [
+            (placement[p], w) for p, w in partners[logical] if p in placement
+        ]
+        def cost(p: int) -> tuple:
+            travel = sum(w * distances[p, q] for q, w in placed_partners)
+            return (travel, error_penalty[p], p)
+        best = min(free, key=cost)
+        placement[logical] = best
+        free.remove(best)
+    return Layout(placement, circuit.num_qubits)

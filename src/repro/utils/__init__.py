@@ -1,0 +1,34 @@
+"""Shared low-level utilities: RNG plumbing, bitstring codecs, validation."""
+
+from repro.utils.bitstrings import (
+    bits_to_int,
+    bits_to_spins,
+    flip_all,
+    int_to_bits,
+    spins_to_bits,
+    spins_to_string,
+    string_to_spins,
+)
+from repro.utils.rng import ensure_rng, spawn_seeds
+from repro.utils.validation import (
+    check_index,
+    check_non_negative,
+    check_positive,
+    check_probability,
+)
+
+__all__ = [
+    "bits_to_int",
+    "bits_to_spins",
+    "check_index",
+    "check_non_negative",
+    "check_positive",
+    "check_probability",
+    "ensure_rng",
+    "flip_all",
+    "int_to_bits",
+    "spawn_seeds",
+    "spins_to_bits",
+    "spins_to_string",
+    "string_to_spins",
+]

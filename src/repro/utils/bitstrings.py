@@ -1,0 +1,86 @@
+"""Bitstring and spin-vector codecs.
+
+The library speaks two equivalent languages for measurement outcomes:
+
+* **bits** — tuples of ``0``/``1`` as read out of a circuit, qubit 0 first;
+* **spins** — tuples of ``+1``/``-1`` as used by Ising Hamiltonians,
+  following the paper's convention that measuring ``|0>`` in the z-basis
+  yields eigenvalue ``+1`` and ``|1>`` yields ``-1``.
+
+All converters are pure and total for valid input and raise ``ValueError``
+for malformed input, so property tests can round-trip them freely.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+
+
+def int_to_bits(value: int, width: int) -> tuple[int, ...]:
+    """Expand an integer into ``width`` bits, qubit 0 = least-significant bit.
+
+    Args:
+        value: Non-negative integer ``< 2**width``.
+        width: Number of bits in the output.
+
+    Returns:
+        Tuple of bits ordered from qubit 0 to qubit ``width - 1``.
+    """
+    if width < 0:
+        raise ValueError(f"width must be non-negative, got {width}")
+    if value < 0 or value >= (1 << width):
+        raise ValueError(f"value {value} does not fit in {width} bits")
+    return tuple((value >> i) & 1 for i in range(width))
+
+
+def bits_to_int(bits: Sequence[int]) -> int:
+    """Pack bits (qubit 0 first) back into an integer; inverse of int_to_bits."""
+    value = 0
+    for position, bit in enumerate(bits):
+        if bit not in (0, 1):
+            raise ValueError(f"bit at position {position} is {bit}, expected 0 or 1")
+        value |= bit << position
+    return value
+
+
+def bits_to_spins(bits: Iterable[int]) -> tuple[int, ...]:
+    """Map bits to spins with the z-basis convention 0 -> +1, 1 -> -1."""
+    spins = []
+    for bit in bits:
+        if bit not in (0, 1):
+            raise ValueError(f"invalid bit {bit}, expected 0 or 1")
+        spins.append(1 - 2 * bit)
+    return tuple(spins)
+
+
+def spins_to_bits(spins: Iterable[int]) -> tuple[int, ...]:
+    """Map spins to bits with the z-basis convention +1 -> 0, -1 -> 1."""
+    bits = []
+    for spin in spins:
+        if spin not in (-1, 1):
+            raise ValueError(f"invalid spin {spin}, expected -1 or +1")
+        bits.append((1 - spin) // 2)
+    return tuple(bits)
+
+
+def flip_all(spins: Iterable[int]) -> tuple[int, ...]:
+    """Negate every spin; the symmetry operation of Sec. 3.7.2 of the paper."""
+    return tuple(-spin for spin in spins)
+
+
+def spins_to_string(spins: Iterable[int]) -> str:
+    """Render spins as a compact ``+-`` string, qubit 0 first (e.g. ``"+-++"``)."""
+    symbols = {1: "+", -1: "-"}
+    try:
+        return "".join(symbols[spin] for spin in spins)
+    except KeyError as exc:
+        raise ValueError(f"invalid spin {exc.args[0]}, expected -1 or +1") from exc
+
+
+def string_to_spins(text: str) -> tuple[int, ...]:
+    """Parse a ``+-`` string back into a spin tuple; inverse of spins_to_string."""
+    values = {"+": 1, "-": -1}
+    try:
+        return tuple(values[ch] for ch in text)
+    except KeyError as exc:
+        raise ValueError(f"invalid spin character {exc.args[0]!r}") from exc

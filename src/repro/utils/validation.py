@@ -1,0 +1,32 @@
+"""Tiny argument-validation helpers used across the library.
+
+Each helper raises ``ValueError`` (or ``IndexError`` where that is the
+conventional type) with a message that names the offending argument, so
+failures surface at the API boundary instead of deep inside numpy kernels.
+"""
+
+from __future__ import annotations
+
+
+def check_positive(name: str, value: float) -> None:
+    """Require ``value > 0``."""
+    if not value > 0:
+        raise ValueError(f"{name} must be positive, got {value}")
+
+
+def check_non_negative(name: str, value: float) -> None:
+    """Require ``value >= 0``."""
+    if value < 0:
+        raise ValueError(f"{name} must be non-negative, got {value}")
+
+
+def check_probability(name: str, value: float) -> None:
+    """Require ``0 <= value <= 1``."""
+    if not 0.0 <= value <= 1.0:
+        raise ValueError(f"{name} must be a probability in [0, 1], got {value}")
+
+
+def check_index(name: str, value: int, size: int) -> None:
+    """Require ``0 <= value < size``; raises IndexError on violation."""
+    if not 0 <= value < size:
+        raise IndexError(f"{name} {value} out of range for size {size}")

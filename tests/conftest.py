@@ -1,0 +1,69 @@
+"""Shared fixtures and hypothesis strategies for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import strategies as st
+
+from repro.graphs.generators import barabasi_albert_graph
+from repro.ising.hamiltonian import IsingHamiltonian
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """Deterministic RNG for a test."""
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def small_ba_hamiltonian() -> IsingHamiltonian:
+    """A reproducible 8-qubit BA(d=1) Hamiltonian with ±1 couplings."""
+    graph = barabasi_albert_graph(8, attachment=1, seed=42)
+    return IsingHamiltonian.from_graph(graph, weights="random_pm1", seed=43)
+
+
+@pytest.fixture
+def paper_fig5_hamiltonian() -> IsingHamiltonian:
+    """The 4-qubit example of paper Fig. 5.
+
+    h = 0 everywhere; J edges form the graph used in the freezing worked
+    example (z3 coupled to z0, z1, z2; plus the z0-z2 edge).
+    """
+    return IsingHamiltonian(
+        4,
+        quadratic={(0, 2): 1.0, (0, 3): 1.0, (1, 3): 1.0, (2, 3): 1.0},
+    )
+
+
+def spins_strategy(num_qubits: int):
+    """Hypothesis strategy for a ±1 spin tuple of fixed width."""
+    return st.tuples(*([st.sampled_from((-1, 1))] * num_qubits))
+
+
+def hamiltonian_strategy(max_qubits: int = 6):
+    """Hypothesis strategy for small random Ising Hamiltonians."""
+
+    @st.composite
+    def build(draw):
+        n = draw(st.integers(min_value=1, max_value=max_qubits))
+        linear = draw(
+            st.lists(
+                st.floats(-2, 2, allow_nan=False, allow_infinity=False),
+                min_size=n,
+                max_size=n,
+            )
+        )
+        pairs = [(i, j) for i in range(n) for j in range(i + 1, n)]
+        chosen = draw(st.lists(st.sampled_from(pairs), unique=True, max_size=len(pairs))) if pairs else []
+        quadratic = {}
+        for pair in chosen:
+            quadratic[pair] = draw(
+                st.floats(-2, 2, allow_nan=False, allow_infinity=False).filter(
+                    lambda x: x != 0.0
+                )
+            )
+        offset = draw(st.floats(-3, 3, allow_nan=False, allow_infinity=False))
+        return IsingHamiltonian(n, linear=linear, quadratic=quadratic, offset=offset)
+
+    return build()

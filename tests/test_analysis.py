@@ -1,0 +1,190 @@
+"""Tests for repro.analysis: EPS, runtime model, metrics, trade-off."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    EXECUTION_MODELS,
+    ErrorModel,
+    OPTIMISTIC_ERROR_MODEL,
+    WorkloadTiming,
+    detect_plateau,
+    expected_probability_of_success,
+    geometric_mean,
+    improvement_factor,
+    overall_runtime_hours,
+    relative_series,
+    tradeoff_curve,
+)
+from repro.analysis.eps import relative_eps_log10
+from repro.circuit import QuantumCircuit
+from repro.exceptions import ReproError, SimulationError
+
+
+def cx_chain(num_cx: int, num_qubits: int = 2) -> QuantumCircuit:
+    circuit = QuantumCircuit(num_qubits)
+    for __ in range(num_cx):
+        circuit.cx(0, 1)
+    return circuit
+
+
+class TestEps:
+    def test_paper_error_model_defaults(self):
+        assert OPTIMISTIC_ERROR_MODEL.cx_error == 0.001
+        assert OPTIMISTIC_ERROR_MODEL.readout_error == 0.005
+        assert OPTIMISTIC_ERROR_MODEL.decoherence_us == 500.0
+
+    def test_gate_errors_compound(self):
+        few = expected_probability_of_success(cx_chain(10))
+        many = expected_probability_of_success(cx_chain(100))
+        assert many < few < 1.0
+
+    def test_exact_value_no_decoherence(self):
+        model = ErrorModel(cx_error=0.01, readout_error=0.0,
+                           decoherence_us=1e12, single_qubit_error=0.0)
+        eps = expected_probability_of_success(cx_chain(10), model)
+        assert eps == pytest.approx(0.99**10, rel=1e-9)
+
+    def test_readout_counts_active_qubits(self):
+        model = ErrorModel(cx_error=0.0, readout_error=0.1,
+                           decoherence_us=1e12, single_qubit_error=0.0)
+        circuit = QuantumCircuit(3)
+        circuit.cx(0, 1)  # only 2 active qubits
+        eps = expected_probability_of_success(circuit, model)
+        assert eps == pytest.approx(0.9**2, rel=1e-9)
+
+    def test_rz_and_barrier_free(self):
+        model = ErrorModel(cx_error=0.5, readout_error=0.0,
+                           decoherence_us=1e12, single_qubit_error=0.5)
+        circuit = QuantumCircuit(2)
+        circuit.rz(0.3, 0)
+        circuit.barrier()
+        assert expected_probability_of_success(circuit, model) == pytest.approx(1.0)
+
+    def test_decoherence_scales_with_depth(self):
+        model = ErrorModel(cx_error=0.0, readout_error=0.0,
+                           decoherence_us=1.0, single_qubit_error=0.0)
+        shallow = expected_probability_of_success(cx_chain(1), model)
+        deep = expected_probability_of_success(cx_chain(20), model)
+        # 20 serial CX = 8 us against T=1 us on two qubits.
+        assert deep < shallow
+        assert shallow == pytest.approx(np.exp(-0.4 / 1.0) ** 2, rel=1e-6)
+
+    def test_log_space_stability_at_scale(self):
+        """500-qubit-scale circuits underflow linear EPS; log-space works."""
+        huge = cx_chain(120_000)
+        log_eps = expected_probability_of_success(huge, log_space=True)
+        assert log_eps < -50.0
+        # Linear EPS is astronomically small; the log form carries the
+        # magnitude without precision loss.
+        assert expected_probability_of_success(huge) < 1e-50
+        assert expected_probability_of_success(huge) == pytest.approx(
+            10.0**log_eps, rel=1e-6
+        )
+
+    def test_relative_eps_prefers_smaller_circuit(self):
+        assert relative_eps_log10(cx_chain(10), cx_chain(100)) > 0.0
+
+    def test_bad_error_model_rejected(self):
+        with pytest.raises(SimulationError):
+            ErrorModel(cx_error=1.5)
+        with pytest.raises(SimulationError):
+            ErrorModel(decoherence_us=0.0)
+
+
+class TestRuntimeModel:
+    def test_four_execution_models_exist(self):
+        assert set(EXECUTION_MODELS) == {
+            "sequential+shared", "sequential+dedicated",
+            "batched+shared", "batched+dedicated",
+        }
+
+    def test_shared_slower_than_dedicated(self):
+        shared = overall_runtime_hours(1, EXECUTION_MODELS["sequential+shared"])
+        dedicated = overall_runtime_hours(
+            1, EXECUTION_MODELS["sequential+dedicated"]
+        )
+        assert shared > dedicated
+
+    def test_batching_amortises_cloud_latency(self):
+        """Fig. 18: with batching, FQ(m=10)'s 512 circuits pay the cloud
+        latency once per iteration, not 512 times."""
+        sequential = overall_runtime_hours(512, EXECUTION_MODELS["sequential+shared"])
+        batched = overall_runtime_hours(512, EXECUTION_MODELS["batched+shared"])
+        # 512 jobs/iteration collapse to 1; the remaining gap is trial time.
+        assert batched < sequential / 10
+
+    def test_baseline_paper_scale(self):
+        """Baseline on sequential+shared: ~1000 iterations x 30 min latency
+        => order 500 hours; sanity-check the magnitude."""
+        hours = overall_runtime_hours(1, EXECUTION_MODELS["sequential+shared"])
+        assert 400 < hours < 1000
+
+    def test_dedicated_batched_dominated_by_trials(self):
+        timing = WorkloadTiming()
+        hours = overall_runtime_hours(1, EXECUTION_MODELS["batched+dedicated"], timing)
+        trial_hours = timing.iterations * timing.trials * timing.trial_seconds / 3600
+        assert hours == pytest.approx(
+            trial_hours
+            + (timing.compile_seconds
+               + timing.iterations * timing.optimizer_seconds_per_iteration
+               + timing.postprocess_seconds) / 3600,
+            rel=1e-9,
+        )
+
+    def test_invalid_circuit_count(self):
+        with pytest.raises(ReproError):
+            overall_runtime_hours(0, EXECUTION_MODELS["batched+shared"])
+
+
+class TestMetrics:
+    def test_improvement_factor(self):
+        assert improvement_factor(80.0, 10.0) == 8.0
+
+    def test_improvement_factor_guards(self):
+        with pytest.raises(ReproError):
+            improvement_factor(1.0, 0.0)
+        with pytest.raises(ReproError):
+            improvement_factor(-1.0, 1.0)
+
+    def test_geometric_mean(self):
+        assert geometric_mean([2.0, 8.0]) == pytest.approx(4.0)
+        assert geometric_mean([5.0]) == pytest.approx(5.0)
+
+    def test_geometric_mean_guards(self):
+        with pytest.raises(ReproError):
+            geometric_mean([])
+        with pytest.raises(ReproError):
+            geometric_mean([1.0, 0.0])
+
+    def test_relative_series(self):
+        assert relative_series([10.0, 5.0], 10.0) == [1.0, 0.5]
+        with pytest.raises(ReproError):
+            relative_series([1.0], 0.0)
+
+
+class TestTradeoff:
+    def test_curve_structure(self):
+        curve = tradeoff_curve([100.0, 50.0, 30.0, 28.0])
+        assert [p.quantum_cost for p in curve] == [1, 2, 4, 8]
+        assert curve[0].relative_value == 1.0
+        assert curve[2].relative_value == pytest.approx(0.3)
+
+    def test_curve_guards(self):
+        with pytest.raises(ReproError):
+            tradeoff_curve([])
+        with pytest.raises(ReproError):
+            tradeoff_curve([0.0, 1.0])
+
+    def test_plateau_detection(self):
+        """Marginal gains below threshold after m=2 => knee at 2."""
+        curve = tradeoff_curve([100.0, 60.0, 40.0, 39.5, 39.2])
+        assert detect_plateau(curve, threshold=0.05) == 2
+
+    def test_plateau_no_gain(self):
+        curve = tradeoff_curve([100.0, 100.0, 100.0])
+        assert detect_plateau(curve) == 0
+
+    def test_plateau_threshold_guard(self):
+        with pytest.raises(ReproError):
+            detect_plateau([], threshold=-0.1)

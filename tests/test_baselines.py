@@ -1,0 +1,155 @@
+"""Tests for repro.baselines: plain QAOA, cutting comparators, classical."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import (
+    BaselineQAOA,
+    cutqc_cost_model,
+    edge_cut_solve,
+    find_edge_cut,
+    solve_classically,
+)
+from repro.baselines.classical import greedy_descent
+from repro.baselines.cutqc import frozenqubits_cost_model
+from repro.core import SolverConfig
+from repro.devices import get_backend
+from repro.exceptions import CutError, SolverError
+from repro.graphs.generators import barabasi_albert_graph, ring_graph, star_graph
+from repro.ising import IsingHamiltonian, brute_force_minimum
+
+FAST = SolverConfig(shots=1024, grid_resolution=8, maxiter=30)
+
+
+class TestBaselineQAOA:
+    def test_ideal_run_reaches_optimum_region(self, small_ba_hamiltonian):
+        result = BaselineQAOA(config=FAST, seed=0).solve(small_ba_hamiltonian)
+        exact = brute_force_minimum(small_ba_hamiltonian).value
+        assert result.best_value == pytest.approx(exact)
+        assert result.cx_count == 0  # no device => no compilation metrics
+
+    def test_device_run_reports_metrics(self, small_ba_hamiltonian):
+        result = BaselineQAOA(config=FAST, seed=1).solve(
+            small_ba_hamiltonian, device=get_backend("montreal")
+        )
+        assert result.cx_count > 0
+        assert result.depth > 0
+        assert result.arg > 0.0
+        assert result.ev_noisy != result.ev_ideal
+
+    def test_deterministic_by_seed(self, small_ba_hamiltonian):
+        a = BaselineQAOA(config=FAST, seed=5).solve(small_ba_hamiltonian)
+        b = BaselineQAOA(config=FAST, seed=5).solve(small_ba_hamiltonian)
+        assert a.best_spins == b.best_spins
+        assert a.ev_ideal == pytest.approx(b.ev_ideal)
+
+
+class TestCutCostModels:
+    def test_cutqc_exponential_in_cuts(self):
+        a = cutqc_cost_model(20, 2)
+        b = cutqc_cost_model(20, 4)
+        assert b.num_subcircuit_runs == 16 * a.num_subcircuit_runs // 16 * 16 // a.num_subcircuit_runs * a.num_subcircuit_runs  # 4^4
+        assert b.num_subcircuit_runs == 256
+        assert b.postprocess_ops > a.postprocess_ops
+
+    def test_cutqc_postprocess_exponential_in_qubits(self):
+        small = cutqc_cost_model(10, 1)
+        large = cutqc_cost_model(20, 1)
+        assert large.postprocess_ops / small.postprocess_ops == pytest.approx(2**10)
+
+    def test_frozenqubits_postprocess_linear(self):
+        small = frozenqubits_cost_model(10, 1)
+        large = frozenqubits_cost_model(20, 1)
+        assert large.postprocess_ops / small.postprocess_ops == pytest.approx(2.0)
+
+    def test_table3_contrast(self):
+        """Table 3: at equal cut counts CutQC needs more runs and
+        exponentially more post-processing."""
+        cutqc = cutqc_cost_model(24, 2)
+        frozen = frozenqubits_cost_model(24, 2)
+        assert frozen.num_subcircuit_runs < cutqc.num_subcircuit_runs
+        assert frozen.postprocess_ops < cutqc.postprocess_ops / 1e3
+
+    def test_negative_cuts_rejected(self):
+        with pytest.raises(CutError):
+            cutqc_cost_model(10, -1)
+
+
+class TestEdgeCutting:
+    def test_ring_cuts_cleanly(self):
+        graph = ring_graph(8)
+        side_a, side_b, cut = find_edge_cut(graph)
+        assert len(side_a) + len(side_b) == 8
+        assert len(cut) == 2  # a ring always splits across two edges
+
+    def test_star_cut_fails_boundary(self):
+        """The paper's point: hotspot graphs admit no small cut that
+        isolates the hub's influence."""
+        graph = star_graph(20)
+        with pytest.raises(CutError):
+            find_edge_cut(graph, max_boundary=3)
+
+    def test_edge_cut_solve_exact_on_ring(self):
+        h = IsingHamiltonian.from_graph(ring_graph(10), weights="random_pm1", seed=3)
+        result = edge_cut_solve(h)
+        assert result.value == pytest.approx(brute_force_minimum(h).value)
+        assert h.evaluate(result.spins) == pytest.approx(result.value)
+
+    def test_edge_cut_postprocessing_exponential_in_boundary(self):
+        h = IsingHamiltonian.from_graph(ring_graph(10), weights="random_pm1", seed=4)
+        result = edge_cut_solve(h)
+        assert result.postprocess_evals == 2**result.boundary_size
+
+    def test_too_small_graph_rejected(self):
+        h = IsingHamiltonian(3, quadratic={(0, 1): 1.0, (1, 2): 1.0})
+        with pytest.raises(CutError):
+            edge_cut_solve(h)
+
+    def test_powerlaw_graph_needs_wide_boundary(self):
+        """BA hotspot graphs force a larger boundary than a ring of equal
+        size — the quantitative Sec.-3.9 contrast."""
+        ba = barabasi_albert_graph(12, 2, seed=5)
+        ring = ring_graph(12)
+        __, __, ring_cut = find_edge_cut(ring, max_boundary=12)
+        __, __, ba_cut = find_edge_cut(ba, max_boundary=12)
+        ring_boundary = {u for u, v in ring_cut} | {v for u, v in ring_cut}
+        ba_boundary = {u for u, v in ba_cut} | {v for u, v in ba_cut}
+        assert len(ba_boundary) > len(ring_boundary)
+
+
+class TestClassical:
+    def test_auto_small_is_exact(self, small_ba_hamiltonian):
+        result = solve_classically(small_ba_hamiltonian)
+        assert result.exact
+        assert result.method == "exact"
+        assert result.value == pytest.approx(
+            brute_force_minimum(small_ba_hamiltonian).value
+        )
+
+    def test_auto_large_uses_annealing(self):
+        graph = barabasi_albert_graph(25, 1, seed=6)
+        h = IsingHamiltonian.from_graph(graph, weights="random_pm1", seed=7)
+        result = solve_classically(h, seed=8)
+        assert result.method == "anneal"
+        assert not result.exact
+        assert h.evaluate(result.spins) == pytest.approx(result.value)
+
+    def test_greedy_reaches_local_minimum(self, small_ba_hamiltonian):
+        result = greedy_descent(small_ba_hamiltonian, seed=9)
+        # 1-opt local minimum: no single flip improves.
+        spins = np.asarray(result.spins, dtype=float)
+        for site in range(len(spins)):
+            flipped = spins.copy()
+            flipped[site] = -flipped[site]
+            assert small_ba_hamiltonian.evaluate_many(flipped[None, :])[0] >= (
+                result.value - 1e-9
+            )
+
+    def test_exact_size_guard(self):
+        h = IsingHamiltonian(27)
+        with pytest.raises(SolverError):
+            solve_classically(h, method="exact")
+
+    def test_unknown_method(self):
+        with pytest.raises(SolverError):
+            solve_classically(IsingHamiltonian(2), method="bogus")

@@ -1,0 +1,271 @@
+"""Tests for repro.circuit: parameters, gates, the circuit container, DAG."""
+
+import numpy as np
+import pytest
+
+from repro.circuit import (
+    Instruction,
+    Parameter,
+    ParameterExpression,
+    QuantumCircuit,
+    circuit_layers,
+    gate_matrix,
+    layered_depth,
+)
+from repro.circuit.gates import num_qubits_of
+from repro.exceptions import CircuitError, ParameterError
+
+
+class TestParameter:
+    def test_identity_semantics(self):
+        a = Parameter("gamma")
+        b = Parameter("gamma")
+        assert a != b
+        assert a == a
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ParameterError):
+            Parameter("")
+
+    def test_scaling_builds_expression(self):
+        gamma = Parameter("g")
+        expr = 2.0 * gamma
+        assert isinstance(expr, ParameterExpression)
+        assert expr.coefficient == 2.0
+        assert expr.bind({gamma: 3.0}) == 6.0
+
+    def test_shift_and_negation(self):
+        gamma = Parameter("g")
+        expr = -(gamma * 2.0) + 1.0
+        assert expr.bind({gamma: 2.0}) == -3.0
+
+    def test_bind_missing_parameter_raises(self):
+        gamma = Parameter("g")
+        other = Parameter("h")
+        with pytest.raises(ParameterError):
+            (2.0 * gamma).bind({other: 1.0})
+
+    def test_with_coefficient(self):
+        gamma = Parameter("g")
+        expr = (3.0 * gamma).with_coefficient(5.0)
+        assert expr.coefficient == 5.0
+        assert expr.parameter is gamma
+
+
+class TestGateMatrices:
+    def test_all_fixed_gates_unitary(self):
+        for name in ("h", "x", "y", "z", "s", "sdg", "sx", "cx", "cz", "swap"):
+            matrix = gate_matrix(name)
+            identity = matrix @ matrix.conj().T
+            assert np.allclose(identity, np.eye(matrix.shape[0])), name
+
+    def test_rotation_gates_unitary(self):
+        for name in ("rz", "rx", "ry", "rzz", "p"):
+            matrix = gate_matrix(name, 0.7)
+            identity = matrix @ matrix.conj().T
+            assert np.allclose(identity, np.eye(matrix.shape[0])), name
+
+    def test_rz_is_diagonal_phase(self):
+        matrix = gate_matrix("rz", np.pi)
+        assert np.allclose(np.abs(np.diag(matrix)), 1.0)
+        assert matrix[0, 1] == 0
+
+    def test_rzz_diagonal_structure(self):
+        theta = 0.9
+        matrix = gate_matrix("rzz", theta)
+        # ZZ eigenvalue +1 states get phase exp(-i theta/2).
+        assert matrix[0, 0] == pytest.approx(np.exp(-1j * theta / 2))
+        assert matrix[1, 1] == pytest.approx(np.exp(1j * theta / 2))
+
+    def test_sx_squares_to_x(self):
+        sx = gate_matrix("sx")
+        assert np.allclose(sx @ sx, gate_matrix("x"))
+
+    def test_unknown_gate_raises(self):
+        with pytest.raises(CircuitError):
+            gate_matrix("bogus")
+
+    def test_missing_angle_raises(self):
+        with pytest.raises(CircuitError):
+            gate_matrix("rz")
+
+    def test_num_qubits_of(self):
+        assert num_qubits_of("h") == 1
+        assert num_qubits_of("cx") == 2
+        assert num_qubits_of("barrier") == -1
+
+
+class TestQuantumCircuit:
+    def test_builders_and_count_ops(self):
+        circuit = QuantumCircuit(3)
+        circuit.h(0)
+        circuit.cx(0, 1)
+        circuit.rzz(0.5, 1, 2)
+        circuit.rx(0.3, 2)
+        circuit.measure_all()
+        assert circuit.count_ops() == {
+            "h": 1, "cx": 1, "rzz": 1, "rx": 1, "measure": 1,
+        }
+        assert circuit.cx_count == 1
+        assert circuit.two_qubit_gate_count == 2
+
+    def test_qubit_out_of_range(self):
+        circuit = QuantumCircuit(2)
+        with pytest.raises(CircuitError):
+            circuit.h(2)
+
+    def test_duplicate_qubits_rejected(self):
+        circuit = QuantumCircuit(2)
+        with pytest.raises(CircuitError):
+            circuit.cx(1, 1)
+
+    def test_wrong_arity_rejected(self):
+        circuit = QuantumCircuit(2)
+        with pytest.raises(CircuitError):
+            circuit.append(Instruction("cx", (0,)))
+
+    def test_angle_required_for_rotations(self):
+        circuit = QuantumCircuit(1)
+        with pytest.raises(CircuitError):
+            circuit.append(Instruction("rz", (0,)))
+
+    def test_angle_forbidden_for_fixed_gates(self):
+        circuit = QuantumCircuit(1)
+        with pytest.raises(CircuitError):
+            circuit.append(Instruction("h", (0,), 0.5))
+
+    def test_depth_serial_vs_parallel(self):
+        serial = QuantumCircuit(1)
+        serial.h(0)
+        serial.x(0)
+        assert serial.depth() == 2
+        parallel = QuantumCircuit(2)
+        parallel.h(0)
+        parallel.h(1)
+        assert parallel.depth() == 1
+
+    def test_depth_barrier_synchronises_without_cost(self):
+        circuit = QuantumCircuit(2)
+        circuit.h(0)
+        circuit.barrier()
+        circuit.x(1)
+        assert circuit.depth() == 2  # x(1) must wait for the barrier front
+
+    def test_depth_measure_toggle(self):
+        circuit = QuantumCircuit(1)
+        circuit.h(0)
+        circuit.measure_all()
+        assert circuit.depth(count_measure=True) == 2
+        assert circuit.depth(count_measure=False) == 1
+
+    def test_parameters_ordering(self):
+        gamma, beta = Parameter("g"), Parameter("b")
+        circuit = QuantumCircuit(1)
+        circuit.rz(gamma * 2.0, 0)
+        circuit.rx(beta * 2.0, 0)
+        circuit.rz(gamma * 4.0, 0)
+        assert circuit.parameters == (gamma, beta)
+        assert circuit.is_parametric
+
+    def test_bind_produces_numeric_copy(self):
+        gamma = Parameter("g")
+        circuit = QuantumCircuit(1)
+        circuit.rz(gamma * 2.0, 0, tag="lin:0")
+        bound = circuit.bind({gamma: 0.5})
+        assert not bound.is_parametric
+        assert bound.instructions[0].angle == 1.0
+        assert bound.instructions[0].tag == "lin:0"
+        assert circuit.is_parametric  # original untouched
+
+    def test_with_edited_angles_preserves_structure(self):
+        gamma = Parameter("g")
+        circuit = QuantumCircuit(2)
+        circuit.rz(gamma * 2.0, 0, tag="lin:0")
+        circuit.cx(0, 1)
+        edited = circuit.with_edited_angles({0: (gamma * 6.0)})
+        assert edited.instructions[0].angle.coefficient == 6.0
+        assert edited.instructions[1].name == "cx"
+        assert circuit.instructions[0].angle.coefficient == 2.0
+
+    def test_with_edited_angles_rejects_non_rotation(self):
+        circuit = QuantumCircuit(2)
+        circuit.cx(0, 1)
+        with pytest.raises(CircuitError):
+            circuit.with_edited_angles({0: 1.0})
+
+    def test_with_edited_angles_rejects_bad_index(self):
+        circuit = QuantumCircuit(1)
+        circuit.rz(1.0, 0)
+        with pytest.raises(CircuitError):
+            circuit.with_edited_angles({5: 1.0})
+
+    def test_remap_qubits(self):
+        circuit = QuantumCircuit(2)
+        circuit.cx(0, 1)
+        remapped = circuit.remap_qubits({0: 3, 1: 1}, num_qubits=4)
+        assert remapped.instructions[0].qubits == (3, 1)
+        assert remapped.num_qubits == 4
+
+    def test_remap_requires_injective(self):
+        circuit = QuantumCircuit(2)
+        circuit.cx(0, 1)
+        with pytest.raises(CircuitError):
+            circuit.remap_qubits({0: 1, 1: 1})
+
+    def test_remap_requires_complete(self):
+        circuit = QuantumCircuit(2)
+        circuit.cx(0, 1)
+        with pytest.raises(CircuitError):
+            circuit.remap_qubits({0: 0})
+
+    def test_compose(self):
+        a = QuantumCircuit(2)
+        a.h(0)
+        b = QuantumCircuit(2)
+        b.cx(0, 1)
+        a.compose(b)
+        assert len(a) == 2
+
+    def test_compose_width_mismatch(self):
+        a = QuantumCircuit(2)
+        b = QuantumCircuit(3)
+        with pytest.raises(CircuitError):
+            a.compose(b)
+
+    def test_copy_is_independent(self):
+        a = QuantumCircuit(1)
+        a.h(0)
+        b = a.copy()
+        b.x(0)
+        assert len(a) == 1
+        assert len(b) == 2
+
+
+class TestDag:
+    def test_layers_partition_all_gates(self):
+        circuit = QuantumCircuit(3)
+        circuit.h(0)
+        circuit.h(1)
+        circuit.cx(0, 1)
+        circuit.h(2)
+        layers = circuit_layers(circuit)
+        total = sum(len(layer) for layer in layers)
+        assert total == 4
+        assert len(layers[0]) == 3  # h(0), h(1), h(2) all start together
+
+    def test_layered_depth_matches_circuit_depth(self):
+        circuit = QuantumCircuit(4)
+        circuit.h(0)
+        circuit.cx(0, 1)
+        circuit.cx(1, 2)
+        circuit.cx(2, 3)
+        circuit.measure_all()
+        assert layered_depth(circuit) == circuit.depth()
+
+    def test_barrier_not_a_layer(self):
+        circuit = QuantumCircuit(2)
+        circuit.h(0)
+        circuit.barrier()
+        circuit.h(1)
+        layers = circuit_layers(circuit)
+        assert all(op.name != "barrier" for layer in layers for op in layer)

@@ -1,0 +1,31 @@
+"""Tests for the `python -m repro.experiments` figure-regeneration CLI."""
+
+import os
+
+from repro.experiments.__main__ import main
+
+
+class TestCli:
+    def test_single_figure_prints_table(self, capsys):
+        assert main(["--only", "fig18"]) == 0
+        out = capsys.readouterr().out
+        assert "fig18_runtime" in out
+        assert "Batched+Shared [IBMQ]" in out
+
+    def test_csv_output(self, tmp_path, capsys):
+        out_dir = str(tmp_path / "csv")
+        assert main(["--only", "fig18", "--csv", out_dir]) == 0
+        files = os.listdir(out_dir)
+        assert files == ["fig18_runtime.csv"]
+        with open(os.path.join(out_dir, files[0])) as handle:
+            header = handle.readline().strip()
+        assert header.startswith("execution_model")
+
+    def test_unknown_prefix_runs_nothing(self, capsys):
+        assert main(["--only", "nonexistent"]) == 0
+        assert capsys.readouterr().out == ""
+
+    def test_table3_included(self, capsys):
+        assert main(["--only", "table3"]) == 0
+        out = capsys.readouterr().out
+        assert "CutQC" in out and "FrozenQubits" in out

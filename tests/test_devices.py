@@ -1,0 +1,192 @@
+"""Tests for repro.devices: coupling maps, topologies, calibrations, backends."""
+
+import numpy as np
+import pytest
+
+from repro.devices import (
+    CouplingMap,
+    Device,
+    DeviceCalibration,
+    get_backend,
+    grid_coupling,
+    grid_device,
+    heavy_hex_coupling,
+    heavy_hex_falcon27,
+    linear_coupling,
+    list_backends,
+    ring_coupling,
+    uniform_calibration,
+)
+from repro.devices.calibration import sampled_calibration
+from repro.exceptions import DeviceError
+
+
+class TestCouplingMap:
+    def test_basic_queries(self):
+        coupling = CouplingMap(3, [(0, 1), (1, 2)])
+        assert coupling.num_qubits == 3
+        assert coupling.num_edges == 2
+        assert coupling.are_adjacent(1, 0)
+        assert not coupling.are_adjacent(0, 2)
+        assert coupling.neighbors(1) == (0, 2)
+        assert coupling.degree(1) == 2
+
+    def test_duplicate_edges_collapse(self):
+        coupling = CouplingMap(2, [(0, 1), (1, 0)])
+        assert coupling.num_edges == 1
+
+    def test_self_coupling_rejected(self):
+        with pytest.raises(DeviceError):
+            CouplingMap(2, [(0, 0)])
+
+    def test_distances_on_line(self):
+        coupling = linear_coupling(5)
+        assert coupling.distance(0, 4) == 4
+        assert coupling.distance(2, 2) == 0
+
+    def test_distance_unreachable_is_minus_one(self):
+        coupling = CouplingMap(4, [(0, 1), (2, 3)])
+        assert coupling.distance(0, 3) == -1
+        assert not coupling.is_connected()
+
+    def test_shortest_path_endpoints_and_contiguity(self):
+        coupling = grid_coupling(3, 3)
+        path = coupling.shortest_path(0, 8)
+        assert path[0] == 0 and path[-1] == 8
+        assert len(path) == coupling.distance(0, 8) + 1
+        for a, b in zip(path, path[1:]):
+            assert coupling.are_adjacent(a, b)
+
+    def test_shortest_path_unreachable_raises(self):
+        coupling = CouplingMap(4, [(0, 1), (2, 3)])
+        with pytest.raises(DeviceError):
+            coupling.shortest_path(0, 2)
+
+    def test_subgraph_retaining_reindexes(self):
+        coupling = linear_coupling(5)
+        sub = coupling.subgraph_retaining([1, 2, 3])
+        assert sub.num_qubits == 3
+        assert sub.num_edges == 2
+        assert sub.are_adjacent(0, 1)
+
+
+class TestTopologies:
+    def test_grid_edge_count(self):
+        coupling = grid_coupling(3, 4)
+        assert coupling.num_qubits == 12
+        assert coupling.num_edges == 3 * 3 + 2 * 4  # horizontal + vertical
+
+    def test_grid_rejects_bad_dims(self):
+        with pytest.raises(DeviceError):
+            grid_coupling(0, 4)
+
+    def test_ring_coupling(self):
+        coupling = ring_coupling(5)
+        assert coupling.num_edges == 5
+        assert all(coupling.degree(q) == 2 for q in range(5))
+
+    def test_falcon27_shape(self):
+        coupling = heavy_hex_falcon27()
+        assert coupling.num_qubits == 27
+        assert coupling.num_edges == 28
+        assert coupling.is_connected()
+        # Heavy-hex: max degree 3.
+        assert max(coupling.degree(q) for q in range(27)) == 3
+
+    def test_heavy_hex_generator_connected(self):
+        coupling = heavy_hex_coupling(num_rows=4, row_length=14)
+        assert coupling.is_connected()
+        assert max(coupling.degree(q) for q in range(coupling.num_qubits)) <= 3
+
+    def test_heavy_hex_trim_exact(self):
+        coupling = heavy_hex_coupling(num_rows=4, row_length=14, trim_to=65)
+        assert coupling.num_qubits == 65
+        assert coupling.is_connected()
+
+    def test_heavy_hex_trim_invalid(self):
+        with pytest.raises(DeviceError):
+            heavy_hex_coupling(num_rows=2, row_length=4, trim_to=1000)
+
+
+class TestCalibration:
+    def test_uniform_calibration_shape(self):
+        coupling = linear_coupling(4)
+        cal = uniform_calibration(coupling, cx_error=0.02)
+        assert cal.num_qubits == 4
+        assert cal.edge_error(1, 0) == 0.02
+        assert cal.mean_cx_error() == pytest.approx(0.02)
+
+    def test_edge_error_unknown_edge(self):
+        cal = uniform_calibration(linear_coupling(3))
+        with pytest.raises(DeviceError):
+            cal.edge_error(0, 2)
+
+    def test_gate_duration_defaults(self):
+        cal = uniform_calibration(linear_coupling(2))
+        assert cal.gate_duration("cx") == 400.0
+        assert cal.gate_duration("rz") == 0.0
+        assert cal.gate_duration("unknown") == 0.0
+
+    def test_sampled_calibration_in_bounds(self):
+        coupling = heavy_hex_falcon27()
+        cal = sampled_calibration(coupling, seed=0)
+        assert all(2e-3 <= e <= 0.12 for e in cal.cx_error.values())
+        assert all(3e-3 <= e <= 0.2 for e in cal.readout_error)
+        assert all(20.0 <= t <= 350.0 for t in cal.t1_us)
+
+    def test_sampled_calibration_deterministic(self):
+        coupling = linear_coupling(5)
+        a = sampled_calibration(coupling, seed=3)
+        b = sampled_calibration(coupling, seed=3)
+        assert a.cx_error == b.cx_error
+
+    def test_device_rejects_mismatched_calibration(self):
+        coupling = linear_coupling(3)
+        cal = uniform_calibration(linear_coupling(4))
+        with pytest.raises(DeviceError):
+            Device(name="bad", coupling=coupling, calibration=cal)
+
+
+class TestBackends:
+    def test_all_backends_materialise(self):
+        expected = {
+            "ibm_montreal": 27, "ibm_toronto": 27, "ibm_mumbai": 27,
+            "ibm_auckland": 27, "ibm_hanoi": 27, "ibm_cairo": 27,
+            "ibm_brooklyn": 65, "ibm_washington": 127,
+        }
+        assert set(list_backends()) == set(expected)
+        for name, qubits in expected.items():
+            device = get_backend(name)
+            assert device.num_qubits == qubits
+            assert device.coupling.is_connected()
+
+    def test_short_names_accepted(self):
+        assert get_backend("montreal").name == "ibm_montreal"
+
+    def test_unknown_backend_raises(self):
+        with pytest.raises(DeviceError):
+            get_backend("ibm_nowhere")
+
+    def test_backends_have_distinct_noise_profiles(self):
+        """Fig. 13 depends on machine-to-machine variation."""
+        errors = {
+            name: get_backend(name).calibration.mean_cx_error()
+            for name in list_backends()
+        }
+        assert len({round(e, 6) for e in errors.values()}) > 4
+
+    def test_backend_cached(self):
+        assert get_backend("cairo") is get_backend("cairo")
+
+    def test_grid_device_defaults_match_paper(self):
+        device = grid_device(5, 5)
+        cal = device.calibration
+        assert cal.edge_error(0, 1) == 0.001  # 0.1% CX (Sec. 6.3)
+        assert cal.readout_error[0] == 0.005  # 0.5% readout
+        assert cal.t1_us[0] == 500.0  # 500 us decoherence
+
+    def test_best_edges_sorted(self):
+        device = get_backend("mumbai")
+        edges = device.best_edges()
+        errors = [device.calibration.edge_error(*e) for e in edges]
+        assert errors == sorted(errors)

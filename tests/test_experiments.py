@@ -1,0 +1,175 @@
+"""Tests for repro.experiments: workloads, figure builders, reporting.
+
+Figure builders run at reduced scale here; the assertions target the
+*shape* of each paper result (who wins, direction of trends), which is the
+reproduction contract.
+"""
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ReproError
+from repro.experiments import ba_suite, regular_suite, render_table, rows_to_csv, sk_suite
+from repro.experiments import figures
+from repro.experiments.tables import TABLE1_DOMAINS, table3_comparison
+
+
+class TestWorkloads:
+    def test_ba_suite_structure(self):
+        suite = ba_suite(sizes=(6, 10), trials=2, seed=0)
+        assert len(suite) == 4
+        assert {w.num_qubits for w in suite} == {6, 10}
+        for w in suite:
+            assert w.hamiltonian.has_zero_linear()
+            assert all(abs(j) == 1.0 for j in w.hamiltonian.quadratic.values())
+
+    def test_suites_deterministic(self):
+        a = ba_suite(sizes=(8,), trials=2, seed=3)
+        b = ba_suite(sizes=(8,), trials=2, seed=3)
+        assert a[0].hamiltonian == b[0].hamiltonian
+
+    def test_distinct_trials_differ(self):
+        suite = ba_suite(sizes=(10,), trials=2, seed=4)
+        assert suite[0].hamiltonian != suite[1].hamiltonian
+
+    def test_regular_suite_validates_sizes(self):
+        with pytest.raises(ReproError):
+            regular_suite(sizes=(5,))
+
+    def test_sk_suite_complete_graphs(self):
+        suite = sk_suite(sizes=(5,), trials=1)
+        w = suite[0]
+        assert w.hamiltonian.num_terms == 10
+
+    def test_trials_guard(self):
+        with pytest.raises(ReproError):
+            ba_suite(trials=0)
+
+
+class TestReporting:
+    def test_render_table_alignment(self):
+        rows = [{"a": 1, "bb": 0.5}, {"a": 22, "bb": 1.25e-7}]
+        text = render_table(rows, title="demo")
+        lines = text.splitlines()
+        assert lines[0] == "demo"
+        assert "a" in lines[1] and "bb" in lines[1]
+        assert len(lines) == 5
+
+    def test_render_table_column_selection(self):
+        rows = [{"a": 1, "b": 2}]
+        text = render_table(rows, columns=["b"])
+        assert "a" not in text.splitlines()[0]
+
+    def test_render_table_guards(self):
+        with pytest.raises(ReproError):
+            render_table([])
+        with pytest.raises(ReproError):
+            render_table([{"a": 1}], columns=["zz"])
+
+    def test_csv_roundtrip(self, tmp_path):
+        rows = [{"x": 1, "y": 2.5}, {"x": 3, "y": 4.5}]
+        path = str(tmp_path / "rows.csv")
+        rows_to_csv(rows, path)
+        with open(path) as handle:
+            content = handle.read().strip().splitlines()
+        assert content[0] == "x,y"
+        assert len(content) == 3
+
+
+class TestFigureBuilders:
+    def test_fig01_hotspot_ratio_near_ten(self):
+        rows = figures.figure_01_powerlaw(num_airports=300, seed=1)
+        assert 5.0 <= rows[0]["top10_over_mean"] <= 15.0
+
+    def test_fig03_blowup_increases(self):
+        rows = figures.figure_03_swap_blowup(sizes=(4, 8, 12))
+        blowups = [row["blowup"] for row in rows]
+        assert blowups[-1] > blowups[0]
+        assert all(row["post_cx"] >= row["pre_cx"] for row in rows)
+
+    def test_fig07_fq_reduces_cx_and_depth(self):
+        rows = figures.figure_07_cnot_depth(sizes=(8, 12), trials=2, seed=2)
+        for row in rows:
+            assert row["fq1_cx"] < row["baseline_cx"]
+            assert row["fq2_cx"] <= row["fq1_cx"]
+            assert row["fq1_depth"] < row["baseline_depth"]
+
+    def test_fig08_fq_improves_arg(self):
+        rows = figures.figure_08_arg_powerlaw(sizes=(8, 12), trials=2, seed=3)
+        for row in rows:
+            assert row["fq1_arg"] < row["baseline_arg"]
+            assert row["fq2_arg"] < row["baseline_arg"]
+
+    def test_fig09_tradeoff_monotone_cost(self):
+        rows = figures.figure_09_tradeoff(
+            num_qubits=10, max_frozen=3, attachments=(1,), seed=4
+        )
+        costs = [row["quantum_cost"] for row in rows]
+        assert costs == sorted(costs)
+        assert rows[0]["relative_arg"] == pytest.approx(1.0)
+        assert rows[-1]["relative_cx"] < 1.0
+
+    def test_fig12_fq_landscape_sharper(self):
+        rows = figures.figure_12_landscape(num_qubits=10, resolution=10, seed=5)
+        by_label = {row["which"]: row for row in rows}
+        assert by_label["fq1"]["ar_contrast"] > by_label["baseline"]["ar_contrast"]
+        assert by_label["fq1"]["fidelity"] > by_label["baseline"]["fidelity"]
+
+    def test_fig14_swap_reduction_dominates(self):
+        rows = figures.figure_14_cnot_reduction(num_qubits=60, max_frozen=4, seed=6)
+        assert len(rows) == 4
+        total = [row["total_reduction_frac"] for row in rows]
+        assert all(b >= a - 0.02 for a, b in zip(total, total[1:]))
+        # Sec. 6.1: most of the reduction comes from SWAP elimination.
+        assert rows[-1]["swap_share_of_reduction"] > 0.5
+
+    def test_fig15_relative_metrics_decrease(self):
+        rows = figures.figure_15_relative_cx_depth(
+            num_qubits=50, max_frozen=4, attachments=(1,), seed=7
+        )
+        cx = [row["relative_cx"] for row in rows]
+        assert cx[-1] < 1.0
+        assert cx[-1] <= cx[0] + 1e-9
+
+    def test_fig16_eps_improves_with_m(self):
+        rows = figures.figure_16_eps(
+            num_qubits=50, max_frozen=4, attachments=(1,), seed=8
+        )
+        eps_log = [row["relative_eps_log10"] for row in rows]
+        assert all(v >= -1e-9 for v in eps_log)
+        assert eps_log[-1] > eps_log[0]
+
+    def test_fig17_editing_cheaper_than_compiling(self):
+        rows = figures.figure_17_compile_time(num_qubits=50, max_frozen=3, seed=9)
+        for row in rows:
+            assert row["relative_compile_time"] < 1.5
+            assert row["edit_relative_parallel"] < row["relative_compile_time"]
+
+    def test_fig18_runtime_ordering(self):
+        rows = figures.figure_18_runtime()
+        assert len(rows) == 4
+        by_model = {row["execution_model"]: row for row in rows}
+        batched = by_model["Batched+Shared [IBMQ]"]
+        sequential = by_model["Sequential+Shared [Azure]"]
+        # Batching keeps FQ(m=10) within a small factor of the baseline...
+        assert batched["fq10_h"] < 20 * batched["baseline_h"]
+        # ...while sequential access makes it far slower.
+        assert sequential["fq10_h"] > 50 * sequential["baseline_h"]
+        # m=1 with pruning costs no extra circuits at all.
+        assert batched["fq1_h"] == pytest.approx(batched["baseline_h"])
+
+
+class TestTables:
+    def test_table1_has_all_domains(self):
+        domains = {row["domain"] for row in TABLE1_DOMAINS}
+        assert domains == {"Transportation", "Biology", "Finance and Economics"}
+        assert len(TABLE1_DOMAINS) == 6
+
+    def test_table3_contrast(self):
+        rows = table3_comparison(num_qubits=24, cuts=2)
+        cutqc, frozen = rows
+        assert cutqc["design"] == "CutQC"
+        assert frozen["subcircuit_runs"] < cutqc["subcircuit_runs"]
+        assert frozen["postprocess_ops"] < cutqc["postprocess_ops"]

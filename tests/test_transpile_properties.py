@@ -1,0 +1,116 @@
+"""Property-based tests of transpiler semantic preservation.
+
+The strongest correctness evidence for the compilation stack: for random
+circuits routed onto random connected devices, the measurement
+distribution — read back through the final layout — must exactly match the
+unconstrained logical execution. This subsumes unit checks of layout
+bookkeeping, SWAP insertion, decomposition and cleanup passes in one
+invariant.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.circuit import QuantumCircuit
+from repro.devices import CouplingMap, Device, uniform_calibration
+from repro.devices.topologies import grid_coupling, linear_coupling, ring_coupling
+from repro.sim.statevector import probabilities
+from repro.transpile import TranspileOptions, transpile
+
+
+@st.composite
+def random_logical_circuit(draw):
+    """A random 3-5 qubit circuit over the QAOA-relevant gate set."""
+    n = draw(st.integers(min_value=3, max_value=5))
+    circuit = QuantumCircuit(n)
+    num_ops = draw(st.integers(min_value=1, max_value=12))
+    for __ in range(num_ops):
+        kind = draw(st.sampled_from(("h", "rz", "rx", "cx", "rzz")))
+        q = draw(st.integers(min_value=0, max_value=n - 1))
+        if kind == "h":
+            circuit.h(q)
+        elif kind == "rz":
+            circuit.rz(draw(st.floats(-3, 3, allow_nan=False)), q)
+        elif kind == "rx":
+            circuit.rx(draw(st.floats(-3, 3, allow_nan=False)), q)
+        else:
+            p = draw(
+                st.integers(min_value=0, max_value=n - 1).filter(lambda x: x != q)
+            )
+            if kind == "cx":
+                circuit.cx(q, p)
+            else:
+                circuit.rzz(draw(st.floats(-3, 3, allow_nan=False)), q, p)
+    return circuit
+
+
+@st.composite
+def random_device(draw):
+    """A random small connected device: line, ring, or grid."""
+    shape = draw(st.sampled_from(("line", "ring", "grid")))
+    if shape == "line":
+        coupling = linear_coupling(draw(st.integers(min_value=5, max_value=7)))
+    elif shape == "ring":
+        coupling = ring_coupling(draw(st.integers(min_value=5, max_value=7)))
+    else:
+        coupling = grid_coupling(2, draw(st.integers(min_value=3, max_value=4)))
+    return Device("random", coupling, uniform_calibration(coupling))
+
+
+def logical_distribution_through_layout(compiled, num_logical: int) -> np.ndarray:
+    """Physical outcome distribution folded back to logical qubits."""
+    physical = probabilities(compiled.circuit)
+    wires = compiled.measured_physical_qubits()
+    logical = np.zeros(1 << num_logical)
+    for outcome, probability in enumerate(physical):
+        if probability == 0.0:
+            continue
+        key = 0
+        for q, wire in enumerate(wires):
+            key |= ((outcome >> wire) & 1) << q
+        logical[key] += probability
+    return logical
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    circuit=random_logical_circuit(),
+    device=random_device(),
+    layout_method=st.sampled_from(("trivial", "degree", "noise")),
+    lookahead=st.booleans(),
+    optimize=st.booleans(),
+)
+def test_routing_preserves_distribution(
+    circuit, device, layout_method, lookahead, optimize
+):
+    """Transpiled execution == logical execution, for every option combo."""
+    options = TranspileOptions(
+        layout_method=layout_method, lookahead=lookahead, optimize=optimize
+    )
+    compiled = transpile(circuit, device, options)
+    expected = probabilities(circuit)
+    actual = logical_distribution_through_layout(compiled, circuit.num_qubits)
+    assert np.allclose(actual, expected, atol=1e-9)
+
+
+@settings(max_examples=15, deadline=None)
+@given(circuit=random_logical_circuit(), device=random_device())
+def test_hardware_basis_preserves_distribution(circuit, device):
+    """Full lowering to {rz, sx, x, cx} keeps the distribution too."""
+    compiled = transpile(circuit, device, TranspileOptions(basis="hardware"))
+    names = set(compiled.circuit.count_ops())
+    assert names <= {"rz", "sx", "x", "cx", "measure", "barrier"}
+    expected = probabilities(circuit)
+    actual = logical_distribution_through_layout(compiled, circuit.num_qubits)
+    assert np.allclose(actual, expected, atol=1e-9)
+
+
+@settings(max_examples=20, deadline=None)
+@given(circuit=random_logical_circuit(), device=random_device())
+def test_all_two_qubit_gates_respect_coupling(circuit, device):
+    """Every 2q gate in the compiled circuit acts on physically coupled wires."""
+    compiled = transpile(circuit, device)
+    for op in compiled.circuit:
+        if op.is_two_qubit:
+            assert device.coupling.are_adjacent(*op.qubits)

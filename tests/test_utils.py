@@ -1,0 +1,134 @@
+"""Tests for repro.utils: bitstring codecs, RNG plumbing, validation."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.utils.bitstrings import (
+    bits_to_int,
+    bits_to_spins,
+    flip_all,
+    int_to_bits,
+    spins_to_bits,
+    spins_to_string,
+    string_to_spins,
+)
+from repro.utils.rng import ensure_rng, spawn_seeds
+from repro.utils.validation import (
+    check_index,
+    check_non_negative,
+    check_positive,
+    check_probability,
+)
+
+
+class TestIntBits:
+    def test_int_to_bits_lsb_first(self):
+        assert int_to_bits(6, 4) == (0, 1, 1, 0)
+
+    def test_zero_width(self):
+        assert int_to_bits(0, 0) == ()
+
+    def test_value_too_large_rejected(self):
+        with pytest.raises(ValueError):
+            int_to_bits(8, 3)
+
+    def test_negative_value_rejected(self):
+        with pytest.raises(ValueError):
+            int_to_bits(-1, 3)
+
+    def test_negative_width_rejected(self):
+        with pytest.raises(ValueError):
+            int_to_bits(0, -1)
+
+    def test_bits_to_int_inverse(self):
+        assert bits_to_int((0, 1, 1, 0)) == 6
+
+    def test_bits_to_int_rejects_non_bits(self):
+        with pytest.raises(ValueError):
+            bits_to_int((0, 2))
+
+    @given(st.integers(min_value=0, max_value=2**16 - 1))
+    def test_roundtrip(self, value):
+        assert bits_to_int(int_to_bits(value, 16)) == value
+
+
+class TestSpinCodecs:
+    def test_bits_to_spins_convention(self):
+        # |0> measures +1, |1> measures -1 (paper Sec. 2.1).
+        assert bits_to_spins((0, 1)) == (1, -1)
+
+    def test_spins_to_bits_inverse(self):
+        assert spins_to_bits((1, -1)) == (0, 1)
+
+    def test_invalid_bit_rejected(self):
+        with pytest.raises(ValueError):
+            bits_to_spins((0, 3))
+
+    def test_invalid_spin_rejected(self):
+        with pytest.raises(ValueError):
+            spins_to_bits((1, 0))
+
+    def test_flip_all(self):
+        assert flip_all((1, -1, 1)) == (-1, 1, -1)
+
+    def test_string_roundtrip(self):
+        spins = (1, -1, -1, 1)
+        assert string_to_spins(spins_to_string(spins)) == spins
+
+    def test_string_rejects_garbage(self):
+        with pytest.raises(ValueError):
+            string_to_spins("+x")
+
+    def test_spins_to_string_rejects_bad_spin(self):
+        with pytest.raises(ValueError):
+            spins_to_string((1, 2))
+
+    @given(st.lists(st.sampled_from((0, 1)), max_size=12))
+    def test_bits_spins_roundtrip(self, bits):
+        assert list(spins_to_bits(bits_to_spins(bits))) == bits
+
+
+class TestRng:
+    def test_ensure_rng_from_int_deterministic(self):
+        a = ensure_rng(5).integers(0, 1000, 10)
+        b = ensure_rng(5).integers(0, 1000, 10)
+        assert np.array_equal(a, b)
+
+    def test_ensure_rng_passthrough(self):
+        gen = np.random.default_rng(0)
+        assert ensure_rng(gen) is gen
+
+    def test_ensure_rng_none_gives_generator(self):
+        assert isinstance(ensure_rng(None), np.random.Generator)
+
+    def test_spawn_seeds_deterministic_and_distinct(self):
+        seeds = spawn_seeds(9, 16)
+        assert seeds == spawn_seeds(9, 16)
+        assert len(set(seeds)) > 1
+
+    def test_spawn_seeds_count(self):
+        assert len(spawn_seeds(0, 7)) == 7
+
+
+class TestValidation:
+    def test_check_positive(self):
+        check_positive("x", 1.0)
+        with pytest.raises(ValueError, match="x"):
+            check_positive("x", 0.0)
+
+    def test_check_non_negative(self):
+        check_non_negative("x", 0.0)
+        with pytest.raises(ValueError):
+            check_non_negative("x", -1e-9)
+
+    def test_check_probability(self):
+        check_probability("p", 0.0)
+        check_probability("p", 1.0)
+        with pytest.raises(ValueError):
+            check_probability("p", 1.2)
+
+    def test_check_index(self):
+        check_index("i", 2, 3)
+        with pytest.raises(IndexError):
+            check_index("i", 3, 3)
