@@ -6,11 +6,8 @@ edge-cutting comparator shows the boundary blow-up concretely on power-law
 graphs.
 """
 
-import pytest
-
 from benchmarks.conftest import scale
 from repro.baselines import edge_cut_solve, find_edge_cut
-from repro.exceptions import CutError
 from repro.experiments import render_table
 from repro.experiments.tables import table3_comparison
 from repro.graphs.generators import barabasi_albert_graph, ring_graph

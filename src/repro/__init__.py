@@ -21,10 +21,18 @@ See DESIGN.md for the system inventory and EXPERIMENTS.md for the
 paper-vs-measured record.
 """
 
+from repro.backend import (
+    BatchedStatevectorBackend,
+    ExecutionBackend,
+    ProcessPoolBackend,
+    SerialBackend,
+    set_default_backend,
+)
 from repro.baselines import BaselineQAOA
 from repro.circuit import Parameter, QuantumCircuit
 from repro.core import (
     FrozenQubitsResult,
+    solve_many,
     FrozenQubitsSolver,
     SolverConfig,
     recommend_num_frozen,
@@ -56,13 +64,17 @@ __version__ = "1.0.0"
 
 __all__ = [
     "BaselineQAOA",
+    "BatchedStatevectorBackend",
     "Device",
+    "ExecutionBackend",
     "FrozenQubitsResult",
     "FrozenQubitsSolver",
     "IsingHamiltonian",
     "Parameter",
     "ProblemGraph",
+    "ProcessPoolBackend",
     "QuantumCircuit",
+    "SerialBackend",
     "SolverConfig",
     "TranspileOptions",
     "approximation_ratio",
@@ -78,8 +90,10 @@ __all__ = [
     "qaoa1_expectation",
     "recommend_num_frozen",
     "select_hotspots",
+    "set_default_backend",
     "simulated_annealing",
     "sk_graph",
+    "solve_many",
     "three_regular_graph",
     "transpile",
 ]

@@ -1,0 +1,137 @@
+"""Execution-backend contract: job descriptions and the backend interface.
+
+FrozenQubits turns one problem into ``2**m`` *independent* sub-problems
+(paper Sec. 3.3) — an embarrassingly parallel fan-out that the solver
+expresses as a list of :class:`JobSpec`. An :class:`ExecutionBackend`
+decides how the jobs actually run: one at a time (serial), across worker
+processes, or with their circuit simulations stacked into vectorized
+batches. Results come back as :class:`JobResult`, in job order, regardless
+of how the backend scheduled the work.
+
+Determinism contract: a job's entire stochastic behaviour is governed by
+``spec.seed``. Backends MUST run every job with exactly
+``ensure_rng(spec.seed)`` and MUST NOT share generator state across jobs —
+that is what makes ``SerialBackend`` and ``ProcessPoolBackend`` produce
+bit-identical results from the same solver seed.
+"""
+
+from __future__ import annotations
+
+import time
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from collections.abc import Sequence
+
+from repro.core.solver import (
+    QAOARunResult,
+    SolverConfig,
+    TrainedInstance,
+    finish_qaoa_instance,
+    train_qaoa_instance,
+)
+from repro.devices.device import Device
+from repro.ising.hamiltonian import IsingHamiltonian
+from repro.qaoa.executor import NoiseProfile, make_context
+from repro.transpile.compiler import TranspiledCircuit
+
+
+@dataclass
+class JobSpec:
+    """Everything needed to train + execute one QAOA instance, self-contained.
+
+    Specs are the unit of fan-out: picklable (so they can cross process
+    boundaries) and independent (each carries its own child seed and its
+    own template copy — never a reference shared with a sibling job).
+
+    Attributes:
+        job_id: Unique id within a submission; results echo it back.
+        hamiltonian: The instance (sub-)Hamiltonian.
+        config: Runner knobs.
+        seed: Integer child seed for this job's private RNG stream
+            (``None`` => fresh OS entropy; not reproducible).
+        device: Target device; enables the noisy path. Ignored for context
+            construction when ``transpiled`` is given.
+        transpiled: This job's own (possibly angle-edited) compiled
+            template; skips recompilation per Sec. 3.7.1.
+        noise_profile: Pre-computed noise constants of ``transpiled``
+            (angle-independent, so siblings share the master's); skips the
+            per-job pass over the compiled circuit.
+        params: Pre-trained ``(gammas, betas)``; skips optimization (the
+            re-execution workflow: train once, sample many).
+    """
+
+    job_id: str
+    hamiltonian: IsingHamiltonian
+    config: SolverConfig
+    seed: "int | None" = None
+    device: "Device | None" = None
+    transpiled: "TranspiledCircuit | None" = None
+    noise_profile: "NoiseProfile | None" = None
+    params: "tuple[tuple[float, ...], tuple[float, ...]] | None" = None
+
+
+@dataclass
+class JobResult:
+    """One executed job: the run plus scheduling bookkeeping.
+
+    Attributes:
+        job_id: Echo of the spec's id.
+        run: The trained-and-sampled QAOA outcome.
+        elapsed_seconds: Wall-clock spent on this job (in whatever worker
+            ran it; overlapping jobs can sum to more than the submission's
+            wall-clock).
+    """
+
+    job_id: str
+    run: QAOARunResult
+    elapsed_seconds: float
+
+
+def train_job(spec: JobSpec) -> TrainedInstance:
+    """Stage 1 of a job: context construction + parameter training."""
+    context = None
+    if spec.transpiled is not None:
+        context = make_context(
+            spec.hamiltonian,
+            num_layers=spec.config.num_layers,
+            transpiled=spec.transpiled,
+            noise_profile=spec.noise_profile,
+        )
+    return train_qaoa_instance(
+        spec.hamiltonian,
+        device=spec.device,
+        config=spec.config,
+        seed=spec.seed,
+        context=context,
+        params=spec.params,
+    )
+
+
+def execute_job(spec: JobSpec) -> JobResult:
+    """Run one job start to finish (module-level, so workers can pickle it)."""
+    started = time.perf_counter()
+    run = finish_qaoa_instance(train_job(spec))
+    return JobResult(
+        job_id=spec.job_id,
+        run=run,
+        elapsed_seconds=time.perf_counter() - started,
+    )
+
+
+class ExecutionBackend(ABC):
+    """How a batch of independent QAOA jobs gets executed.
+
+    Implementations must return results **in job order** and honour the
+    per-job seed contract in the module docstring. Backends are stateless
+    between ``run`` calls and safe to reuse.
+    """
+
+    #: Registry name; see :func:`repro.backend.resolve_backend`.
+    name: str = "abstract"
+
+    @abstractmethod
+    def run(self, jobs: Sequence[JobSpec]) -> list[JobResult]:
+        """Execute every job and return their results in job order."""
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}()"

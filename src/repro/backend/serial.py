@@ -1,0 +1,22 @@
+"""The default backend: one job at a time, in order, in-process.
+
+This is the reference semantics every other backend is measured against —
+``ProcessPoolBackend`` must match it bit-for-bit, ``BatchedStatevectorBackend``
+up to floating-point reassociation in the stacked simulator.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from repro.backend.base import ExecutionBackend, JobResult, JobSpec, execute_job
+
+
+class SerialBackend(ExecutionBackend):
+    """Execute jobs sequentially in the calling process."""
+
+    name = "serial"
+
+    def run(self, jobs: Sequence[JobSpec]) -> list[JobResult]:
+        """Execute every job in submission order."""
+        return [execute_job(spec) for spec in jobs]

@@ -10,6 +10,7 @@ of every comparison use identical machinery.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 import numpy as np
 
@@ -17,6 +18,9 @@ from repro.core.solver import QAOARunResult, SolverConfig, run_qaoa_instance
 from repro.devices.device import Device
 from repro.ising.hamiltonian import IsingHamiltonian
 from repro.qaoa.objective import approximation_ratio_gap
+
+if TYPE_CHECKING:
+    from repro.backend.base import ExecutionBackend
 
 
 @dataclass
@@ -66,11 +70,41 @@ class BaselineQAOA:
         self,
         hamiltonian: IsingHamiltonian,
         device: "Device | None" = None,
+        backend: "ExecutionBackend | str | None" = None,
     ) -> BaselineResult:
-        """Train and execute the full-problem QAOA circuit."""
-        run = run_qaoa_instance(
-            hamiltonian, device=device, config=self._config, seed=self._seed
-        )
+        """Train and execute the full-problem QAOA circuit.
+
+        Args:
+            hamiltonian: The full problem.
+            device: Optional device model.
+            backend: Execution backend for the single-job run; ``None``
+                uses the session default (serial unless overridden via
+                :func:`repro.backend.set_default_backend`).
+        """
+        from repro.backend import JobSpec, SerialBackend, resolve_backend
+        from repro.utils.rng import spawn_seeds
+
+        resolved = resolve_backend(backend)
+        if isinstance(resolved, SerialBackend):
+            # The direct path is bit-identical to SerialBackend for plain
+            # seeds and additionally preserves shared-Generator semantics.
+            run = run_qaoa_instance(
+                hamiltonian, device=device, config=self._config, seed=self._seed
+            )
+        else:
+            seed = self._seed
+            if isinstance(seed, np.random.Generator):
+                # Generators don't cross process boundaries; derive a
+                # child seed.
+                seed = spawn_seeds(seed, 1)[0]
+            job = JobSpec(
+                job_id="baseline",
+                hamiltonian=hamiltonian,
+                config=self._config,
+                seed=seed,
+                device=device,
+            )
+            run = resolved.run([job])[0].run
         transpiled = run.context.transpiled
         arg = (
             approximation_ratio_gap(run.ev_ideal, run.ev_noisy)

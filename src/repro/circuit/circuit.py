@@ -9,7 +9,7 @@ as-soon-as-possible convention (barriers synchronise, measures count).
 
 from __future__ import annotations
 
-from collections.abc import Iterable, Mapping, Sequence
+from collections.abc import Mapping
 from dataclasses import dataclass
 
 from repro.circuit.gates import (
@@ -19,7 +19,7 @@ from repro.circuit.gates import (
     gate_matrix,
 )
 from repro.circuit.parameter import Parameter, ParameterExpression, resolve_angle
-from repro.exceptions import CircuitError, ParameterError
+from repro.exceptions import CircuitError
 
 
 @dataclass(frozen=True)

@@ -43,6 +43,11 @@ TWO_QUBIT_GATES: frozenset[str] = frozenset({"cx", "cz", "swap", "rzz"})
 #: Pseudo-instructions that are not unitary gates.
 NON_UNITARY: frozenset[str] = frozenset({"barrier", "measure"})
 
+#: Gates whose matrix is diagonal in the computational basis. Simulators
+#: apply these as broadcast phase multiplies instead of matmuls — the fast
+#: path for QAOA cost layers, which are built entirely from RZ and RZZ.
+DIAGONAL_GATES: frozenset[str] = frozenset({"z", "s", "sdg", "cz", "rz", "rzz", "p"})
+
 
 def gate_matrix(name: str, angle: "float | None" = None) -> np.ndarray:
     """Unitary matrix of a gate.

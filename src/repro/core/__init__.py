@@ -9,6 +9,7 @@ outcomes back to the original variables, and keep the best solution
 (Sec. 3.6).
 """
 
+from repro.core.batch import solve_many
 from repro.core.costs import (
     CostReport,
     quantum_cost,
@@ -19,21 +20,28 @@ from repro.core.partition import SubProblem, partition_problem
 from repro.core.solver import (
     FrozenQubitsResult,
     FrozenQubitsSolver,
+    PreparedSolve,
     SolverConfig,
     SubProblemOutcome,
+    finish_qaoa_instance,
     run_qaoa_instance,
+    train_qaoa_instance,
 )
 
 __all__ = [
     "CostReport",
     "FrozenQubitsResult",
     "FrozenQubitsSolver",
+    "PreparedSolve",
     "SolverConfig",
     "SubProblem",
     "SubProblemOutcome",
+    "finish_qaoa_instance",
     "partition_problem",
     "quantum_cost",
     "recommend_num_frozen",
     "run_qaoa_instance",
     "select_hotspots",
+    "solve_many",
+    "train_qaoa_instance",
 ]

@@ -6,20 +6,28 @@ sub-problem, so comparisons never mix machinery. Training follows the
 paper's protocol: parameters are tuned on the *ideal* simulator (p = 1 uses
 the closed form), then the circuit is evaluated under the device noise
 model; sampling draws shots from the depolarized distribution with readout
-errors.
+errors. The run is split into two stages — :func:`train_qaoa_instance` and
+:func:`finish_qaoa_instance` — so execution backends can interleave the
+simulation work of many instances (see :mod:`repro.backend`).
 
 ``FrozenQubitsSolver`` composes hotspot selection, partitioning, symmetry
 pruning, compile-once template editing, per-sub-problem training, outcome
-decoding and final minimum selection (paper Fig. 4).
+decoding and final minimum selection (paper Fig. 4). The middle of the
+pipeline is expressed as backend-submitted jobs: :meth:`prepare_jobs`
+produces one :class:`~repro.backend.JobSpec` per executed sub-problem (each
+with its own deterministic child seed and its own edited template copy),
+any :class:`~repro.backend.ExecutionBackend` runs them, and
+:meth:`finalize` decodes and merges the outcomes.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from collections.abc import Sequence
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 import numpy as np
 
+from repro.circuit.circuit import QuantumCircuit
 from repro.core.hotspots import select_hotspots
 from repro.core.partition import (
     SubProblem,
@@ -38,20 +46,23 @@ from repro.qaoa.executor import (
     evaluate_ideal,
     evaluate_noisy,
     make_context,
+    noise_profile_for_transpiled,
 )
 from repro.qaoa.optimizer import OptimizationResult, optimize_qaoa
 from repro.sim.depolarizing import flip_probabilities_from_factors, noisy_counts
-from repro.sim.noise import NoiseModel
 from repro.sim.sampling import Counts, sample_counts
 from repro.sim.statevector import MAX_SIM_QUBITS, probabilities
 from repro.transpile.compiler import (
     TranspileOptions,
     TranspiledCircuit,
-    edit_template,
+    edited_template_copy,
     transpile,
 )
-from repro.utils.bitstrings import bits_to_spins, int_to_bits, spins_to_bits
-from repro.utils.rng import ensure_rng
+from repro.utils.bitstrings import spins_to_bits
+from repro.utils.rng import ensure_rng, spawn_seeds
+
+if TYPE_CHECKING:
+    from repro.backend.base import ExecutionBackend
 
 
 @dataclass(frozen=True)
@@ -104,23 +115,59 @@ class QAOARunResult:
     best_value: float
 
 
-def run_qaoa_instance(
+@dataclass
+class TrainedInstance:
+    """A trained-but-not-yet-sampled QAOA instance (stage 1 of a run).
+
+    Execution backends hold a batch of these between the (sequential,
+    data-dependent) training stage and the (batchable) circuit-evaluation
+    stage. ``rng`` is the instance's own stream, already advanced past
+    training, so finishing later consumes exactly the draws the one-shot
+    path would have.
+
+    Attributes:
+        hamiltonian: The instance Hamiltonian.
+        config: Runner knobs used for training; reused when finishing.
+        rng: Per-instance generator, positioned after training.
+        context: The evaluation context.
+        optimization: Trained parameters and bookkeeping.
+        ev_ideal: Ideal expectation at the trained parameters.
+        ev_noisy: Noisy expectation at the trained parameters.
+        sampling_circuit: The bound circuit to simulate for sampling, or
+            ``None`` when the instance exceeds the sampling cap (the
+            annealing fallback needs no simulation).
+    """
+
+    hamiltonian: IsingHamiltonian
+    config: SolverConfig
+    rng: np.random.Generator
+    context: EvaluationContext
+    optimization: OptimizationResult
+    ev_ideal: float
+    ev_noisy: float
+    sampling_circuit: "QuantumCircuit | None"
+
+
+def train_qaoa_instance(
     hamiltonian: IsingHamiltonian,
     device: "Device | None" = None,
     config: "SolverConfig | None" = None,
     seed: "int | np.random.Generator | None" = None,
     context: "EvaluationContext | None" = None,
-) -> QAOARunResult:
-    """Train and execute a single QAOA instance.
+    params: "tuple[tuple[float, ...], tuple[float, ...]] | None" = None,
+) -> TrainedInstance:
+    """Stage 1 of a QAOA run: build the context and train the parameters.
 
     Args:
         hamiltonian: Problem (or sub-problem) Hamiltonian.
         device: Optional device; enables the noisy path.
         config: Runner knobs.
-        seed: RNG seed or generator.
+        seed: RNG seed or generator for this instance.
         context: Reuse a pre-built evaluation context (e.g. one whose
             compiled template was *edited* from a sibling's — Sec. 3.7.1 —
             so no recompilation happens).
+        params: Pre-trained ``(gammas, betas)``; skips optimization entirely
+            (the "train once, re-execute with more shots" workflow).
     """
     cfg = config or SolverConfig()
     rng = ensure_rng(seed)
@@ -132,23 +179,64 @@ def run_qaoa_instance(
             transpile_options=cfg.transpile_options,
         )
     objective = evaluate_noisy if cfg.train_noisy else evaluate_ideal
-    optimization = optimize_qaoa(
-        lambda gammas, betas: objective(context, gammas, betas),
-        num_layers=cfg.num_layers,
-        grid_resolution=cfg.grid_resolution,
-        maxiter=cfg.maxiter,
-        seed=rng,
-    )
+    if params is not None:
+        gammas, betas = params
+        value = float(objective(context, gammas, betas))
+        optimization = OptimizationResult(
+            gammas=tuple(float(g) for g in gammas),
+            betas=tuple(float(b) for b in betas),
+            value=value,
+            num_evaluations=1,
+            history=[value],
+        )
+    else:
+        optimization = optimize_qaoa(
+            lambda gammas, betas: objective(context, gammas, betas),
+            num_layers=cfg.num_layers,
+            grid_resolution=cfg.grid_resolution,
+            maxiter=cfg.maxiter,
+            seed=rng,
+        )
     gammas, betas = optimization.gammas, optimization.betas
-    ev_ideal = evaluate_ideal(context, gammas, betas)
-    ev_noisy = evaluate_noisy(context, gammas, betas)
+    ev_ideal = float(evaluate_ideal(context, gammas, betas))
+    ev_noisy = float(evaluate_noisy(context, gammas, betas))
+    sampling_circuit = None
+    if hamiltonian.num_qubits <= min(cfg.max_sampled_qubits, MAX_SIM_QUBITS):
+        template = context.ensure_template()
+        sampling_circuit = template.bind(gammas, betas)
+    return TrainedInstance(
+        hamiltonian=hamiltonian,
+        config=cfg,
+        rng=rng,
+        context=context,
+        optimization=optimization,
+        ev_ideal=ev_ideal,
+        ev_noisy=ev_noisy,
+        sampling_circuit=sampling_circuit,
+    )
 
+
+def finish_qaoa_instance(
+    trained: TrainedInstance,
+    ideal_probs: "np.ndarray | None" = None,
+) -> QAOARunResult:
+    """Stage 2 of a QAOA run: simulate, sample, and pick the best outcome.
+
+    Args:
+        trained: Output of :func:`train_qaoa_instance`.
+        ideal_probs: Pre-computed outcome distribution of
+            ``trained.sampling_circuit`` (e.g. one row of a batched
+            statevector pass); simulated here when omitted.
+    """
+    hamiltonian = trained.hamiltonian
+    cfg = trained.config
+    context = trained.context
+    rng = trained.rng
     n = hamiltonian.num_qubits
     counts: "Counts | None" = None
-    if n <= min(cfg.max_sampled_qubits, MAX_SIM_QUBITS):
-        template = context.ensure_template()
-        bound = template.bind(gammas, betas)
-        ideal_probs = probabilities(bound)
+    if trained.sampling_circuit is not None:
+        if ideal_probs is None:
+            ideal_probs = probabilities(trained.sampling_circuit)
         if context.noise_model is not None:
             flips = (
                 flip_probabilities_from_factors(context.readout, n)
@@ -169,23 +257,53 @@ def run_qaoa_instance(
             counts = sample_counts(ideal_probs, cfg.shots, n, seed=rng)
         best_value = np.inf
         best_spins: tuple[int, ...] = ()
-        for spins, __ in counts.spin_items():
-            value = hamiltonian.evaluate(spins)
-            if value < best_value:
-                best_value = value
-                best_spins = spins
+        if len(counts):
+            spins = counts.spins_matrix()
+            values = hamiltonian.evaluate_many(spins)
+            index = int(np.argmin(values))
+            best_value = float(values[index])
+            best_spins = tuple(int(s) for s in spins[index])
     else:
         anneal = simulated_annealing(hamiltonian, seed=rng)
         best_spins, best_value = anneal.spins, anneal.value
     return QAOARunResult(
         context=context,
-        optimization=optimization,
-        ev_ideal=float(ev_ideal),
-        ev_noisy=float(ev_noisy),
+        optimization=trained.optimization,
+        ev_ideal=trained.ev_ideal,
+        ev_noisy=trained.ev_noisy,
         counts=counts,
         best_spins=tuple(best_spins),
         best_value=float(best_value),
     )
+
+
+def run_qaoa_instance(
+    hamiltonian: IsingHamiltonian,
+    device: "Device | None" = None,
+    config: "SolverConfig | None" = None,
+    seed: "int | np.random.Generator | None" = None,
+    context: "EvaluationContext | None" = None,
+    params: "tuple[tuple[float, ...], tuple[float, ...]] | None" = None,
+) -> QAOARunResult:
+    """Train and execute a single QAOA instance (both stages, in-line).
+
+    Args:
+        hamiltonian: Problem (or sub-problem) Hamiltonian.
+        device: Optional device; enables the noisy path.
+        config: Runner knobs.
+        seed: RNG seed or generator.
+        context: Reuse a pre-built evaluation context.
+        params: Pre-trained ``(gammas, betas)``; skips optimization.
+    """
+    trained = train_qaoa_instance(
+        hamiltonian,
+        device=device,
+        config=config,
+        seed=seed,
+        context=context,
+        params=params,
+    )
+    return finish_qaoa_instance(trained)
 
 
 @dataclass
@@ -256,6 +374,63 @@ class FrozenQubitsResult:
         return merged
 
 
+@dataclass
+class PreparedSolve:
+    """The fan-out half of a solve: everything up to circuit execution.
+
+    Produced by :meth:`FrozenQubitsSolver.prepare_jobs`; the ``jobs`` list
+    is what an :class:`~repro.backend.ExecutionBackend` runs, and
+    :meth:`FrozenQubitsSolver.finalize` folds the results back together.
+
+    Attributes:
+        hamiltonian: The parent problem.
+        device: Target device (``None`` => ideal execution).
+        hotspots: Frozen qubits, in selection order.
+        subproblems: All ``2**m`` partition cells.
+        executed: The non-mirror cells, aligned 1:1 with ``jobs``.
+        template: The one compiled master template (device runs only).
+        jobs: One job per executed sub-problem, each carrying its own
+            deterministic child seed and its own edited template copy.
+        edited_circuits: How many job templates came from angle editing.
+    """
+
+    hamiltonian: IsingHamiltonian
+    device: "Device | None"
+    hotspots: list[int]
+    subproblems: list[SubProblem]
+    executed: list[SubProblem]
+    template: "TranspiledCircuit | None"
+    jobs: list
+    edited_circuits: int
+
+
+def _assert_own_coefficients(
+    transpiled: TranspiledCircuit,
+    hamiltonian: IsingHamiltonian,
+    support: list[int],
+) -> None:
+    """Check an edited template carries *this* sub-problem's coefficients.
+
+    Guards the Sec. 3.7.1 editing path against template aliasing: every
+    sibling must execute a circuit whose linear-term rotations encode its
+    own ``h``, not a shared master's (or the last-edited sibling's).
+
+    Raises:
+        SolverError: On a stale or foreign coefficient.
+    """
+    surface = transpiled.parametric_instruction_indices()
+    for qubit in support:
+        expected = 2.0 * hamiltonian.linear_coefficient(qubit)
+        for index in surface.get(linear_tag(qubit), []):
+            actual = transpiled.circuit.instructions[index].angle.coefficient
+            if actual != expected:
+                raise SolverError(
+                    f"template aliasing: rotation {linear_tag(qubit)!r} carries "
+                    f"coefficient {actual}, expected {expected} — the job's "
+                    "template was not edited for its own sub-problem"
+                )
+
+
 class FrozenQubitsSolver:
     """The FrozenQubits framework (paper Fig. 4).
 
@@ -264,7 +439,9 @@ class FrozenQubitsSolver:
         hotspot_policy: Selection policy (see :mod:`repro.core.hotspots`).
         prune_symmetric: Apply the Sec. 3.7.2 pruning theorem.
         config: Shared runner knobs.
-        seed: RNG seed for the whole solve.
+        seed: RNG seed for the whole solve. Per-sub-problem streams are
+            spawned from it, so results are backend-independent: serial and
+            parallel execution consume identical per-job streams.
     """
 
     def __init__(
@@ -283,20 +460,26 @@ class FrozenQubitsSolver:
         self._config = config or SolverConfig()
         self._seed = seed
 
-    def solve(
+    def prepare_jobs(
         self,
         hamiltonian: IsingHamiltonian,
         device: "Device | None" = None,
-    ) -> FrozenQubitsResult:
-        """Run the full pipeline on a problem.
+        job_prefix: str = "",
+    ) -> PreparedSolve:
+        """Hotspot selection, partitioning, compilation, and job fan-out.
 
         Args:
             hamiltonian: Parent Ising problem.
             device: Optional device model (enables noise + compilation).
+            job_prefix: Prepended to job ids (used by ``solve_many`` to keep
+                ids unique across a batch of problems).
 
         Returns:
-            A :class:`FrozenQubitsResult`.
+            A :class:`PreparedSolve` whose ``jobs`` an execution backend can
+            run in any order or concurrently.
         """
+        from repro.backend.base import JobSpec
+
         rng = ensure_rng(self._seed)
         cfg = self._config
         hotspots = select_hotspots(
@@ -311,11 +494,14 @@ class FrozenQubitsSolver:
         )
         executed = executed_subproblems(subproblems)
         support = linear_support_union(subproblems)
+        job_seeds = spawn_seeds(rng, len(executed))
 
         # Compile once (Sec. 3.7.1): the first executed sub-problem's
-        # template is the master; siblings get angle-edited copies.
+        # template is the master; siblings get angle-edited copies. Each
+        # job owns its copy — the master is never mutated, so sibling
+        # contexts cannot alias each other's coefficients.
         template_compiled: "TranspiledCircuit | None" = None
-        master_template = None
+        noise_profile = None
         if device is not None and executed:
             master_template = build_qaoa_template(
                 executed[0].hamiltonian,
@@ -325,29 +511,77 @@ class FrozenQubitsSolver:
             template_compiled = transpile(
                 master_template.circuit, device, cfg.transpile_options
             )
+            # The noise constants depend on circuit structure only, which
+            # angle editing preserves — one profile serves every sibling.
+            noise_profile = noise_profile_for_transpiled(template_compiled)
 
-        outcomes: dict[int, SubProblemOutcome] = {}
+        jobs: list[JobSpec] = []
         edited = 0
-        for sp in executed:
-            context = None
+        for sp, job_seed in zip(executed, job_seeds):
+            job_template: "TranspiledCircuit | None" = None
             if template_compiled is not None:
-                if sp is not executed[0]:
-                    # Demonstrate the editing path: produce this sibling's
-                    # executable from the master template without routing.
+                if sp is executed[0]:
+                    job_template = template_compiled
+                else:
+                    # The editing path (Sec. 3.7.1): produce this sibling's
+                    # executable from the master without routing.
                     updates = {
                         linear_tag(q): sp.hamiltonian.linear_coefficient(q)
                         for q in support
                     }
-                    edit_template(template_compiled, updates)
+                    job_template = edited_template_copy(
+                        template_compiled, updates
+                    )
                     edited += 1
-                context = make_context(
-                    sp.hamiltonian,
-                    num_layers=cfg.num_layers,
-                    transpiled=template_compiled,
+                _assert_own_coefficients(job_template, sp.hamiltonian, support)
+            jobs.append(
+                JobSpec(
+                    job_id=f"{job_prefix}sp{sp.index}",
+                    hamiltonian=sp.hamiltonian,
+                    config=cfg,
+                    seed=job_seed,
+                    device=device,
+                    transpiled=job_template,
+                    noise_profile=noise_profile,
                 )
-            run = run_qaoa_instance(
-                sp.hamiltonian, device=device, config=cfg, seed=rng, context=context
             )
+        return PreparedSolve(
+            hamiltonian=hamiltonian,
+            device=device,
+            hotspots=hotspots,
+            subproblems=subproblems,
+            executed=executed,
+            template=template_compiled,
+            jobs=jobs,
+            edited_circuits=edited,
+        )
+
+    def finalize(
+        self, prepared: PreparedSolve, job_results: list
+    ) -> FrozenQubitsResult:
+        """Decode backend results, recover mirrors, and pick the winner.
+
+        Args:
+            prepared: The matching :meth:`prepare_jobs` output.
+            job_results: One :class:`~repro.backend.JobResult` per prepared
+                job, in job order.
+        """
+        hamiltonian = prepared.hamiltonian
+        if len(job_results) != len(prepared.jobs):
+            raise SolverError(
+                f"backend returned {len(job_results)} results for "
+                f"{len(prepared.jobs)} jobs"
+            )
+        outcomes: dict[int, SubProblemOutcome] = {}
+        for sp, job, job_result in zip(
+            prepared.executed, prepared.jobs, job_results
+        ):
+            if job_result.job_id != job.job_id:
+                raise SolverError(
+                    f"backend result order mismatch: expected {job.job_id!r}, "
+                    f"got {job_result.job_id!r}"
+                )
+            run = job_result.run
             decoded = self._decode_counts(sp, run.counts)
             full_spins = decode_spins(sp.spec, sp.assignment, run.best_spins)
             outcomes[sp.index] = SubProblemOutcome(
@@ -359,7 +593,7 @@ class FrozenQubitsSolver:
                 ev_ideal=run.ev_ideal,
                 ev_noisy=run.ev_noisy,
             )
-        for sp in subproblems:
+        for sp in prepared.subproblems:
             if not sp.is_mirror:
                 continue
             twin = outcomes[sp.mirror_of]
@@ -379,22 +613,48 @@ class FrozenQubitsSolver:
                 ev_noisy=twin.ev_noisy,
             )
 
-        ordered = [outcomes[sp.index] for sp in subproblems]
+        ordered = [outcomes[sp.index] for sp in prepared.subproblems]
         best = min(ordered, key=lambda o: o.best_value)
         ev_ideal = float(np.mean([o.ev_ideal for o in ordered]))
         ev_noisy = float(np.mean([o.ev_noisy for o in ordered]))
         return FrozenQubitsResult(
             hamiltonian=hamiltonian,
-            frozen_qubits=hotspots,
+            frozen_qubits=prepared.hotspots,
             outcomes=ordered,
             best_spins=best.best_spins,
             best_value=best.best_value,
-            num_circuits_executed=len(executed),
+            num_circuits_executed=len(prepared.executed),
             ev_ideal=ev_ideal,
             ev_noisy=ev_noisy,
-            template=template_compiled,
-            edited_circuits=edited,
+            template=prepared.template,
+            edited_circuits=prepared.edited_circuits,
         )
+
+    def solve(
+        self,
+        hamiltonian: IsingHamiltonian,
+        device: "Device | None" = None,
+        backend: "ExecutionBackend | str | None" = None,
+    ) -> FrozenQubitsResult:
+        """Run the full pipeline on a problem.
+
+        Args:
+            hamiltonian: Parent Ising problem.
+            device: Optional device model (enables noise + compilation).
+            backend: Execution backend for the sub-problem fan-out — an
+                :class:`~repro.backend.ExecutionBackend`, a registry name
+                (``"serial"``, ``"process"``, ``"batched"``), or ``None``
+                for the session default (serial unless overridden via
+                :func:`repro.backend.set_default_backend`).
+
+        Returns:
+            A :class:`FrozenQubitsResult`.
+        """
+        from repro.backend import resolve_backend
+
+        prepared = self.prepare_jobs(hamiltonian, device)
+        results = resolve_backend(backend).run(prepared.jobs)
+        return self.finalize(prepared, results)
 
     @staticmethod
     def _decode_counts(sp: SubProblem, counts: "Counts | None") -> "Counts | None":
@@ -405,13 +665,11 @@ class FrozenQubitsSolver:
         frozen_mask = 0
         for qubit, bit in zip(sp.spec.frozen_qubits, frozen_bits):
             frozen_mask |= bit << qubit
-        kept = sp.spec.kept_qubits
 
-        def lift(key: int) -> int:
-            full = frozen_mask
-            for position, original in enumerate(kept):
-                full |= ((key >> position) & 1) << original
-            return full
-
-        lifted = {lift(key): count for key, count in counts.items()}
-        return Counts(lifted, sp.spec.num_qubits)
+        # Vectorized bit-scatter: lift every sub-space key at once (the map
+        # is injective, so no counts can collide).
+        keys = counts.keys_array()
+        full = np.full_like(keys, frozen_mask)
+        for position, original in enumerate(sp.spec.kept_qubits):
+            full |= ((keys >> position) & 1) << original
+        return Counts.from_arrays(full, counts.counts_array(), sp.spec.num_qubits)

@@ -13,6 +13,7 @@ from repro.experiments.workloads import (
     ba_suite,
     regular_suite,
     sk_suite,
+    solve_suite,
 )
 
 __all__ = [
@@ -22,4 +23,5 @@ __all__ = [
     "render_table",
     "rows_to_csv",
     "sk_suite",
+    "solve_suite",
 ]

@@ -15,6 +15,7 @@ import os
 import sys
 import time
 
+from repro.backend import BACKEND_REGISTRY, ProcessPoolBackend, set_default_backend
 from repro.experiments import figures, render_table, rows_to_csv
 from repro.experiments.tables import table3_comparison
 
@@ -72,7 +73,22 @@ def main(argv: "list[str] | None" = None) -> int:
         "--only", metavar="NAME", default=None,
         help="run a single figure by name prefix (e.g. fig08)",
     )
+    parser.add_argument(
+        "--backend", choices=sorted(BACKEND_REGISTRY), default=None,
+        help="execution backend for every solve in the run "
+        "(default: serial)",
+    )
+    parser.add_argument(
+        "--workers", type=int, metavar="N", default=None,
+        help="worker-process count for --backend process",
+    )
     args = parser.parse_args(argv)
+    if args.workers is not None and args.backend != "process":
+        parser.error("--workers requires --backend process")
+    if args.backend == "process" and args.workers is not None:
+        set_default_backend(ProcessPoolBackend(max_workers=args.workers))
+    elif args.backend is not None:
+        set_default_backend(args.backend)
     full = os.environ.get("REPRO_FULL", "0") == "1"
     if args.csv:
         os.makedirs(args.csv, exist_ok=True)

@@ -10,7 +10,8 @@ from __future__ import annotations
 
 import math
 import time
-from collections.abc import Iterable, Sequence
+from collections.abc import Sequence
+from typing import TYPE_CHECKING
 
 import numpy as np
 
@@ -22,12 +23,12 @@ from repro.analysis.runtime import (
     overall_runtime_hours,
 )
 from repro.baselines.qaoa_baseline import BaselineQAOA
+from repro.core.batch import solve_many
 from repro.core.costs import quantum_cost
 from repro.core.hotspots import select_hotspots
 from repro.core.partition import executed_subproblems, partition_problem
 from repro.core.solver import FrozenQubitsSolver, SolverConfig
 from repro.devices.ibm import get_backend, grid_device, list_backends
-from repro.exceptions import ReproError
 from repro.graphs.generators import airport_network, barabasi_albert_graph, sk_graph
 from repro.graphs.powerlaw import degree_stats, fit_powerlaw_exponent, hotspot_ratio
 from repro.ising.bruteforce import brute_force_minimum
@@ -39,6 +40,9 @@ from repro.qaoa.optimizer import landscape_scan
 from repro.transpile.compiler import TranspileOptions, edit_template, transpile
 from repro.experiments.workloads import WorkloadInstance, ba_suite, regular_suite, sk_suite
 from repro.utils.rng import spawn_seeds
+
+if TYPE_CHECKING:
+    from repro.backend.base import ExecutionBackend
 
 
 # ---------------------------------------------------------------------------
@@ -154,19 +158,27 @@ def _arg_of_workload(
     num_frozen: int,
     config: SolverConfig,
     seed: int,
+    execution_backend: "ExecutionBackend | str | None" = None,
 ) -> "float | None":
     """ARG of one workload under baseline (m=0) or FrozenQubits (m>=1)."""
     if num_frozen >= workload.num_qubits:
         return None
     if num_frozen == 0:
         result = BaselineQAOA(config=config, seed=seed).solve(
-            workload.hamiltonian, device=device
+            workload.hamiltonian, device=device, backend=execution_backend
         )
         ev_ideal, ev_noisy = result.ev_ideal, result.ev_noisy
     else:
         solver = FrozenQubitsSolver(num_frozen=num_frozen, config=config, seed=seed)
-        solved = solver.solve(workload.hamiltonian, device=device)
+        solved = solver.solve(
+            workload.hamiltonian, device=device, backend=execution_backend
+        )
         ev_ideal, ev_noisy = solved.ev_ideal, solved.ev_noisy
+    return _arg_from_result(ev_ideal, ev_noisy)
+
+
+def _arg_from_result(ev_ideal: float, ev_noisy: float) -> "float | None":
+    """ARG of a solved instance, or ``None`` when the ratio is undefined."""
     if abs(ev_ideal) < 1e-9:
         return None
     return approximation_ratio_gap(ev_ideal, ev_noisy)
@@ -178,8 +190,14 @@ def arg_sweep(
     frozen_values: Sequence[int] = (0, 1, 2),
     config: "SolverConfig | None" = None,
     seed: int = 5,
+    execution_backend: "ExecutionBackend | str | None" = None,
 ) -> list[dict]:
-    """Mean ARG per size for each m in ``frozen_values`` over a suite."""
+    """Mean ARG per size for each m in ``frozen_values`` over a suite.
+
+    The per-(size, m) instance group is submitted through
+    :func:`repro.core.solve_many` in one backend call, so a parallel or
+    batched ``execution_backend`` sees the whole fan-out at once.
+    """
     device = get_backend(backend)
     cfg = config or SolverConfig(shots=2048, grid_resolution=10, maxiter=40)
     sizes = sorted({w.num_qubits for w in suite})
@@ -190,12 +208,45 @@ def arg_sweep(
         group = [w for w in suite if w.num_qubits == size]
         row: dict = {"num_qubits": size}
         for m in frozen_values:
-            values = []
+            values: list[float] = []
+            usable = [w for w in group if m < w.num_qubits]
+            group_seeds = []
             for workload in group:
-                arg = _arg_of_workload(workload, device, m, cfg, seeds[cursor])
+                if m < workload.num_qubits:
+                    group_seeds.append(seeds[cursor])
                 cursor = (cursor + 1) % len(seeds)
-                if arg is not None:
-                    values.append(arg)
+            if m == 0 and usable:
+                # One submission for the whole baseline group too, so a
+                # parallel backend sees all full-size jobs at once.
+                from repro.backend import JobSpec, resolve_backend
+
+                specs = [
+                    JobSpec(
+                        job_id=f"baseline/{workload.name}",
+                        hamiltonian=workload.hamiltonian,
+                        config=cfg,
+                        seed=workload_seed,
+                        device=device,
+                    )
+                    for workload, workload_seed in zip(usable, group_seeds)
+                ]
+                for job in resolve_backend(execution_backend).run(specs):
+                    arg = _arg_from_result(job.run.ev_ideal, job.run.ev_noisy)
+                    if arg is not None:
+                        values.append(arg)
+            elif usable:
+                solved = solve_many(
+                    usable,
+                    num_frozen=m,
+                    device=device,
+                    backend=execution_backend,
+                    config=cfg,
+                    seeds=group_seeds,
+                )
+                for result in solved:
+                    arg = _arg_from_result(result.ev_ideal, result.ev_noisy)
+                    if arg is not None:
+                        values.append(arg)
             label = "baseline_arg" if m == 0 else f"fq{m}_arg"
             row[label] = float(np.mean(values)) if values else float("nan")
         rows.append(row)
@@ -207,10 +258,13 @@ def figure_08_arg_powerlaw(
     trials: int = 3,
     backend: str = "montreal",
     seed: int = 31,
+    execution_backend: "ExecutionBackend | str | None" = None,
 ) -> list[dict]:
     """ARG of BA(d=1) QAOA: baseline vs FQ(m=1,2) (paper Fig. 8)."""
     suite = ba_suite(sizes=sizes, attachment=1, trials=trials, seed=seed)
-    return arg_sweep(suite, backend=backend, seed=seed)
+    return arg_sweep(
+        suite, backend=backend, seed=seed, execution_backend=execution_backend
+    )
 
 
 def figure_10_arg_dense(
@@ -218,6 +272,7 @@ def figure_10_arg_dense(
     trials: int = 2,
     backend: str = "montreal",
     seed: int = 37,
+    execution_backend: "ExecutionBackend | str | None" = None,
 ) -> list[dict]:
     """ARG on denser BA graphs, d_BA = 2 and 3 (paper Fig. 10)."""
     rows = []
@@ -226,7 +281,12 @@ def figure_10_arg_dense(
         suite = ba_suite(
             sizes=usable, attachment=attachment, trials=trials, seed=seed
         )
-        for row in arg_sweep(suite, backend=backend, seed=seed + attachment):
+        for row in arg_sweep(
+            suite,
+            backend=backend,
+            seed=seed + attachment,
+            execution_backend=execution_backend,
+        ):
             row["d_ba"] = attachment
             rows.append(row)
     return rows
@@ -238,6 +298,7 @@ def figure_11_arg_regular_sk(
     trials: int = 2,
     backend: str = "montreal",
     seed: int = 41,
+    execution_backend: "ExecutionBackend | str | None" = None,
 ) -> list[dict]:
     """ARG on 3-regular and SK graphs (paper Fig. 11)."""
     rows = []
@@ -245,6 +306,7 @@ def figure_11_arg_regular_sk(
         regular_suite(sizes=regular_sizes, trials=trials, seed=seed),
         backend=backend,
         seed=seed,
+        execution_backend=execution_backend,
     ):
         row["family"] = "3reg"
         rows.append(row)
@@ -252,6 +314,7 @@ def figure_11_arg_regular_sk(
         sk_suite(sizes=sk_sizes, trials=trials, seed=seed + 1),
         backend=backend,
         seed=seed + 1,
+        execution_backend=execution_backend,
     ):
         row["family"] = "sk"
         rows.append(row)

@@ -11,7 +11,10 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from collections.abc import Iterable
+from typing import TYPE_CHECKING
 
+from repro.core.batch import solve_many
+from repro.core.solver import FrozenQubitsResult, SolverConfig
 from repro.exceptions import ReproError
 from repro.graphs.generators import (
     barabasi_albert_graph,
@@ -21,6 +24,9 @@ from repro.graphs.generators import (
 from repro.graphs.model import ProblemGraph
 from repro.ising.hamiltonian import IsingHamiltonian
 from repro.utils.rng import spawn_seeds
+
+if TYPE_CHECKING:
+    from repro.backend.base import ExecutionBackend
 
 
 @dataclass(frozen=True)
@@ -125,3 +131,41 @@ def sk_suite(
         trials,
         seed,
     )
+
+
+def solve_suite(
+    instances: "Iterable[WorkloadInstance]",
+    num_frozen: int = 1,
+    device=None,
+    backend: "ExecutionBackend | str | None" = None,
+    config: "SolverConfig | None" = None,
+    seed: int = 0,
+) -> list[tuple[WorkloadInstance, FrozenQubitsResult]]:
+    """Solve a whole workload suite through one backend submission.
+
+    Thin suite-level wrapper over :func:`repro.core.solve_many`: every
+    instance's sub-problem jobs go to the backend as one queue, so process
+    pools stay saturated across instance boundaries and the batched
+    simulator can stack same-shape circuits from different instances.
+
+    Args:
+        instances: Workload instances (any of the suite builders' output).
+        num_frozen: Qubits to freeze per instance, m.
+        device: Optional shared device model.
+        backend: Execution backend (instance, name, or session default).
+        config: Shared runner knobs.
+        seed: Parent seed; each instance gets a spawned child seed.
+
+    Returns:
+        ``(instance, result)`` pairs in input order.
+    """
+    instances = list(instances)
+    results = solve_many(
+        instances,
+        num_frozen=num_frozen,
+        device=device,
+        backend=backend,
+        config=config,
+        seed=seed,
+    )
+    return list(zip(instances, results))

@@ -66,12 +66,58 @@ class EvaluationContext:
         return self.template
 
 
+@dataclass(frozen=True)
+class NoiseProfile:
+    """The noise-derived constants of one compiled template.
+
+    These depend only on circuit *structure* (gate names, qubits,
+    schedule), never on rotation angles — so every angle-edited sibling of
+    a compiled template (Sec. 3.7.1) shares one profile. Computing it once
+    per template and passing it to :func:`make_context` removes the
+    per-sub-problem Python pass over the compiled circuit.
+
+    Attributes:
+        fidelity: Global-depolarizing circuit fidelity F.
+        readout: Per-logical-qubit attenuation (readout x decoherence).
+        noise_model: The device noise model.
+        measured_wires: Physical wire per logical qubit.
+    """
+
+    fidelity: float
+    readout: dict[int, float]
+    noise_model: NoiseModel
+    measured_wires: list[int]
+
+
+def noise_profile_for_transpiled(transpiled: TranspiledCircuit) -> NoiseProfile:
+    """Compute the angle-independent noise constants of a compiled template."""
+    model = noise_model_for_transpiled(transpiled.device.calibration)
+    measured_wires = transpiled.measured_physical_qubits()
+    # Gate errors scramble globally (depolarizing fidelity); decoherence
+    # and readout act per measured qubit and combine multiplicatively
+    # into the per-qubit attenuation factors.
+    fidelity = circuit_fidelity(
+        transpiled.circuit, model, include_idle_errors=False
+    )
+    readout = readout_factors(model, measured_wires)
+    decoherence = decoherence_factors(
+        model, transpiled.duration_ns, measured_wires
+    )
+    return NoiseProfile(
+        fidelity=fidelity,
+        readout={q: readout[q] * decoherence[q] for q in readout},
+        noise_model=model,
+        measured_wires=measured_wires,
+    )
+
+
 def make_context(
     hamiltonian: IsingHamiltonian,
     num_layers: int = 1,
     device=None,
     transpile_options: "TranspileOptions | None" = None,
     transpiled: "TranspiledCircuit | None" = None,
+    noise_profile: "NoiseProfile | None" = None,
 ) -> EvaluationContext:
     """Build an evaluation context, compiling for a device if one is given.
 
@@ -83,6 +129,9 @@ def make_context(
         transpile_options: Compiler knobs for the template.
         transpiled: Reuse an already-compiled template (e.g. an edited
             sibling sub-problem executable) instead of compiling.
+        noise_profile: Pre-computed noise constants of ``transpiled`` (or
+            of the master template it was edited from — the profile is
+            angle-independent); computed here when omitted.
     """
     context = EvaluationContext(hamiltonian=hamiltonian, num_layers=num_layers)
     if transpiled is None and device is not None:
@@ -90,23 +139,12 @@ def make_context(
         context.template = template
         transpiled = transpile(template.circuit, device, transpile_options)
     if transpiled is not None:
-        model = noise_model_for_transpiled(transpiled.device.calibration)
+        profile = noise_profile or noise_profile_for_transpiled(transpiled)
         context.transpiled = transpiled
-        context.noise_model = model
-        context.measured_wires = transpiled.measured_physical_qubits()
-        # Gate errors scramble globally (depolarizing fidelity); decoherence
-        # and readout act per measured qubit and combine multiplicatively
-        # into the per-qubit attenuation factors.
-        context.fidelity = circuit_fidelity(
-            transpiled.circuit, model, include_idle_errors=False
-        )
-        readout = readout_factors(model, context.measured_wires)
-        decoherence = decoherence_factors(
-            model, transpiled.duration_ns, context.measured_wires
-        )
-        context.readout = {
-            qubit: readout[qubit] * decoherence[qubit] for qubit in readout
-        }
+        context.noise_model = profile.noise_model
+        context.measured_wires = profile.measured_wires
+        context.fidelity = profile.fidelity
+        context.readout = profile.readout
     return context
 
 

@@ -14,6 +14,12 @@ Three execution fidelities, trading accuracy for scale:
   trajectory simulator in tests.
 """
 
+from repro.sim.batched import (
+    batched_probabilities,
+    batched_statevectors,
+    circuit_signature,
+    group_by_signature,
+)
 from repro.sim.depolarizing import (
     circuit_fidelity,
     noisy_counts,
@@ -32,7 +38,11 @@ from repro.sim.statevector import probabilities, simulate_statevector
 __all__ = [
     "Counts",
     "NoiseModel",
+    "batched_probabilities",
+    "batched_statevectors",
     "circuit_fidelity",
+    "circuit_signature",
+    "group_by_signature",
     "expectation_from_counts",
     "expectation_from_probabilities",
     "noisy_counts",

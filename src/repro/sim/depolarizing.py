@@ -228,13 +228,15 @@ def noisy_counts(
         )
     if np.all(flip_probs == 0.0):
         return clean
-    corrupted: dict[int, int] = {}
-    for outcome, count in clean.items():
-        flips = rng.random((count, num_qubits)) < flip_probs[None, :]
-        masks = (flips.astype(np.uint64) << np.arange(num_qubits, dtype=np.uint64)).sum(
-            axis=1
-        )
-        for mask in masks:
-            key = int(outcome ^ int(mask))
-            corrupted[key] = corrupted.get(key, 0) + 1
-    return Counts(corrupted, num_qubits)
+    # Vectorized corruption: one flip matrix for every shot at once instead
+    # of a Python loop per outcome — the sampling hot path scales with
+    # shots, not with distinct outcomes.
+    outcomes = np.repeat(clean.keys_array(), clean.counts_array())
+    flips = rng.random((outcomes.size, num_qubits)) < flip_probs[None, :]
+    masks = (
+        flips.astype(np.int64) << np.arange(num_qubits, dtype=np.int64)
+    ).sum(axis=1)
+    corrupted_keys, corrupted_counts = np.unique(
+        outcomes ^ masks, return_counts=True
+    )
+    return Counts.from_arrays(corrupted_keys, corrupted_counts, num_qubits)

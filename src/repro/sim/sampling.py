@@ -41,6 +41,47 @@ class Counts(Mapping):
                 cleaned[int(key)] = int(value)
         self._data = cleaned
 
+    @classmethod
+    def from_arrays(
+        cls, keys: np.ndarray, counts: np.ndarray, num_qubits: int
+    ) -> "Counts":
+        """Vectorized constructor from aligned key/count arrays.
+
+        Validates with array ops instead of a Python loop per outcome —
+        the fast path for samplers and decoders that already hold arrays.
+
+        Args:
+            keys: Outcome integers (any integer dtype; duplicates summed).
+            counts: Shot counts aligned with ``keys``.
+            num_qubits: Number of measured qubits (defines the key range).
+        """
+        if num_qubits < 0:
+            raise SimulationError(f"num_qubits must be >= 0, got {num_qubits}")
+        keys = np.asarray(keys, dtype=np.int64)
+        counts = np.asarray(counts, dtype=np.int64)
+        if keys.shape != counts.shape or keys.ndim != 1:
+            raise SimulationError(
+                f"keys and counts must be aligned 1-D arrays, got "
+                f"{keys.shape} and {counts.shape}"
+            )
+        if keys.size:
+            if int(keys.min()) < 0 or int(keys.max()) >= (1 << num_qubits):
+                raise SimulationError(
+                    f"outcome out of range for {num_qubits} qubits"
+                )
+            if int(counts.min()) < 0:
+                raise SimulationError("negative count")
+        nonzero = counts != 0
+        keys, counts = keys[nonzero], counts[nonzero]
+        unique, inverse = np.unique(keys, return_inverse=True)
+        if unique.size != keys.size:
+            counts = np.bincount(inverse, weights=counts).astype(np.int64)
+            keys = unique
+        instance = cls.__new__(cls)
+        instance._num_qubits = num_qubits
+        instance._data = dict(zip(keys.tolist(), counts.tolist()))
+        return instance
+
     @property
     def num_qubits(self) -> int:
         """Number of measured qubits."""
@@ -76,6 +117,28 @@ class Counts(Mapping):
         """Iterate ``(spins, count)`` pairs."""
         for key, count in self._data.items():
             yield bits_to_spins(int_to_bits(key, self._num_qubits)), count
+
+    def keys_array(self) -> np.ndarray:
+        """Outcome keys as an int64 array, in iteration order."""
+        return np.fromiter(self._data.keys(), dtype=np.int64, count=len(self._data))
+
+    def counts_array(self) -> np.ndarray:
+        """Shot counts as an int64 array, aligned with :meth:`keys_array`."""
+        return np.fromiter(
+            self._data.values(), dtype=np.int64, count=len(self._data)
+        )
+
+    def spins_matrix(self) -> np.ndarray:
+        """All outcomes as a ``(len(self), num_qubits)`` ±1 spin matrix.
+
+        Row order matches :meth:`keys_array`; together with
+        ``IsingHamiltonian.evaluate_many`` this is the vectorized
+        replacement for looping :meth:`spin_items` — the hot path when
+        scanning thousands of sampled outcomes for the best assignment.
+        """
+        keys = self.keys_array()
+        bits = (keys[:, None] >> np.arange(self._num_qubits, dtype=np.int64)) & 1
+        return 1 - 2 * bits
 
     def map_outcomes(self, transform) -> "Counts":
         """New Counts with every key passed through ``transform`` (merging
@@ -142,5 +205,5 @@ def sample_counts(
     p = p / total
     rng = ensure_rng(seed)
     drawn = rng.multinomial(shots, p)
-    data = {int(i): int(c) for i, c in enumerate(drawn) if c}
-    return Counts(data, num_qubits)
+    occupied = np.nonzero(drawn)[0]
+    return Counts.from_arrays(occupied, drawn[occupied], num_qubits)

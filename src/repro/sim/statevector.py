@@ -12,6 +12,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.circuit.circuit import QuantumCircuit
+from repro.circuit.gates import DIAGONAL_GATES
 from repro.exceptions import SimulationError
 
 #: Hard cap to keep memory below ~1 GiB of complex128 amplitudes.
@@ -32,6 +33,42 @@ def _apply_double(
     shaped = moved.reshape(4, -1)
     result = matrix @ shaped
     return np.moveaxis(result.reshape(moved.shape), (0, 1), (axis_a, axis_b))
+
+
+def diagonal_broadcast(
+    diag: np.ndarray, ndim: int, axis_a: int, axis_b: "int | None" = None
+) -> np.ndarray:
+    """Reshape a gate diagonal so ``tensor *= ...`` applies it in place.
+
+    Diagonal gates (RZ, RZZ, CZ, ...) need no matmul: multiplying the state
+    tensor by the broadcast diagonal is exact and copy-free — the fast path
+    for QAOA cost layers. Supports an optional leading batch axis: pass a
+    ``(B, 2)``/``(B, 4)`` diagonal with ``ndim`` counting the batch axis
+    and 1-based item axes.
+
+    Args:
+        diag: Length-2 (or 4) gate diagonal, optionally with a leading
+            batch dimension.
+        ndim: Rank of the target state tensor.
+        axis_a: Tensor axis of the gate's first qubit.
+        axis_b: Tensor axis of the second qubit (two-qubit diagonals only).
+    """
+    batched = diag.ndim == 2
+    shape = [1] * ndim
+    if batched:
+        shape[0] = diag.shape[0]
+    if axis_b is None:
+        shape[axis_a] = 2
+        return diag.reshape(shape)
+    # Two-qubit diagonal d[2i + j]: i belongs on axis_a, j on axis_b. A
+    # plain reshape puts the C-order-outer bit on the earlier axis, so
+    # transpose first when axis_b comes earlier.
+    shape[axis_a] = 2
+    shape[axis_b] = 2
+    pair = diag.reshape((-1, 2, 2) if batched else (2, 2))
+    if axis_a > axis_b:
+        pair = pair.swapaxes(-1, -2)
+    return pair.reshape(shape)
 
 
 def simulate_statevector(
@@ -72,10 +109,18 @@ def simulate_statevector(
         matrix = instruction.matrix()
         if len(instruction.qubits) == 1:
             axis = n - 1 - instruction.qubits[0]
-            tensor = _apply_single(tensor, matrix, axis)
+            if instruction.name in DIAGONAL_GATES:
+                tensor *= diagonal_broadcast(matrix.diagonal(), n, axis)
+            else:
+                tensor = _apply_single(tensor, matrix, axis)
         else:
             qa, qb = instruction.qubits
-            tensor = _apply_double(tensor, matrix, n - 1 - qa, n - 1 - qb)
+            if instruction.name in DIAGONAL_GATES:
+                tensor *= diagonal_broadcast(
+                    matrix.diagonal(), n, n - 1 - qa, n - 1 - qb
+                )
+            else:
+                tensor = _apply_double(tensor, matrix, n - 1 - qa, n - 1 - qb)
     return tensor.reshape(-1)
 
 

@@ -15,7 +15,13 @@ circuit, both layouts, and the metric set the paper's evaluation plots
 (CX count, SWAP count, depth, duration).
 """
 
-from repro.transpile.compiler import TranspileOptions, TranspiledCircuit, transpile
+from repro.transpile.compiler import (
+    TranspileOptions,
+    TranspiledCircuit,
+    edit_template,
+    edited_template_copy,
+    transpile,
+)
 from repro.transpile.decompose import (
     decompose_rzz,
     decompose_swap,
@@ -35,6 +41,8 @@ __all__ = [
     "decompose_rzz",
     "decompose_swap",
     "degree_aware_layout",
+    "edit_template",
+    "edited_template_copy",
     "merge_adjacent_rz",
     "route",
     "translate_to_basis",

@@ -11,7 +11,7 @@ survive the whole pipeline and stay addressable by tag.
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 
 from repro.circuit.circuit import QuantumCircuit
 from repro.circuit.dag import circuit_layers
@@ -216,3 +216,26 @@ def edit_template(
             expression = template.circuit.instructions[index].angle
             edits[index] = expression.with_coefficient(2.0 * coefficient)
     return template.circuit.with_edited_angles(edits)
+
+
+def edited_template_copy(
+    template: TranspiledCircuit,
+    coefficient_updates: dict[str, float],
+) -> TranspiledCircuit:
+    """A per-sub-problem :class:`TranspiledCircuit` with edited angles.
+
+    :func:`edit_template` returns a bare circuit; callers that need the
+    full compiled-template object (layouts, metrics, noise provenance) for
+    a *sibling* sub-problem use this instead. The master template is left
+    untouched — every sibling owns an independent copy, which is what keeps
+    concurrent sub-problem execution free of template aliasing.
+
+    Args:
+        template: The master compiled template.
+        coefficient_updates: As for :func:`edit_template`.
+
+    Returns:
+        A new :class:`TranspiledCircuit` sharing the master's device,
+        layouts and metrics, wrapping the edited circuit.
+    """
+    return replace(template, circuit=edit_template(template, coefficient_updates))

@@ -1,12 +1,10 @@
 """Tests for repro.devices: coupling maps, topologies, calibrations, backends."""
 
-import numpy as np
 import pytest
 
 from repro.devices import (
     CouplingMap,
     Device,
-    DeviceCalibration,
     get_backend,
     grid_coupling,
     grid_device,

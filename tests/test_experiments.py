@@ -5,9 +5,7 @@ Figure builders run at reduced scale here; the assertions target the
 reproduction contract.
 """
 
-import os
 
-import numpy as np
 import pytest
 
 from repro.exceptions import ReproError

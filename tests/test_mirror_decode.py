@@ -1,0 +1,131 @@
+"""Property tests for the symmetry mirror and decode path (Sec. 3.7.2/3.6).
+
+The pruning theorem says the mirror cell's physics is fully recoverable
+from its executed twin: ``H_sub^{-a}(z) = H_sub^{a}(-z)``. These
+properties pin both halves of that recovery — the Hamiltonian identity
+itself, and the counts/spins decode that implements it inside the solver
+(``flip_all_bits`` on histograms, negated spins on assignments).
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import FrozenQubitsSolver, SolverConfig, partition_problem, select_hotspots
+from repro.graphs.generators import barabasi_albert_graph
+from repro.ising import IsingHamiltonian, brute_force_minimum
+from repro.ising.freeze import decode_spins
+from repro.utils.bitstrings import bits_to_spins, int_to_bits
+
+FAST = SolverConfig(shots=512, grid_resolution=6, maxiter=20)
+
+
+def _symmetric_problem(num_qubits, seed):
+    graph = barabasi_albert_graph(num_qubits, 1, seed=seed)
+    return IsingHamiltonian.from_graph(graph, weights="random_pm1", seed=seed + 1)
+
+
+@settings(max_examples=25, deadline=None)
+@given(data=st.data())
+def test_mirror_hamiltonian_is_spin_flipped_twin(data):
+    """``H_sub^{-a}(z) == H_sub^{a}(-z)`` for every assignment ``z``."""
+    n = data.draw(st.integers(min_value=3, max_value=7))
+    seed = data.draw(st.integers(min_value=0, max_value=10_000))
+    h = _symmetric_problem(n, seed)
+    m = data.draw(st.integers(min_value=1, max_value=min(2, n - 1)))
+    parts = partition_problem(h, select_hotspots(h, m))
+    mirrors = [sp for sp in parts if sp.is_mirror]
+    assert mirrors, "symmetric parent must produce mirror cells"
+    for mirror in mirrors:
+        twin = parts[mirror.mirror_of]
+        spins = data.draw(
+            st.tuples(*([st.sampled_from((-1, 1))] * mirror.hamiltonian.num_qubits))
+        )
+        flipped = tuple(-s for s in spins)
+        assert mirror.hamiltonian.evaluate(spins) == pytest.approx(
+            twin.hamiltonian.evaluate(flipped)
+        )
+
+
+@settings(max_examples=25, deadline=None)
+@given(data=st.data())
+def test_mirrored_decode_matches_parent_cost(data):
+    """Decoding negated twin spins into the mirror cell gives the same
+    parent cost as evaluating the mirror sub-problem directly."""
+    n = data.draw(st.integers(min_value=3, max_value=7))
+    seed = data.draw(st.integers(min_value=0, max_value=10_000))
+    h = _symmetric_problem(n, seed)
+    m = data.draw(st.integers(min_value=1, max_value=min(2, n - 1)))
+    parts = partition_problem(h, select_hotspots(h, m))
+    for mirror in (sp for sp in parts if sp.is_mirror):
+        twin = parts[mirror.mirror_of]
+        twin_spins = data.draw(
+            st.tuples(*([st.sampled_from((-1, 1))] * twin.hamiltonian.num_qubits))
+        )
+        mirror_spins = tuple(-s for s in twin_spins)
+        # Sub-space cost + parent decode agree on both routes.
+        direct = mirror.hamiltonian.evaluate(mirror_spins)
+        decoded = decode_spins(mirror.spec, mirror.assignment, mirror_spins)
+        assert h.evaluate(decoded) == pytest.approx(direct)
+        # The mirrored route: decode the twin's spins, then flip everything.
+        twin_decoded = decode_spins(twin.spec, twin.assignment, twin_spins)
+        assert tuple(-s for s in twin_decoded) == decoded
+
+
+@settings(max_examples=10, deadline=None)
+@given(data=st.data())
+def test_mirror_minimum_equals_twin_minimum(data):
+    """Re-solving the mirror exactly finds the twin's optimum (flipped)."""
+    n = data.draw(st.integers(min_value=3, max_value=7))
+    seed = data.draw(st.integers(min_value=0, max_value=10_000))
+    h = _symmetric_problem(n, seed)
+    parts = partition_problem(h, select_hotspots(h, 1))
+    mirrors = [sp for sp in parts if sp.is_mirror]
+    for mirror in mirrors:
+        twin = parts[mirror.mirror_of]
+        assert brute_force_minimum(mirror.hamiltonian).value == pytest.approx(
+            brute_force_minimum(twin.hamiltonian).value
+        )
+
+
+class TestSolverMirrorOutcomes:
+    def test_flipped_counts_evaluate_like_direct_resolve(self):
+        """Every decoded mirror outcome carries the parent cost that
+        re-solving the mirrored sub-problem would assign it."""
+        h = _symmetric_problem(8, seed=5)
+        result = FrozenQubitsSolver(num_frozen=2, config=FAST, seed=17).solve(
+            h, device=None
+        )
+        n = h.num_qubits
+        for outcome in result.outcomes:
+            sp = outcome.subproblem
+            if not sp.is_mirror or outcome.decoded_counts is None:
+                continue
+            twin_outcome = result.outcomes[sp.mirror_of]
+            # Histogram identity: the mirror's decoded counts are exactly
+            # the twin's, bit-flipped.
+            assert dict(outcome.decoded_counts) == dict(
+                twin_outcome.decoded_counts.flip_all_bits()
+            )
+            for key in outcome.decoded_counts:
+                spins = bits_to_spins(int_to_bits(key, n))
+                # Frozen qubits sit at the mirror's own assignment...
+                for qubit, value in zip(sp.spec.frozen_qubits, sp.assignment):
+                    assert spins[qubit] == value
+                # ...and the parent cost equals the mirror sub-problem's
+                # direct evaluation of the kept spins.
+                kept = tuple(spins[q] for q in sp.spec.kept_qubits)
+                assert h.evaluate(spins) == pytest.approx(
+                    sp.hamiltonian.evaluate(kept)
+                )
+
+    def test_mirror_best_value_matches_flip(self):
+        h = _symmetric_problem(10, seed=9)
+        result = FrozenQubitsSolver(num_frozen=1, config=FAST, seed=19).solve(h)
+        executed, mirror = result.outcomes
+        if executed.subproblem.is_mirror:
+            executed, mirror = mirror, executed
+        assert mirror.best_spins == tuple(-s for s in executed.best_spins)
+        assert mirror.best_value == pytest.approx(
+            h.evaluate(tuple(-s for s in executed.best_spins))
+        )

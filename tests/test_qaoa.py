@@ -1,7 +1,6 @@
 """Tests for repro.qaoa: circuit construction, the analytic p=1 engine,
 metrics, optimizer, and evaluation contexts."""
 
-import numpy as np
 import pytest
 from hypothesis import given, settings, strategies as st
 

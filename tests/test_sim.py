@@ -6,7 +6,7 @@ faithful trajectory simulator.
 
 import numpy as np
 import pytest
-from hypothesis import given, settings, strategies as st
+from hypothesis import given, settings
 
 from repro.circuit import QuantumCircuit
 from repro.exceptions import SimulationError

@@ -1,0 +1,153 @@
+"""Tests for repro.sim.batched: the stacked statevector path.
+
+The contract the batched backend leans on: same-shape circuits simulated
+together produce exactly what simulating each alone produces — including
+through the diagonal fast path — and shape mismatches fail loudly instead
+of silently mixing amplitudes.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.circuit.circuit import QuantumCircuit
+from repro.exceptions import SimulationError
+from repro.graphs.generators import barabasi_albert_graph
+from repro.ising.hamiltonian import IsingHamiltonian
+from repro.qaoa.circuits import build_qaoa_template
+from repro.sim.batched import (
+    batched_probabilities,
+    batched_statevectors,
+    circuit_signature,
+    group_by_signature,
+)
+from repro.sim.statevector import probabilities, simulate_statevector
+
+
+def _qaoa_circuits(num_qubits, batch, seed=0):
+    graph = barabasi_albert_graph(num_qubits, 1, seed=3)
+    hamiltonian = IsingHamiltonian.from_graph(graph, weights="random_pm1", seed=4)
+    template = build_qaoa_template(hamiltonian)
+    rng = np.random.default_rng(seed)
+    return [
+        template.bind([rng.uniform(-1, 1)], [rng.uniform(-1, 1)])
+        for __ in range(batch)
+    ]
+
+
+class TestBatchedStatevectors:
+    @settings(max_examples=10, deadline=None)
+    @given(
+        num_qubits=st.integers(min_value=2, max_value=6),
+        batch=st.integers(min_value=1, max_value=5),
+        seed=st.integers(min_value=0, max_value=1000),
+    )
+    def test_matches_per_circuit_simulation(self, num_qubits, batch, seed):
+        circuits = _qaoa_circuits(num_qubits, batch, seed=seed)
+        stacked = batched_statevectors(circuits)
+        for row, circuit in zip(stacked, circuits):
+            np.testing.assert_array_equal(row, simulate_statevector(circuit))
+
+    def test_probabilities_match(self):
+        circuits = _qaoa_circuits(7, 4)
+        stacked = batched_probabilities(circuits)
+        for row, circuit in zip(stacked, circuits):
+            np.testing.assert_array_equal(row, probabilities(circuit))
+
+    def test_mixed_gate_kinds(self):
+        """Diagonal (rz/rzz/cz/z), permutation-free (h/rx) and cx gates."""
+        circuits = []
+        for theta in (0.3, 1.1, -0.7):
+            c = QuantumCircuit(3)
+            c.h(0)
+            c.h(1)
+            c.h(2)
+            c.rz(theta, 0)
+            c.rzz(2 * theta, 0, 2)
+            c.cz(1, 2)
+            c.z(1)
+            c.rx(theta / 2, 2)
+            c.cx(2, 0)
+            circuits.append(c)
+        stacked = batched_statevectors(circuits)
+        for row, circuit in zip(stacked, circuits):
+            np.testing.assert_allclose(row, simulate_statevector(circuit))
+
+    def test_bookkeeping_offsets_do_not_misalign(self):
+        """Barrier/measure placement differs per item; gates still align."""
+        a = QuantumCircuit(2)
+        a.h(0)
+        a.rz(0.5, 0)
+        a.barrier()
+        a.measure_all()
+        b = QuantumCircuit(2)
+        b.h(0)
+        b.barrier()
+        b.rz(1.3, 0)
+        assert circuit_signature(a) == circuit_signature(b)
+        stacked = batched_statevectors([a, b])
+        np.testing.assert_array_equal(stacked[0], simulate_statevector(a))
+        np.testing.assert_array_equal(stacked[1], simulate_statevector(b))
+
+    def test_qubit_order_of_two_qubit_diagonals(self):
+        """RZZ(a, b) must equal RZZ(b, a) — the broadcast transpose path."""
+        c1 = QuantumCircuit(2)
+        c1.h(0)
+        c1.rzz(0.9, 0, 1)
+        c2 = QuantumCircuit(2)
+        c2.h(0)
+        c2.rzz(0.9, 1, 0)
+        np.testing.assert_allclose(
+            batched_statevectors([c1])[0], batched_statevectors([c2])[0]
+        )
+
+    def test_empty_batch_rejected(self):
+        with pytest.raises(SimulationError):
+            batched_statevectors([])
+
+    def test_shape_mismatch_rejected(self):
+        a = QuantumCircuit(2)
+        a.h(0)
+        b = QuantumCircuit(2)
+        b.h(1)
+        with pytest.raises(SimulationError):
+            batched_statevectors([a, b])
+
+    def test_width_mismatch_rejected(self):
+        a = QuantumCircuit(2)
+        a.h(0)
+        b = QuantumCircuit(3)
+        b.h(0)
+        with pytest.raises(SimulationError):
+            batched_statevectors([a, b])
+
+    def test_parametric_rejected(self):
+        template = build_qaoa_template(
+            IsingHamiltonian(2, quadratic={(0, 1): 1.0})
+        )
+        with pytest.raises(SimulationError):
+            batched_statevectors([template.circuit])
+
+
+class TestSignatures:
+    def test_signature_ignores_measure_and_barrier(self):
+        a = QuantumCircuit(2)
+        a.h(0)
+        a.measure_all()
+        b = QuantumCircuit(2)
+        b.h(0)
+        b.barrier()
+        assert circuit_signature(a) == circuit_signature(b)
+
+    def test_signature_ignores_angles(self):
+        a = QuantumCircuit(1)
+        a.rz(0.1, 0)
+        b = QuantumCircuit(1)
+        b.rz(2.9, 0)
+        assert circuit_signature(a) == circuit_signature(b)
+
+    def test_group_by_signature_partitions_in_order(self):
+        small = _qaoa_circuits(4, 2)
+        big = _qaoa_circuits(5, 2)
+        groups = group_by_signature([small[0], big[0], small[1], big[1]])
+        assert sorted(map(sorted, groups.values())) == [[0, 2], [1, 3]]

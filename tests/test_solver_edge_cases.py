@@ -5,7 +5,6 @@ hotspots that disconnect the problem, zero-edge sub-problems, devices that
 are too small, hostile calibrations, and metric degeneracies.
 """
 
-import numpy as np
 import pytest
 
 from repro.core import FrozenQubitsSolver, SolverConfig, select_hotspots

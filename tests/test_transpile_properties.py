@@ -13,7 +13,7 @@ import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.circuit import QuantumCircuit
-from repro.devices import CouplingMap, Device, uniform_calibration
+from repro.devices import Device, uniform_calibration
 from repro.devices.topologies import grid_coupling, linear_coupling, ring_coupling
 from repro.sim.statevector import probabilities
 from repro.transpile import TranspileOptions, transpile
