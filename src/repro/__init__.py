@@ -51,6 +51,13 @@ from repro.ising import (
     freeze_qubits,
     simulated_annealing,
 )
+from repro.planning import (
+    ExecutionBudget,
+    FreezePlan,
+    FreezePlanner,
+    plan_freeze,
+    set_default_planning,
+)
 from repro.qaoa import (
     approximation_ratio,
     approximation_ratio_gap,
@@ -67,6 +74,9 @@ __all__ = [
     "BatchedStatevectorBackend",
     "Device",
     "ExecutionBackend",
+    "ExecutionBudget",
+    "FreezePlan",
+    "FreezePlanner",
     "FrozenQubitsResult",
     "FrozenQubitsSolver",
     "IsingHamiltonian",
@@ -87,10 +97,12 @@ __all__ = [
     "get_backend",
     "grid_device",
     "list_backends",
+    "plan_freeze",
     "qaoa1_expectation",
     "recommend_num_frozen",
     "select_hotspots",
     "set_default_backend",
+    "set_default_planning",
     "simulated_annealing",
     "sk_graph",
     "solve_many",

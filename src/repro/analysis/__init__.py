@@ -19,7 +19,12 @@ from repro.analysis.runtime import (
     WorkloadTiming,
     overall_runtime_hours,
 )
-from repro.analysis.tradeoff import TradeoffPoint, detect_plateau, tradeoff_curve
+from repro.analysis.tradeoff import (
+    TradeoffPoint,
+    detect_plateau,
+    knee_under_budget,
+    tradeoff_curve,
+)
 
 __all__ = [
     "EXECUTION_MODELS",
@@ -32,6 +37,7 @@ __all__ = [
     "expected_probability_of_success",
     "geometric_mean",
     "improvement_factor",
+    "knee_under_budget",
     "overall_runtime_hours",
     "relative_series",
     "tradeoff_curve",

@@ -72,3 +72,41 @@ def detect_plateau(
         if gain >= threshold:
             best = curve[index].num_frozen
     return best
+
+
+def knee_under_budget(
+    curve: Sequence[TradeoffPoint],
+    max_cost: "int | None" = None,
+    threshold: float = 0.02,
+) -> int:
+    """The last worthwhile m whose quantum cost fits a circuit budget.
+
+    The budget-aware variant of :func:`detect_plateau` used by the freeze
+    planner: stop at the diminishing-returns knee *or* where ``2**m``
+    exceeds ``max_cost``, whichever comes first. Unlike
+    :func:`detect_plateau` the walk is sequential — a later large gain
+    cannot rescue a depth whose intermediate steps were not worth paying
+    for, because every intermediate doubling of cost is paid regardless.
+
+    Args:
+        curve: The relative trade-off curve (see :func:`tradeoff_curve`).
+        max_cost: Circuit budget on the ``quantum_cost`` axis; ``None``
+            leaves the budget unbounded.
+        threshold: Marginal-improvement floor, as in :func:`detect_plateau`.
+
+    Returns:
+        The chosen m (0 when no affordable depth clears the threshold).
+    """
+    if threshold < 0:
+        raise ReproError(f"threshold must be >= 0, got {threshold}")
+    if max_cost is not None and max_cost < 1:
+        raise ReproError(f"max_cost must be >= 1, got {max_cost}")
+    best = 0
+    for index in range(1, len(curve)):
+        if max_cost is not None and curve[index].quantum_cost > max_cost:
+            break
+        gain = curve[index - 1].relative_value - curve[index].relative_value
+        if gain < threshold:
+            break
+        best = curve[index].num_frozen
+    return best

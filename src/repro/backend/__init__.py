@@ -23,7 +23,11 @@ from repro.backend.base import (
     JobResult,
     JobSpec,
     execute_job,
+    execute_jobs_serially,
+    inject_warm_start,
     train_job,
+    trained_params,
+    warm_start_waves,
 )
 from repro.backend.batched import BatchedStatevectorBackend
 from repro.backend.process_pool import ProcessPoolBackend
@@ -97,8 +101,12 @@ __all__ = [
     "ProcessPoolBackend",
     "SerialBackend",
     "execute_job",
+    "execute_jobs_serially",
     "get_default_backend",
+    "inject_warm_start",
     "resolve_backend",
     "set_default_backend",
     "train_job",
+    "trained_params",
+    "warm_start_waves",
 ]

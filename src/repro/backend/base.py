@@ -13,13 +13,20 @@ Determinism contract: a job's entire stochastic behaviour is governed by
 ``ensure_rng(spec.seed)`` and MUST NOT share generator state across jobs —
 that is what makes ``SerialBackend`` and ``ProcessPoolBackend`` produce
 bit-identical results from the same solver seed.
+
+Warm-start contract: a job whose ``spec.warm_start_from`` names a sibling
+must be trained *after* that sibling, with the sibling's trained
+``(gammas, betas)`` injected as its optimizer's initial point (see
+:func:`warm_start_waves` and :func:`inject_warm_start`). Injection is a
+pure function of the source job's result, so the two-wave schedule keeps
+backends deterministic and order-independent within each wave.
 """
 
 from __future__ import annotations
 
 import time
 from abc import ABC, abstractmethod
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from collections.abc import Sequence
 
 from repro.core.solver import (
@@ -58,6 +65,14 @@ class JobSpec:
             per-job pass over the compiled circuit.
         params: Pre-trained ``(gammas, betas)``; skips optimization (the
             re-execution workflow: train once, sample many).
+        initial_params: Transferred ``(gammas, betas)`` to *seed* (not
+            replace) this job's optimizer — see
+            :func:`repro.qaoa.optimizer.optimize_qaoa`'s ``initial_point``.
+        warm_start_from: job_id of the sibling whose trained optimum
+            should seed this job's optimizer. Backends must execute that
+            job first and inject its parameters (see
+            :func:`warm_start_waves` / :func:`inject_warm_start`); a
+            source missing from the submission degrades to fresh training.
     """
 
     job_id: str
@@ -68,6 +83,8 @@ class JobSpec:
     transpiled: "TranspiledCircuit | None" = None
     noise_profile: "NoiseProfile | None" = None
     params: "tuple[tuple[float, ...], tuple[float, ...]] | None" = None
+    initial_params: "tuple[tuple[float, ...], tuple[float, ...]] | None" = None
+    warm_start_from: "str | None" = None
 
 
 @dataclass
@@ -104,6 +121,7 @@ def train_job(spec: JobSpec) -> TrainedInstance:
         seed=spec.seed,
         context=context,
         params=spec.params,
+        initial_params=spec.initial_params,
     )
 
 
@@ -116,6 +134,71 @@ def execute_job(spec: JobSpec) -> JobResult:
         run=run,
         elapsed_seconds=time.perf_counter() - started,
     )
+
+
+def warm_start_waves(
+    jobs: Sequence[JobSpec],
+) -> tuple[list[int], list[int]]:
+    """Split a submission into warm-start execution waves.
+
+    Wave 1 is every job with no ``warm_start_from`` (representatives and
+    independents); wave 2 is the dependents, which need a wave-1 job's
+    trained parameters injected before training. Submission order is
+    preserved inside each wave, so a submission without warm-start
+    metadata degenerates to ``(all jobs, [])`` — the legacy schedule.
+    """
+    independents = [i for i, s in enumerate(jobs) if s.warm_start_from is None]
+    dependents = [i for i, s in enumerate(jobs) if s.warm_start_from is not None]
+    return independents, dependents
+
+
+def trained_params(result: JobResult) -> tuple[tuple[float, ...], tuple[float, ...]]:
+    """The ``(gammas, betas)`` a finished job settled on."""
+    opt = result.run.optimization
+    return (opt.gammas, opt.betas)
+
+
+def execute_jobs_serially(jobs: Sequence[JobSpec]) -> list[JobResult]:
+    """Run a submission in-process, honouring the warm-start contract.
+
+    The reference two-wave schedule: independents in submission order
+    (collecting each one's trained parameters), then dependents with their
+    source's parameters injected. ``SerialBackend`` *is* this function;
+    pooled backends reuse it for their no-pool shortcut so the schedule
+    lives in exactly one place.
+    """
+    jobs = list(jobs)
+    independents, dependents = warm_start_waves(jobs)
+    results: dict[int, JobResult] = {}
+    params_by_id: dict = {}
+    for index in independents:
+        result = execute_job(jobs[index])
+        results[index] = result
+        params_by_id[result.job_id] = trained_params(result)
+    for index in dependents:
+        results[index] = execute_job(inject_warm_start(jobs[index], params_by_id))
+    return [results[index] for index in range(len(jobs))]
+
+
+def inject_warm_start(
+    spec: JobSpec,
+    params_by_id: "dict[str, tuple[tuple[float, ...], tuple[float, ...]]]",
+) -> JobSpec:
+    """Resolve a dependent job's ``warm_start_from`` into ``initial_params``.
+
+    Jobs that already carry pre-trained ``params`` or an explicit
+    ``initial_params`` are returned unchanged, as are jobs whose source is
+    missing from ``params_by_id`` (they simply train fresh — a degraded
+    but correct outcome).
+    """
+    if spec.warm_start_from is None or spec.params is not None:
+        return spec
+    if spec.initial_params is not None:
+        return spec
+    params = params_by_id.get(spec.warm_start_from)
+    if params is None:
+        return spec
+    return replace(spec, initial_params=params)
 
 
 class ExecutionBackend(ABC):

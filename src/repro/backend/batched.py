@@ -26,7 +26,9 @@ from repro.backend.base import (
     JobResult,
     JobSpec,
     finish_qaoa_instance,
+    inject_warm_start,
     train_job,
+    warm_start_waves,
 )
 from repro.exceptions import SolverError
 from repro.sim.batched import batched_probabilities, group_by_signature
@@ -50,13 +52,32 @@ class BatchedStatevectorBackend(ExecutionBackend):
         self._max_batch_size = max_batch_size
 
     def run(self, jobs: Sequence[JobSpec]) -> list[JobResult]:
-        """Train sequentially, simulate stacked, finish in job order."""
+        """Train sequentially, simulate stacked, finish in job order.
+
+        Training runs in two warm-start waves (sources before dependents,
+        submission order within each wave); the stacked simulation and the
+        finish stage are unaffected by the re-ordering because each job's
+        RNG stream is its own.
+        """
         jobs = list(jobs)
         elapsed = [0.0] * len(jobs)
-        trained = []
-        for index, spec in enumerate(jobs):
+        trained: list = [None] * len(jobs)
+        independents, dependents = warm_start_waves(jobs)
+        params_by_id: dict = {}
+        for index in independents:
             t0 = time.perf_counter()
-            trained.append(train_job(spec))
+            instance = train_job(jobs[index])
+            trained[index] = instance
+            elapsed[index] = time.perf_counter() - t0
+            params_by_id[jobs[index].job_id] = (
+                instance.optimization.gammas,
+                instance.optimization.betas,
+            )
+        for index in dependents:
+            t0 = time.perf_counter()
+            trained[index] = train_job(
+                inject_warm_start(jobs[index], params_by_id)
+            )
             elapsed[index] = time.perf_counter() - t0
 
         # Group the jobs that need a simulation by circuit shape and run

@@ -13,7 +13,16 @@ import os
 from concurrent.futures import ProcessPoolExecutor
 from collections.abc import Sequence
 
-from repro.backend.base import ExecutionBackend, JobResult, JobSpec, execute_job
+from repro.backend.base import (
+    ExecutionBackend,
+    JobResult,
+    JobSpec,
+    execute_job,
+    execute_jobs_serially,
+    inject_warm_start,
+    trained_params,
+    warm_start_waves,
+)
 from repro.exceptions import SolverError
 
 
@@ -44,19 +53,46 @@ class ProcessPoolBackend(ExecutionBackend):
         return self._max_workers
 
     def run(self, jobs: Sequence[JobSpec]) -> list[JobResult]:
-        """Execute every job across the pool; results come back in job order."""
+        """Execute every job across the pool; results come back in job order.
+
+        Warm-start dependents are submitted as a second wave after their
+        source jobs complete, with the trained parameters injected into
+        the dependent specs before pickling — workers never need to see
+        another job's result.
+        """
         jobs = list(jobs)
         if not jobs:
             return []
         # A single worker (or a single job) gains nothing from a pool;
         # skip the fork + pickle round-trip entirely.
         if self._max_workers == 1 or len(jobs) == 1:
-            return [execute_job(spec) for spec in jobs]
+            return execute_jobs_serially(jobs)
+        independents, dependents = warm_start_waves(jobs)
+        results: dict[int, JobResult] = {}
         workers = min(self._max_workers, len(jobs))
         with ProcessPoolExecutor(max_workers=workers) as pool:
-            return list(
-                pool.map(execute_job, jobs, chunksize=self._chunksize)
+            wave_one = list(
+                pool.map(
+                    execute_job,
+                    [jobs[i] for i in independents],
+                    chunksize=self._chunksize,
+                )
             )
+            params_by_id = {r.job_id: trained_params(r) for r in wave_one}
+            results.update(zip(independents, wave_one))
+            if dependents:
+                wave_two = list(
+                    pool.map(
+                        execute_job,
+                        [
+                            inject_warm_start(jobs[i], params_by_id)
+                            for i in dependents
+                        ],
+                        chunksize=self._chunksize,
+                    )
+                )
+                results.update(zip(dependents, wave_two))
+        return [results[index] for index in range(len(jobs))]
 
     def __repr__(self) -> str:
         return f"ProcessPoolBackend(max_workers={self._max_workers})"

@@ -9,7 +9,12 @@ from __future__ import annotations
 
 from collections.abc import Sequence
 
-from repro.backend.base import ExecutionBackend, JobResult, JobSpec, execute_job
+from repro.backend.base import (
+    ExecutionBackend,
+    JobResult,
+    JobSpec,
+    execute_jobs_serially,
+)
 
 
 class SerialBackend(ExecutionBackend):
@@ -18,5 +23,5 @@ class SerialBackend(ExecutionBackend):
     name = "serial"
 
     def run(self, jobs: Sequence[JobSpec]) -> list[JobResult]:
-        """Execute every job in submission order."""
-        return [execute_job(spec) for spec in jobs]
+        """Execute every job, warm-start sources before their dependents."""
+        return execute_jobs_serially(jobs)

@@ -21,6 +21,7 @@ from repro.core.solver import (
     FrozenQubitsResult,
     FrozenQubitsSolver,
     PreparedSolve,
+    SkippedAssignment,
     SolverConfig,
     SubProblemOutcome,
     finish_qaoa_instance,
@@ -33,6 +34,7 @@ __all__ = [
     "FrozenQubitsResult",
     "FrozenQubitsSolver",
     "PreparedSolve",
+    "SkippedAssignment",
     "SolverConfig",
     "SubProblem",
     "SubProblemOutcome",

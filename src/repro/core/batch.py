@@ -25,6 +25,8 @@ from repro.utils.rng import spawn_seeds
 
 if TYPE_CHECKING:
     from repro.backend.base import ExecutionBackend
+    from repro.planning.budget import ExecutionBudget
+    from repro.planning.planner import FreezePlan
 
 
 def _as_hamiltonian(problem) -> IsingHamiltonian:
@@ -50,6 +52,9 @@ def solve_many(
     config: "SolverConfig | None" = None,
     seed: "int | np.random.Generator | None" = None,
     seeds: "Sequence[int] | None" = None,
+    budget: "ExecutionBudget | None" = None,
+    plans: "FreezePlan | Sequence[FreezePlan | None] | None" = None,
+    warm_start: "bool | None" = None,
 ) -> list[FrozenQubitsResult]:
     """Solve a batch of problems with one backend submission.
 
@@ -63,7 +68,8 @@ def solve_many(
         problems: Ising Hamiltonians — or workload-style objects exposing a
             ``.hamiltonian`` attribute (e.g.
             :class:`repro.experiments.workloads.WorkloadInstance`).
-        num_frozen: Qubits to freeze per problem, m.
+        num_frozen: Qubits to freeze per problem, m (ignored for problems
+            that have an explicit plan).
         device: Optional device model shared by the batch.
         backend: Execution backend (instance, registry name, or ``None``
             for the session default).
@@ -73,6 +79,13 @@ def solve_many(
         seed: Parent seed for the whole batch.
         seeds: Explicit per-problem seeds (overrides ``seed`` spawning;
             must match ``len(problems)``).
+        budget: Execution budget applied to every problem's fan-out.
+        plans: A single :class:`~repro.planning.FreezePlan` shared by all
+            problems, or one per problem (``None`` entries fall back to
+            ``num_frozen``); plans pin hotspots, so a shared plan only
+            makes sense for structurally identical problems.
+        warm_start: Cross-sibling warm starts for every problem (``None``
+            defers to plans / session defaults).
 
     Returns:
         One :class:`FrozenQubitsResult` per problem, in input order.
@@ -86,11 +99,17 @@ def solve_many(
         raise SolverError(
             f"got {len(seeds)} seeds for {len(hamiltonians)} problems"
         )
+    if plans is None or _is_single_plan(plans):
+        plans = [plans] * len(hamiltonians)
+    elif len(plans) != len(hamiltonians):
+        raise SolverError(
+            f"got {len(plans)} plans for {len(hamiltonians)} problems"
+        )
 
     prepared = []
     all_jobs = []
-    for index, (hamiltonian, problem_seed) in enumerate(
-        zip(hamiltonians, seeds)
+    for index, (hamiltonian, problem_seed, problem_plan) in enumerate(
+        zip(hamiltonians, seeds, plans)
     ):
         solver = FrozenQubitsSolver(
             num_frozen=num_frozen,
@@ -98,6 +117,9 @@ def solve_many(
             prune_symmetric=prune_symmetric,
             config=config,
             seed=problem_seed,
+            plan=problem_plan,
+            budget=budget,
+            warm_start=warm_start,
         )
         plan = solver.prepare_jobs(hamiltonian, device, job_prefix=f"p{index}/")
         prepared.append((solver, plan))
@@ -112,3 +134,10 @@ def solve_many(
         results.append(solver.finalize(plan, all_results[cursor : cursor + count]))
         cursor += count
     return results
+
+
+def _is_single_plan(plans) -> bool:
+    """Distinguish one shared plan from a per-problem sequence."""
+    from repro.planning.planner import FreezePlan
+
+    return isinstance(plans, FreezePlan)

@@ -64,16 +64,32 @@ def cost_curve(
     num_layers: int = 1,
     policy: str = "degree",
     transpile_options: "TranspileOptions | None" = None,
+    hotspots: "list[int] | None" = None,
 ) -> list[CostReport]:
     """Transpile metrics for ``m = 0 .. max_frozen`` (m=0 is the baseline).
 
     Only the canonical (executed) sub-circuit is compiled per ``m`` — all
     siblings share its structure (Sec. 3.7.1).
+
+    Args:
+        hotspots: Precomputed hotspot ordering (at least ``max_frozen``
+            long, clamped to the qubit count); selected here with
+            ``policy`` when omitted. Callers whose policy needs a device
+            or a seed (``swap_aware``, ``random``) must pass their own —
+            this keeps the curve consistent with the freezing they will
+            actually perform.
     """
     if max_frozen < 0:
         raise SolverError(f"max_frozen must be >= 0, got {max_frozen}")
     reports: list[CostReport] = []
-    hotspots = select_hotspots(hamiltonian, min(max_frozen, hamiltonian.num_qubits - 1), policy=policy)
+    depth = min(max_frozen, hamiltonian.num_qubits - 1)
+    if hotspots is None:
+        hotspots = select_hotspots(hamiltonian, depth, policy=policy)
+    elif len(hotspots) < depth:
+        raise SolverError(
+            f"need {depth} precomputed hotspots for max_frozen={max_frozen}, "
+            f"got {len(hotspots)}"
+        )
     for m in range(0, max_frozen + 1):
         if m >= hamiltonian.num_qubits:
             break

@@ -18,11 +18,20 @@ produces one :class:`~repro.backend.JobSpec` per executed sub-problem (each
 with its own deterministic child seed and its own edited template copy),
 any :class:`~repro.backend.ExecutionBackend` runs them, and
 :meth:`finalize` decodes and merges the outcomes.
+
+The fan-out is *planned*, not fixed: an explicit
+:class:`~repro.planning.FreezePlan` (or an
+:class:`~repro.planning.ExecutionBudget`) can cap the quantum-executed
+cells at a ranked top-k — the remaining assignments are covered by a
+classical annealing fallback so the decoded result still partitions the
+full state-space — and enable cross-sibling warm starts, where one
+representative sibling trains fresh and seeds every other sibling's
+optimizer with its ``(gamma, beta)``.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import TYPE_CHECKING
 
 import numpy as np
@@ -63,6 +72,9 @@ from repro.utils.rng import ensure_rng, spawn_seeds
 
 if TYPE_CHECKING:
     from repro.backend.base import ExecutionBackend
+    from repro.planning.budget import ExecutionBudget
+    from repro.planning.planner import FreezePlan
+    from repro.planning.pruning import AssignmentRank
 
 
 @dataclass(frozen=True)
@@ -155,6 +167,7 @@ def train_qaoa_instance(
     seed: "int | np.random.Generator | None" = None,
     context: "EvaluationContext | None" = None,
     params: "tuple[tuple[float, ...], tuple[float, ...]] | None" = None,
+    initial_params: "tuple[tuple[float, ...], tuple[float, ...]] | None" = None,
 ) -> TrainedInstance:
     """Stage 1 of a QAOA run: build the context and train the parameters.
 
@@ -168,6 +181,10 @@ def train_qaoa_instance(
             so no recompilation happens).
         params: Pre-trained ``(gammas, betas)``; skips optimization entirely
             (the "train once, re-execute with more shots" workflow).
+        initial_params: Transferred ``(gammas, betas)`` to seed the
+            optimizer (the cross-sibling warm-start path); training still
+            runs, but from this point instead of the seeding scan, with a
+            fresh-start fallback when the transfer evaluates poorly.
     """
     cfg = config or SolverConfig()
     rng = ensure_rng(seed)
@@ -196,6 +213,7 @@ def train_qaoa_instance(
             grid_resolution=cfg.grid_resolution,
             maxiter=cfg.maxiter,
             seed=rng,
+            initial_point=initial_params,
         )
     gammas, betas = optimization.gammas, optimization.betas
     ev_ideal = float(evaluate_ideal(context, gammas, betas))
@@ -284,6 +302,7 @@ def run_qaoa_instance(
     seed: "int | np.random.Generator | None" = None,
     context: "EvaluationContext | None" = None,
     params: "tuple[tuple[float, ...], tuple[float, ...]] | None" = None,
+    initial_params: "tuple[tuple[float, ...], tuple[float, ...]] | None" = None,
 ) -> QAOARunResult:
     """Train and execute a single QAOA instance (both stages, in-line).
 
@@ -294,6 +313,8 @@ def run_qaoa_instance(
         seed: RNG seed or generator.
         context: Reuse a pre-built evaluation context.
         params: Pre-trained ``(gammas, betas)``; skips optimization.
+        initial_params: Warm-start seed for the optimizer (see
+            :func:`train_qaoa_instance`).
     """
     trained = train_qaoa_instance(
         hamiltonian,
@@ -302,23 +323,31 @@ def run_qaoa_instance(
         seed=seed,
         context=context,
         params=params,
+        initial_params=initial_params,
     )
     return finish_qaoa_instance(trained)
 
 
 @dataclass
 class SubProblemOutcome:
-    """A solved (or mirrored) sub-problem, decoded into parent variables.
+    """A solved (or mirrored, or classically covered) sub-problem, decoded
+    into parent variables.
 
     Attributes:
         subproblem: The partition cell.
-        run: The QAOA run (``None`` for mirrors — nothing was executed).
-        decoded_counts: Outcome histogram in the *parent* variable space.
+        run: The QAOA run (``None`` for mirrors and classical fallbacks —
+            no circuit was executed).
+        decoded_counts: Outcome histogram in the *parent* variable space
+            (``None`` when nothing was sampled).
         best_spins: Best decoded assignment (parent space).
         best_value: Parent cost of ``best_spins``.
         ev_ideal: Ideal expectation of this cell's circuit (parent-
-            comparable: includes the cell's offset).
+            comparable: includes the cell's offset). ``NaN`` for classical
+            fallbacks — no circuit means no expectation.
         ev_noisy: Noisy expectation, same convention.
+        source: How the cell was covered: ``"quantum"`` (a circuit ran),
+            ``"mirror"`` (bit-flipped from a twin, Sec. 3.7.2), or
+            ``"classical"`` (budget-pruned; simulated-annealing fallback).
     """
 
     subproblem: SubProblem
@@ -328,6 +357,7 @@ class SubProblemOutcome:
     best_value: float
     ev_ideal: float
     ev_noisy: float
+    source: str = "quantum"
 
 
 @dataclass
@@ -337,15 +367,28 @@ class FrozenQubitsResult:
     Attributes:
         hamiltonian: The parent problem.
         frozen_qubits: Hotspots frozen, in selection order.
-        outcomes: Per-sub-problem outcomes (executed and mirrored).
+        outcomes: Per-sub-problem outcomes (quantum, mirrored, and
+            classical-fallback), in canonical partition order.
         best_spins: Overall best assignment (parent space).
         best_value: Parent cost of the best assignment.
-        num_circuits_executed: Quantum cost actually paid (pruning-aware).
-        ev_ideal: Mixture ideal expectation over all sub-spaces.
-        ev_noisy: Mixture noisy expectation over all sub-spaces.
+        num_circuits_executed: Quantum cost actually paid (pruning- and
+            budget-aware).
+        ev_ideal: Mixture ideal expectation over the sub-spaces that have
+            one (classical fallbacks are excluded — they carry no circuit).
+        ev_noisy: Mixture noisy expectation, same convention.
         template: The one compiled template (when a device was used).
         edited_circuits: Number of executables produced by angle editing
             instead of compilation.
+        plan: The freeze plan the solve followed, when one was used.
+        skipped_assignments: Partition indices of the cells the budget
+            pruned — covered classically, never executed as circuits.
+        num_optimizer_evaluations: Total objective evaluations spent
+            training across all executed sub-problems.
+        num_warm_started: Executed cells whose optimizer accepted a
+            transferred sibling optimum.
+        num_warm_start_rejected: Executed cells where the transfer was
+            offered but evaluated no better than untrained, so training
+            fell back to a fresh start.
     """
 
     hamiltonian: IsingHamiltonian
@@ -358,6 +401,11 @@ class FrozenQubitsResult:
     ev_noisy: float
     template: "TranspiledCircuit | None" = None
     edited_circuits: int = 0
+    plan: "FreezePlan | None" = None
+    skipped_assignments: tuple[int, ...] = ()
+    num_optimizer_evaluations: int = 0
+    num_warm_started: int = 0
+    num_warm_start_rejected: int = 0
 
     @property
     def combined_counts(self) -> "Counts | None":
@@ -374,6 +422,23 @@ class FrozenQubitsResult:
         return merged
 
 
+@dataclass(frozen=True)
+class SkippedAssignment:
+    """A budget-pruned cell: no circuit runs; classical coverage at finalize.
+
+    Attributes:
+        subproblem: The pruned partition cell.
+        seed: The deterministic child seed the cell *would* have used as a
+            job — reused for its fallback anneal, so pruning a cell never
+            perturbs its siblings' streams.
+        rank: The triage record that demoted it (probe value, bound).
+    """
+
+    subproblem: SubProblem
+    seed: "int | None"
+    rank: "AssignmentRank | None"
+
+
 @dataclass
 class PreparedSolve:
     """The fan-out half of a solve: everything up to circuit execution.
@@ -387,11 +452,17 @@ class PreparedSolve:
         device: Target device (``None`` => ideal execution).
         hotspots: Frozen qubits, in selection order.
         subproblems: All ``2**m`` partition cells.
-        executed: The non-mirror cells, aligned 1:1 with ``jobs``.
+        executed: The quantum-executed cells, aligned 1:1 with ``jobs``
+            (non-mirror cells that survived budget pruning).
         template: The one compiled master template (device runs only).
         jobs: One job per executed sub-problem, each carrying its own
             deterministic child seed and its own edited template copy.
         edited_circuits: How many job templates came from angle editing.
+        skipped: Budget-pruned non-mirror cells, covered classically at
+            finalize time.
+        plan: The freeze plan this prepare followed (``None`` for the
+            legacy fixed-``m`` path).
+        warm_start: Whether sibling jobs carry warm-start metadata.
     """
 
     hamiltonian: IsingHamiltonian
@@ -402,6 +473,9 @@ class PreparedSolve:
     template: "TranspiledCircuit | None"
     jobs: list
     edited_circuits: int
+    skipped: list[SkippedAssignment] = field(default_factory=list)
+    plan: "FreezePlan | None" = None
+    warm_start: bool = False
 
 
 def _assert_own_coefficients(
@@ -435,13 +509,24 @@ class FrozenQubitsSolver:
     """The FrozenQubits framework (paper Fig. 4).
 
     Args:
-        num_frozen: Qubits to freeze, m (paper default: up to 2).
+        num_frozen: Qubits to freeze, m (paper default: up to 2). Ignored
+            when an explicit ``plan`` pins the hotspot set.
         hotspot_policy: Selection policy (see :mod:`repro.core.hotspots`).
         prune_symmetric: Apply the Sec. 3.7.2 pruning theorem.
         config: Shared runner knobs.
         seed: RNG seed for the whole solve. Per-sub-problem streams are
             spawned from it, so results are backend-independent: serial and
             parallel execution consume identical per-job streams.
+        plan: Explicit :class:`~repro.planning.FreezePlan` to follow; it
+            overrides ``num_frozen``/``prune_symmetric`` and brings its own
+            fan-out cap and warm-start choice.
+        budget: :class:`~repro.planning.ExecutionBudget` capping the
+            quantum fan-out; the lowest-ranked cells beyond the cap are
+            covered by the classical fallback. Combines with (tightens) a
+            plan's own cap.
+        warm_start: Seed sibling optimizers from one trained
+            representative per solve. ``None`` defers to the plan (if any)
+            and then to the session planning defaults.
     """
 
     def __init__(
@@ -451,14 +536,27 @@ class FrozenQubitsSolver:
         prune_symmetric: bool = True,
         config: "SolverConfig | None" = None,
         seed: "int | np.random.Generator | None" = None,
+        plan: "FreezePlan | None" = None,
+        budget: "ExecutionBudget | None" = None,
+        warm_start: "bool | None" = None,
     ) -> None:
+        from repro.planning.session import get_default_planning
+
         if num_frozen < 0:
             raise SolverError(f"num_frozen must be >= 0, got {num_frozen}")
+        defaults = get_default_planning()
         self._num_frozen = num_frozen
         self._policy = hotspot_policy
         self._prune = prune_symmetric
         self._config = config or SolverConfig()
         self._seed = seed
+        self._plan = plan
+        self._budget = budget if budget is not None else defaults.budget
+        if warm_start is None:
+            warm_start = (plan.warm_start if plan is not None
+                          else defaults.warm_start)
+        self._warm_start = bool(warm_start)
+        self._adaptive = plan is None and defaults.adaptive
 
     def prepare_jobs(
         self,
@@ -468,6 +566,14 @@ class FrozenQubitsSolver:
     ) -> PreparedSolve:
         """Hotspot selection, partitioning, compilation, and job fan-out.
 
+        When a plan or budget caps the fan-out below the non-mirror cell
+        count, the cells are triaged (annealer probe + offset bound, see
+        :func:`repro.planning.rank_assignments`) and only the top-k become
+        jobs; the rest are recorded as :class:`SkippedAssignment` for the
+        classical fallback at finalize time. With warm starts enabled, the
+        first executed cell is the representative and every other job
+        carries ``warm_start_from`` metadata pointing at it.
+
         Args:
             hamiltonian: Parent Ising problem.
             device: Optional device model (enables noise + compilation).
@@ -476,25 +582,77 @@ class FrozenQubitsSolver:
 
         Returns:
             A :class:`PreparedSolve` whose ``jobs`` an execution backend can
-            run in any order or concurrently.
+            run in any order or concurrently (warm-start sources first).
         """
         from repro.backend.base import JobSpec
 
         rng = ensure_rng(self._seed)
         cfg = self._config
-        hotspots = select_hotspots(
-            hamiltonian,
-            self._num_frozen,
-            policy=self._policy,
-            device=device,
-            seed=rng,
-        )
+        plan = self._resolve_plan(hamiltonian, device, rng)
+        if plan is not None:
+            hotspots = list(plan.hotspots)
+            prune = plan.prune_symmetric
+            # Warm-start precedence was resolved in __init__: an explicit
+            # constructor argument beats the plan; None deferred to it.
+            warm = self._warm_start
+            max_executed = plan.max_executed
+        else:
+            hotspots = select_hotspots(
+                hamiltonian,
+                self._num_frozen,
+                policy=self._policy,
+                device=device,
+                seed=rng,
+            )
+            prune = self._prune
+            warm = self._warm_start
+            max_executed = None
+        if self._budget is not None:
+            from repro.planning.budget import estimated_seconds_per_circuit
+
+            cap = self._budget.circuit_cap(
+                shots_per_circuit=cfg.shots,
+                seconds_per_circuit=estimated_seconds_per_circuit(
+                    hamiltonian, cfg.shots
+                ),
+            )
+            if cap is not None:
+                max_executed = cap if max_executed is None else min(
+                    max_executed, cap
+                )
         subproblems = partition_problem(
-            hamiltonian, hotspots, prune_symmetric=self._prune
+            hamiltonian, hotspots, prune_symmetric=prune
         )
-        executed = executed_subproblems(subproblems)
+        all_executed = executed_subproblems(subproblems)
         support = linear_support_union(subproblems)
-        job_seeds = spawn_seeds(rng, len(executed))
+        job_seeds = spawn_seeds(rng, len(all_executed))
+        seed_by_index = {
+            sp.index: job_seed for sp, job_seed in zip(all_executed, job_seeds)
+        }
+
+        # Budgeted triage (beyond symmetry): rank the non-mirror cells and
+        # keep the top-k; the rest are covered classically at finalize.
+        # Cells keep the child seed they were spawned positionally, so
+        # pruning one cell never changes a sibling's stream.
+        executed = all_executed
+        skipped: list[SkippedAssignment] = []
+        if max_executed is not None and max_executed < len(all_executed):
+            from repro.planning.pruning import rank_assignments
+
+            probe_seed = spawn_seeds(rng, 1)[0]
+            ranks = rank_assignments(all_executed, seed=probe_seed)
+            keep = {rank.index for rank in ranks[:max_executed]}
+            rank_by_index = {rank.index: rank for rank in ranks}
+            executed = [sp for sp in all_executed if sp.index in keep]
+            skipped = [
+                SkippedAssignment(
+                    subproblem=sp,
+                    seed=seed_by_index[sp.index],
+                    rank=rank_by_index[sp.index],
+                )
+                for sp in all_executed
+                if sp.index not in keep
+            ]
 
         # Compile once (Sec. 3.7.1): the first executed sub-problem's
         # template is the master; siblings get angle-edited copies. Each
@@ -515,9 +673,15 @@ class FrozenQubitsSolver:
             # angle editing preserves — one profile serves every sibling.
             noise_profile = noise_profile_for_transpiled(template_compiled)
 
+        # Cross-sibling warm starts: siblings share one template shape
+        # (identical quadratic terms — freezing only reshapes the linear
+        # ones), so one trained representative seeds every other sibling.
+        warm = warm and len(executed) >= 2
+        representative_id = f"{job_prefix}sp{executed[0].index}" if executed else None
+
         jobs: list[JobSpec] = []
         edited = 0
-        for sp, job_seed in zip(executed, job_seeds):
+        for sp in executed:
             job_template: "TranspiledCircuit | None" = None
             if template_compiled is not None:
                 if sp is executed[0]:
@@ -534,15 +698,21 @@ class FrozenQubitsSolver:
                     )
                     edited += 1
                 _assert_own_coefficients(job_template, sp.hamiltonian, support)
+            job_id = f"{job_prefix}sp{sp.index}"
             jobs.append(
                 JobSpec(
-                    job_id=f"{job_prefix}sp{sp.index}",
+                    job_id=job_id,
                     hamiltonian=sp.hamiltonian,
                     config=cfg,
-                    seed=job_seed,
+                    seed=seed_by_index[sp.index],
                     device=device,
                     transpiled=job_template,
                     noise_profile=noise_profile,
+                    warm_start_from=(
+                        representative_id
+                        if warm and job_id != representative_id
+                        else None
+                    ),
                 )
             )
         return PreparedSolve(
@@ -554,12 +724,48 @@ class FrozenQubitsSolver:
             template=template_compiled,
             jobs=jobs,
             edited_circuits=edited,
+            skipped=skipped,
+            plan=plan,
+            warm_start=warm,
+        )
+
+    def _resolve_plan(
+        self,
+        hamiltonian: IsingHamiltonian,
+        device: "Device | None",
+        rng: np.random.Generator,
+    ) -> "FreezePlan | None":
+        """The plan to follow: the explicit one, or an adaptive one when
+        the session planning defaults ask for it."""
+        if self._plan is not None:
+            return self._plan
+        if not self._adaptive:
+            return None
+        from repro.planning.planner import FreezePlanner
+
+        planner = FreezePlanner(
+            hotspot_policy=self._policy,
+            warm_start=self._warm_start,
+            prune_symmetric=self._prune,
+            shots=self._config.shots,
+        )
+        return planner.plan(
+            hamiltonian,
+            device=device,
+            budget=self._budget,
+            seed=spawn_seeds(rng, 1)[0],
         )
 
     def finalize(
         self, prepared: PreparedSolve, job_results: list
     ) -> FrozenQubitsResult:
-        """Decode backend results, recover mirrors, and pick the winner.
+        """Decode backend results, cover pruned cells, recover mirrors,
+        and pick the winner.
+
+        Budget-pruned cells are covered by a simulated-annealing fallback
+        (seeded with the cell's own child seed, floored at the prepare-time
+        probe), so the returned outcomes always partition the full
+        state-space regardless of how many circuits actually ran.
 
         Args:
             prepared: The matching :meth:`prepare_jobs` output.
@@ -592,6 +798,24 @@ class FrozenQubitsSolver:
                 best_value=hamiltonian.evaluate(full_spins),
                 ev_ideal=run.ev_ideal,
                 ev_noisy=run.ev_noisy,
+                source="quantum",
+            )
+        for entry in prepared.skipped:
+            sp = entry.subproblem
+            anneal = simulated_annealing(sp.hamiltonian, seed=entry.seed)
+            sub_spins, value = anneal.spins, anneal.value
+            if entry.rank is not None and entry.rank.probe_value < value:
+                sub_spins, value = entry.rank.probe_spins, entry.rank.probe_value
+            full_spins = decode_spins(sp.spec, sp.assignment, sub_spins)
+            outcomes[sp.index] = SubProblemOutcome(
+                subproblem=sp,
+                run=None,
+                decoded_counts=None,
+                best_spins=full_spins,
+                best_value=hamiltonian.evaluate(full_spins),
+                ev_ideal=float("nan"),
+                ev_noisy=float("nan"),
+                source="classical",
             )
         for sp in prepared.subproblems:
             if not sp.is_mirror:
@@ -611,12 +835,16 @@ class FrozenQubitsSolver:
                 best_value=hamiltonian.evaluate(mirrored_spins),
                 ev_ideal=twin.ev_ideal,
                 ev_noisy=twin.ev_noisy,
+                source="mirror",
             )
 
         ordered = [outcomes[sp.index] for sp in prepared.subproblems]
         best = min(ordered, key=lambda o: o.best_value)
-        ev_ideal = float(np.mean([o.ev_ideal for o in ordered]))
-        ev_noisy = float(np.mean([o.ev_noisy for o in ordered]))
+        # Classical fallbacks carry NaN expectations (no circuit); the
+        # mixture averages over the sub-spaces that have one.
+        ev_ideal = float(np.nanmean([o.ev_ideal for o in ordered]))
+        ev_noisy = float(np.nanmean([o.ev_noisy for o in ordered]))
+        optimizations = [r.run.optimization for r in job_results]
         return FrozenQubitsResult(
             hamiltonian=hamiltonian,
             frozen_qubits=prepared.hotspots,
@@ -628,6 +856,17 @@ class FrozenQubitsSolver:
             ev_noisy=ev_noisy,
             template=prepared.template,
             edited_circuits=prepared.edited_circuits,
+            plan=prepared.plan,
+            skipped_assignments=tuple(
+                entry.subproblem.index for entry in prepared.skipped
+            ),
+            num_optimizer_evaluations=sum(
+                opt.num_evaluations for opt in optimizations
+            ),
+            num_warm_started=sum(1 for opt in optimizations if opt.warm_started),
+            num_warm_start_rejected=sum(
+                1 for opt in optimizations if opt.warm_start_rejected
+            ),
         )
 
     def solve(

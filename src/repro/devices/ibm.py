@@ -12,6 +12,8 @@ reproducible. Real calibration data cannot be fetched offline; see DESIGN.md
 
 from __future__ import annotations
 
+from functools import lru_cache
+
 from repro.devices.calibration import sampled_calibration, uniform_calibration
 from repro.devices.device import Device
 from repro.devices.topologies import (
@@ -38,9 +40,6 @@ IBM_BACKENDS: dict[str, dict] = {
     },
 }
 
-_CACHE: dict[str, Device] = {}
-
-
 def _coupling_for(family: str, qubits: int):
     if family == "falcon":
         return heavy_hex_falcon27()
@@ -51,10 +50,31 @@ def _coupling_for(family: str, qubits: int):
     raise DeviceError(f"unknown backend family {family!r}")
 
 
+@lru_cache(maxsize=None)
+def _build_backend(key: str) -> Device:
+    """Construct (and memoise) one device model.
+
+    ``lru_cache`` makes the registry thread-safe: concurrent callers may
+    race to *build* the same device once each, but the cache insertion is
+    lock-protected, every caller gets a fully-constructed object, and
+    subsequent lookups converge on one canonical instance — unlike the
+    plain module-level dict this replaces, which could expose a
+    half-populated entry under threaded use.
+    """
+    spec = IBM_BACKENDS[key]
+    coupling = _coupling_for(spec["family"], spec["qubits"])
+    calibration = sampled_calibration(
+        coupling, seed=spec["seed"], cx_error_median=spec["cx_median"]
+    )
+    return Device(name=key, coupling=coupling, calibration=calibration)
+
+
 def get_backend(name: str) -> Device:
     """Look up one of the paper's IBMQ backends by name.
 
     Accepts both ``"ibm_montreal"`` and the short form ``"montreal"``.
+    Thread-safe: concurrent lookups of the same name return one shared,
+    fully-constructed :class:`~repro.devices.device.Device`.
 
     Raises:
         DeviceError: For unknown backend names.
@@ -64,14 +84,7 @@ def get_backend(name: str) -> Device:
         raise DeviceError(
             f"unknown backend {name!r}; known: {sorted(IBM_BACKENDS)}"
         )
-    if key not in _CACHE:
-        spec = IBM_BACKENDS[key]
-        coupling = _coupling_for(spec["family"], spec["qubits"])
-        calibration = sampled_calibration(
-            coupling, seed=spec["seed"], cx_error_median=spec["cx_median"]
-        )
-        _CACHE[key] = Device(name=key, coupling=coupling, calibration=calibration)
-    return _CACHE[key]
+    return _build_backend(key)
 
 
 def list_backends() -> list[str]:

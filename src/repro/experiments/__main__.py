@@ -18,6 +18,12 @@ import time
 from repro.backend import BACKEND_REGISTRY, ProcessPoolBackend, set_default_backend
 from repro.experiments import figures, render_table, rows_to_csv
 from repro.experiments.tables import table3_comparison
+from repro.planning import (
+    ExecutionBudget,
+    PlanningDefaults,
+    get_default_planning,
+    set_default_planning,
+)
 
 #: (name, callable, quick kwargs, full kwargs)
 _FIGURES = [
@@ -82,26 +88,63 @@ def main(argv: "list[str] | None" = None) -> int:
         "--workers", type=int, metavar="N", default=None,
         help="worker-process count for --backend process",
     )
+    parser.add_argument(
+        "--budget", type=int, metavar="K", default=None,
+        help="cap every solve at K executed circuits; fan-out cells beyond "
+        "the top-K are covered by the classical fallback",
+    )
+    parser.add_argument(
+        "--plan", action="store_true",
+        help="let the FreezePlanner choose m per instance (adaptive "
+        "freezing) instead of each figure's fixed num_frozen",
+    )
+    parser.add_argument(
+        "--warm-start", action="store_true",
+        help="seed sibling sub-problem optimizers from one trained "
+        "representative per solve",
+    )
     args = parser.parse_args(argv)
     if args.workers is not None and args.backend != "process":
         parser.error("--workers requires --backend process")
+    if args.budget is not None and args.budget < 1:
+        parser.error("--budget must be >= 1")
     if args.backend == "process" and args.workers is not None:
         set_default_backend(ProcessPoolBackend(max_workers=args.workers))
     elif args.backend is not None:
         set_default_backend(args.backend)
+    planning_flags = args.budget is not None or args.plan or args.warm_start
+    previous_planning = get_default_planning()
+    if planning_flags:
+        set_default_planning(
+            PlanningDefaults(
+                budget=(
+                    ExecutionBudget(max_circuits=args.budget)
+                    if args.budget is not None
+                    else None
+                ),
+                warm_start=args.warm_start,
+                adaptive=args.plan,
+            )
+        )
     full = os.environ.get("REPRO_FULL", "0") == "1"
     if args.csv:
         os.makedirs(args.csv, exist_ok=True)
-    for name, builder, quick_kwargs, full_kwargs in _FIGURES:
-        if args.only and not name.startswith(args.only):
-            continue
-        kwargs = full_kwargs if full else quick_kwargs
-        started = time.perf_counter()
-        rows = builder(**kwargs)
-        elapsed = time.perf_counter() - started
-        print(render_table(rows, title=f"{name}  ({elapsed:.1f}s)"))
-        if args.csv:
-            rows_to_csv(rows, os.path.join(args.csv, f"{name}.csv"))
+    try:
+        for name, builder, quick_kwargs, full_kwargs in _FIGURES:
+            if args.only and not name.startswith(args.only):
+                continue
+            kwargs = full_kwargs if full else quick_kwargs
+            started = time.perf_counter()
+            rows = builder(**kwargs)
+            elapsed = time.perf_counter() - started
+            print(render_table(rows, title=f"{name}  ({elapsed:.1f}s)"))
+            if args.csv:
+                rows_to_csv(rows, os.path.join(args.csv, f"{name}.csv"))
+    finally:
+        # The defaults are process-global; restore whatever an embedding
+        # caller (test, notebook) had installed before this run.
+        if planning_flags:
+            set_default_planning(previous_planning)
     return 0
 
 

@@ -27,6 +27,8 @@ from repro.utils.rng import spawn_seeds
 
 if TYPE_CHECKING:
     from repro.backend.base import ExecutionBackend
+    from repro.planning.budget import ExecutionBudget
+    from repro.planning.planner import FreezePlan
 
 
 @dataclass(frozen=True)
@@ -140,6 +142,9 @@ def solve_suite(
     backend: "ExecutionBackend | str | None" = None,
     config: "SolverConfig | None" = None,
     seed: int = 0,
+    budget: "ExecutionBudget | None" = None,
+    plans: "FreezePlan | list[FreezePlan | None] | None" = None,
+    warm_start: "bool | None" = None,
 ) -> list[tuple[WorkloadInstance, FrozenQubitsResult]]:
     """Solve a whole workload suite through one backend submission.
 
@@ -155,6 +160,9 @@ def solve_suite(
         backend: Execution backend (instance, name, or session default).
         config: Shared runner knobs.
         seed: Parent seed; each instance gets a spawned child seed.
+        budget: Execution budget applied to every instance's fan-out.
+        plans: Freeze plan(s) — see :func:`repro.core.solve_many`.
+        warm_start: Cross-sibling warm starts for every instance.
 
     Returns:
         ``(instance, result)`` pairs in input order.
@@ -167,5 +175,8 @@ def solve_suite(
         backend=backend,
         config=config,
         seed=seed,
+        budget=budget,
+        plans=plans,
+        warm_start=warm_start,
     )
     return list(zip(instances, results))

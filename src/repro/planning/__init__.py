@@ -1,0 +1,43 @@
+"""Adaptive freeze planning: budgets, plans, and fan-out triage.
+
+FrozenQubits pays ``2**m`` sub-problems for every ``m`` frozen hotspots;
+this package decides — per instance, under an explicit resource budget —
+how deep to freeze, which of the resulting assignments deserve quantum
+execution, and whether sibling optimizers should be warm-started from a
+shared representative:
+
+* :class:`ExecutionBudget` — the resource envelope (circuits / shots /
+  wall-clock proxy);
+* :class:`FreezePlanner` / :class:`FreezePlan` — the inspectable per-
+  instance decision (depth, hotspots, top-k cap, warm start, rationale);
+* :func:`rank_assignments` — annealer-probe + offset-bound triage of the
+  fan-out, feeding the solver's budgeted pruning;
+* :func:`set_default_planning` — session defaults, the CLI's
+  ``--budget`` / ``--plan`` / ``--warm-start`` switchboard.
+"""
+
+from repro.planning.budget import ExecutionBudget
+from repro.planning.planner import FreezePlan, FreezePlanner, plan_freeze
+from repro.planning.pruning import (
+    AssignmentRank,
+    offset_lower_bound,
+    rank_assignments,
+)
+from repro.planning.session import (
+    PlanningDefaults,
+    get_default_planning,
+    set_default_planning,
+)
+
+__all__ = [
+    "AssignmentRank",
+    "ExecutionBudget",
+    "FreezePlan",
+    "FreezePlanner",
+    "PlanningDefaults",
+    "get_default_planning",
+    "offset_lower_bound",
+    "plan_freeze",
+    "rank_assignments",
+    "set_default_planning",
+]

@@ -1,0 +1,101 @@
+"""Execution budgets: the resource envelope a freeze plan must fit.
+
+The paper's trade-off analysis (Sec. 3.4, Fig. 9) prices freezing ``m``
+qubits at ``2**m`` circuit executions; what the *right* ``m`` is depends on
+how many circuits, shots, and how much wall-clock the caller can actually
+afford. :class:`ExecutionBudget` expresses that envelope explicitly so the
+planner (and the solver's fan-out pruning) can reason about it instead of
+taking a fixed ``num_frozen`` on faith.
+
+All limits are optional — an unset limit never constrains — and combine
+conservatively: the binding cap is the *tightest* of the circuit, shot, and
+wall-clock limits.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.exceptions import SolverError
+
+
+@dataclass(frozen=True)
+class ExecutionBudget:
+    """Resource envelope for one FrozenQubits solve.
+
+    Attributes:
+        max_circuits: Hard cap on distinct quantum circuit executions
+            (trained sub-problems). ``None`` = unlimited.
+        max_shots: Cap on total measurement shots across all executed
+            circuits; divided by the per-circuit shot count it becomes a
+            circuit cap. ``None`` = unlimited.
+        max_seconds: Wall-clock proxy: divided by an estimated per-circuit
+            cost (supplied by the caller, e.g. from the transpiled CX
+            count) it becomes a circuit cap. ``None`` = unlimited.
+    """
+
+    max_circuits: "int | None" = None
+    max_shots: "int | None" = None
+    max_seconds: "float | None" = None
+
+    def __post_init__(self) -> None:
+        if self.max_circuits is not None and self.max_circuits < 1:
+            raise SolverError(
+                f"max_circuits must be >= 1, got {self.max_circuits}"
+            )
+        if self.max_shots is not None and self.max_shots < 1:
+            raise SolverError(f"max_shots must be >= 1, got {self.max_shots}")
+        if self.max_seconds is not None and self.max_seconds <= 0:
+            raise SolverError(
+                f"max_seconds must be positive, got {self.max_seconds}"
+            )
+
+    @property
+    def unlimited(self) -> bool:
+        """True when no limit is set (the budget never binds)."""
+        return (
+            self.max_circuits is None
+            and self.max_shots is None
+            and self.max_seconds is None
+        )
+
+    def circuit_cap(
+        self,
+        shots_per_circuit: "int | None" = None,
+        seconds_per_circuit: "float | None" = None,
+    ) -> "int | None":
+        """Tightest circuit-count cap implied by the set limits.
+
+        Args:
+            shots_per_circuit: Shots each executed circuit will consume;
+                required for ``max_shots`` to bind.
+            seconds_per_circuit: Estimated wall-clock per circuit (a proxy,
+                e.g. proportional to CX count x shots); required for
+                ``max_seconds`` to bind.
+
+        Returns:
+            The cap (always >= 1 — a budget can prune, never abort), or
+            ``None`` when no set limit translates into a circuit count.
+        """
+        caps: list[int] = []
+        if self.max_circuits is not None:
+            caps.append(self.max_circuits)
+        if self.max_shots is not None and shots_per_circuit:
+            caps.append(self.max_shots // shots_per_circuit)
+        if self.max_seconds is not None and seconds_per_circuit:
+            caps.append(int(self.max_seconds / seconds_per_circuit))
+        if not caps:
+            return None
+        return max(min(caps), 1)
+
+
+def estimated_seconds_per_circuit(hamiltonian, shots: int) -> float:
+    """Crude wall-clock proxy for one executed circuit of a problem.
+
+    Training dominates; its cost scales with the term count times the shot
+    count. The constant is calibrated to CI-scale simulators — this is a
+    *relative* knob for budget math, not a prediction. Shared by the
+    planner and the solver so a ``max_seconds`` budget binds identically
+    through either entry point.
+    """
+    return 1e-7 * shots * max(hamiltonian.num_terms, 1)

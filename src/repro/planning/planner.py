@@ -1,0 +1,295 @@
+"""Adaptive freeze planning: choose ``m`` and the hotspot set per instance.
+
+The solver historically took ``num_frozen`` as a fixed argument; the
+paper's own analysis (Sec. 3.7, Fig. 9) shows the right depth depends on
+the problem and the budget. :class:`FreezePlanner` combines the three
+signals the repo already computes —
+
+* the transpile cost model (:func:`repro.core.costs.cost_curve`): CX count
+  per sub-circuit for growing ``m`` (device runs),
+* the trade-off knee (:func:`repro.analysis.tradeoff.knee_under_budget`):
+  the last ``m`` whose marginal improvement is still worth its cost,
+* the hotspot policies (:func:`repro.core.hotspots.select_hotspots`) with
+  a dropped-edge marginal-gain criterion (device-free runs),
+
+— into an explicit, inspectable :class:`FreezePlan` that records *why*
+each choice was made. A plan is a value object: hand it to
+:class:`repro.core.solver.FrozenQubitsSolver` (or ``solve_many``) and the
+solve follows it exactly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+from repro.exceptions import SolverError
+from repro.ising.hamiltonian import IsingHamiltonian
+from repro.ising.symmetry import has_spin_flip_symmetry
+from repro.planning.budget import ExecutionBudget
+
+if TYPE_CHECKING:
+    from repro.core.costs import CostReport
+    from repro.devices.device import Device
+
+
+@dataclass(frozen=True)
+class FreezePlan:
+    """An explicit, inspectable freezing decision.
+
+    Replaces the implicit ``num_frozen`` int: the plan pins the hotspot
+    set, the quantum fan-out cap, and the warm-start choice, plus the
+    evidence they were derived from.
+
+    Attributes:
+        num_frozen: Chosen freeze depth ``m``.
+        hotspots: The frozen qubits, in selection order.
+        max_executed: Cap on quantum-executed sub-problems (the budgeted
+            top-k); ``None`` executes every non-mirror cell.
+        warm_start: Seed sibling optimizers from a trained representative.
+        prune_symmetric: Whether the Sec. 3.7.2 mirror pruning applies.
+        policy: Hotspot policy the selection used.
+        budget: The budget the plan was made under (``None`` = unlimited).
+        cost_reports: Transpile cost curve consulted (device plans only).
+        notes: Human-readable rationale, one decision per line.
+    """
+
+    num_frozen: int
+    hotspots: tuple[int, ...]
+    max_executed: "int | None" = None
+    warm_start: bool = False
+    prune_symmetric: bool = True
+    policy: str = "degree"
+    budget: "ExecutionBudget | None" = None
+    cost_reports: "tuple[CostReport, ...]" = ()
+    notes: tuple[str, ...] = field(default=())
+
+    def __post_init__(self) -> None:
+        if self.num_frozen != len(self.hotspots):
+            raise SolverError(
+                f"plan is inconsistent: num_frozen={self.num_frozen} but "
+                f"{len(self.hotspots)} hotspots"
+            )
+        if self.max_executed is not None and self.max_executed < 1:
+            raise SolverError(
+                f"max_executed must be >= 1, got {self.max_executed}"
+            )
+
+    def describe(self) -> str:
+        """The rationale as one printable block."""
+        header = (
+            f"FreezePlan: m={self.num_frozen}, hotspots={list(self.hotspots)}, "
+            f"max_executed={self.max_executed}, warm_start={self.warm_start}"
+        )
+        return "\n".join([header, *(f"  - {note}" for note in self.notes)])
+
+
+class FreezePlanner:
+    """Choose a :class:`FreezePlan` for a problem under a budget.
+
+    Args:
+        hotspot_policy: Selection policy (see :mod:`repro.core.hotspots`).
+        max_frozen: Never freeze more than this many qubits.
+        plateau_threshold: Marginal-improvement floor, as a fraction of the
+            baseline metric, below which extra freezing is not worth its
+            exponential cost (the paper's Sec. 5.1.3 criterion).
+        warm_start: Enable cross-sibling warm starts in produced plans
+            whenever the fan-out has at least two executed cells.
+        prune_symmetric: Allow mirror pruning on symmetric parents.
+        shots: Per-circuit shots assumed when a shot budget must be turned
+            into a circuit cap.
+        prune_stretch: How far past the budget the fan-out may grow before
+            the depth is clamped: a quality-chosen ``m`` is kept as long
+            as its non-mirror cell count is at most ``prune_stretch`` times
+            the circuit cap — the overflow runs as a ranked top-k with
+            classical fallback for the rest. ``1`` disables overflow (the
+            depth must fit the budget exactly).
+    """
+
+    def __init__(
+        self,
+        hotspot_policy: str = "degree",
+        max_frozen: int = 10,
+        plateau_threshold: float = 0.05,
+        warm_start: bool = True,
+        prune_symmetric: bool = True,
+        shots: int = 4096,
+        prune_stretch: int = 4,
+    ) -> None:
+        if max_frozen < 0:
+            raise SolverError(f"max_frozen must be >= 0, got {max_frozen}")
+        if plateau_threshold < 0:
+            raise SolverError(
+                f"plateau_threshold must be >= 0, got {plateau_threshold}"
+            )
+        if prune_stretch < 1:
+            raise SolverError(
+                f"prune_stretch must be >= 1, got {prune_stretch}"
+            )
+        self._policy = hotspot_policy
+        self._max_frozen = max_frozen
+        self._plateau = plateau_threshold
+        self._warm_start = warm_start
+        self._prune = prune_symmetric
+        self._shots = shots
+        self._stretch = prune_stretch
+
+    def plan(
+        self,
+        hamiltonian: IsingHamiltonian,
+        device: "Device | None" = None,
+        budget: "ExecutionBudget | None" = None,
+        seed: "int | None" = None,
+    ) -> FreezePlan:
+        """Produce a freeze plan for one problem.
+
+        With a device, the transpile cost model drives the depth choice
+        (CX count per sub-circuit, Sec. 5.1.3); without one, the marginal
+        dropped-edge fraction of each successive hotspot stands in. Either
+        way the budget caps both the depth and the executed fan-out.
+
+        Args:
+            hamiltonian: The problem.
+            device: Optional target device (enables the cost model).
+            budget: Resource envelope; ``None`` = unlimited.
+            seed: RNG seed for stochastic hotspot policies.
+        """
+        from repro.core.costs import quantum_cost
+        from repro.core.hotspots import select_hotspots
+        from repro.planning.budget import estimated_seconds_per_circuit
+
+        notes: list[str] = []
+        symmetric = self._prune and has_spin_flip_symmetry(hamiltonian)
+        cap = None if budget is None else budget.circuit_cap(
+            shots_per_circuit=self._shots,
+            seconds_per_circuit=estimated_seconds_per_circuit(
+                hamiltonian, self._shots
+            ),
+        )
+        if cap is not None:
+            notes.append(f"budget caps the fan-out at {cap} circuits")
+
+        upper = min(self._max_frozen, max(hamiltonian.num_qubits - 1, 0))
+        hotspots = select_hotspots(
+            hamiltonian, upper, policy=self._policy, device=device, seed=seed
+        )
+        reports: tuple = ()
+        if device is not None and upper > 0:
+            m, reports, why = self._depth_from_cost_model(
+                hamiltonian, device, upper, hotspots
+            )
+        else:
+            m, why = self._depth_from_degrees(hamiltonian, hotspots, upper)
+        notes.extend(why)
+
+        # The budget bounds the depth too, with slack: a deeper freeze
+        # (smaller, higher-fidelity circuits) is worth keeping while the
+        # fan-out overflows the cap by at most ``prune_stretch`` — the
+        # overflow runs as a ranked top-k and the rest falls back to
+        # classical coverage. Beyond that the solve would be mostly
+        # classical, so the depth is clamped instead.
+        if cap is not None:
+            chosen = m
+            while m > 0 and quantum_cost(m, pruned=symmetric) > cap * self._stretch:
+                m -= 1
+            if m != chosen:
+                notes.append(
+                    f"depth clamped from m={chosen} to m={m}: the fan-out may "
+                    f"overflow the {cap}-circuit cap by at most {self._stretch}x"
+                )
+
+        executed = quantum_cost(m, pruned=symmetric)
+        max_executed = None
+        if cap is not None and cap < executed:
+            max_executed = cap
+            notes.append(
+                f"executing top-{cap} of {executed} cells; the rest are "
+                "covered classically"
+            )
+        warm = self._warm_start and executed >= 2 and (
+            max_executed is None or max_executed >= 2
+        )
+        if warm:
+            notes.append("warm-starting siblings from one trained representative")
+        return FreezePlan(
+            num_frozen=m,
+            hotspots=tuple(hotspots[:m]),
+            max_executed=max_executed,
+            warm_start=warm,
+            prune_symmetric=self._prune,
+            policy=self._policy,
+            budget=budget,
+            cost_reports=reports,
+            notes=tuple(notes),
+        )
+
+    def _depth_from_cost_model(
+        self,
+        hamiltonian: IsingHamiltonian,
+        device: "Device",
+        upper: int,
+        hotspots: "list[int]",
+    ) -> tuple:
+        """Pick m from the transpiled CX curve's diminishing-returns knee.
+
+        The curve is built over the *already selected* hotspot ordering so
+        the depth choice matches the freezing the plan pins (and so
+        device- or seed-dependent policies don't get re-run blind).
+        """
+        from repro.analysis.tradeoff import knee_under_budget, tradeoff_curve
+        from repro.core.costs import cost_curve
+
+        reports = cost_curve(
+            hamiltonian,
+            device,
+            max_frozen=upper,
+            policy=self._policy,
+            hotspots=hotspots,
+        )
+        curve = tradeoff_curve([max(r.cx_count, 1) for r in reports])
+        m = knee_under_budget(curve, threshold=self._plateau)
+        why = [
+            f"cost model: CX {reports[0].cx_count} at m=0 -> "
+            f"{reports[min(m, len(reports) - 1)].cx_count} at m={m} "
+            f"(plateau threshold {self._plateau})"
+        ]
+        return m, tuple(reports), why
+
+    def _depth_from_degrees(
+        self,
+        hamiltonian: IsingHamiltonian,
+        hotspots: "list[int]",
+        upper: int,
+    ) -> tuple:
+        """Device-free depth choice: marginal dropped-edge fraction.
+
+        Freezing a hotspot removes its incident quadratic terms; keep
+        freezing while each successive hotspot still removes at least
+        ``plateau_threshold`` of the original terms.
+        """
+        from repro.core.hotspots import dropped_edges
+
+        total = max(hamiltonian.num_terms, 1)
+        m = 0
+        for depth in range(1, upper + 1):
+            gain = (
+                dropped_edges(hamiltonian, hotspots[:depth])
+                - dropped_edges(hamiltonian, hotspots[: depth - 1])
+            ) / total
+            if gain < self._plateau:
+                break
+            m = depth
+        why = [
+            f"degree heuristic: {m} hotspot(s) each drop >= "
+            f"{self._plateau:.0%} of the {hamiltonian.num_terms} couplings"
+        ]
+        return m, why
+
+def plan_freeze(
+    hamiltonian: IsingHamiltonian,
+    device: "Device | None" = None,
+    budget: "ExecutionBudget | None" = None,
+    **kwargs,
+) -> FreezePlan:
+    """One-call convenience wrapper: ``FreezePlanner(**kwargs).plan(...)``."""
+    return FreezePlanner(**kwargs).plan(hamiltonian, device=device, budget=budget)

@@ -1,0 +1,45 @@
+"""Session-wide planning defaults, mirroring the backend registry pattern.
+
+The experiments CLI needs one switch that makes *every* solve in a run
+budgeted / planned / warm-started without threading new kwargs through
+every figure builder. ``set_default_planning`` installs a
+:class:`PlanningDefaults`; :class:`repro.core.solver.FrozenQubitsSolver`
+consults it for any knob the call site left unset — exactly how
+``repro.backend.set_default_backend`` already works for execution.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.planning.budget import ExecutionBudget
+
+
+@dataclass(frozen=True)
+class PlanningDefaults:
+    """Session fallbacks for solver planning knobs.
+
+    Attributes:
+        budget: Budget applied when a solve doesn't pass its own.
+        warm_start: Enable cross-sibling warm starts by default.
+        adaptive: Let :class:`repro.planning.FreezePlanner` choose ``m``
+            per instance instead of the caller's fixed ``num_frozen``.
+    """
+
+    budget: "ExecutionBudget | None" = None
+    warm_start: bool = False
+    adaptive: bool = False
+
+
+_defaults = PlanningDefaults()
+
+
+def set_default_planning(defaults: "PlanningDefaults | None") -> None:
+    """Install session planning defaults (``None`` resets to no-ops)."""
+    global _defaults
+    _defaults = defaults if defaults is not None else PlanningDefaults()
+
+
+def get_default_planning() -> PlanningDefaults:
+    """The current session planning defaults."""
+    return _defaults

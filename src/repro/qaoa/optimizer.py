@@ -41,6 +41,11 @@ class OptimizationResult:
         num_evaluations: Objective calls consumed.
         history: Objective value after each improvement, for convergence
             plots.
+        warm_started: True when a transferred initial point replaced the
+            fresh seeding scan (the cross-sibling transfer path).
+        warm_start_rejected: True when a transferred point was offered but
+            evaluated no better than the untrained baseline, so the run
+            fell back to fresh seeding.
     """
 
     gammas: tuple[float, ...]
@@ -48,6 +53,8 @@ class OptimizationResult:
     value: float
     num_evaluations: int
     history: list[float] = field(default_factory=list)
+    warm_started: bool = False
+    warm_start_rejected: bool = False
 
 
 def optimize_qaoa(
@@ -59,6 +66,7 @@ def optimize_qaoa(
     gamma_range: tuple[float, float] = DEFAULT_GAMMA_RANGE,
     beta_range: tuple[float, float] = DEFAULT_BETA_RANGE,
     seed: "int | np.random.Generator | None" = None,
+    initial_point: "tuple[Sequence[float], Sequence[float]] | None" = None,
 ) -> OptimizationResult:
     """Minimise a QAOA expectation over its 2p parameters.
 
@@ -71,6 +79,13 @@ def optimize_qaoa(
         gamma_range: Seeding box for gammas.
         beta_range: Seeding box for betas.
         seed: RNG seed or generator (used for p > 1 starts).
+        initial_point: Transferred ``(gammas, betas)`` — e.g. a sibling
+            sub-problem's trained optimum. When the transferred point
+            evaluates better than the untrained (all-zero) baseline, it
+            replaces the seeding scan entirely and Nelder-Mead refines
+            from it — two evaluations instead of ``grid_resolution**2``.
+            Otherwise the transfer is rejected and the fresh-start path
+            runs as if no point had been offered.
 
     Returns:
         The best parameters found and bookkeeping.
@@ -95,24 +110,46 @@ def optimize_qaoa(
             history.append(value)
         return value
 
+    warm_started = False
+    warm_start_rejected = False
     starts: list[np.ndarray] = []
-    if num_layers == 1:
-        gamma_axis = np.linspace(*gamma_range, grid_resolution)
-        beta_axis = np.linspace(*beta_range, grid_resolution)
-        grid_best = None
-        grid_best_value = np.inf
-        for gamma in gamma_axis:
-            for beta in beta_axis:
-                value = objective(np.array([gamma, beta]))
-                if value < grid_best_value:
-                    grid_best_value = value
-                    grid_best = np.array([gamma, beta])
-        starts.append(grid_best)
-    else:
-        for __ in range(num_starts):
-            gammas = rng.uniform(*gamma_range, size=num_layers)
-            betas = rng.uniform(*beta_range, size=num_layers)
-            starts.append(np.concatenate([gammas, betas]))
+    if initial_point is not None:
+        gammas, betas = initial_point
+        if len(gammas) != num_layers or len(betas) != num_layers:
+            raise QAOAError(
+                f"initial_point has {len(gammas)}/{len(betas)} gammas/betas, "
+                f"expected {num_layers} of each"
+            )
+        transferred = np.asarray([*gammas, *betas], dtype=float)
+        # Acceptance test: the transfer must beat the untrained baseline
+        # (all angles zero — the uniform superposition, whose expectation
+        # any useful training improves on).
+        null_value = objective(np.zeros(2 * num_layers))
+        transferred_value = objective(transferred)
+        if transferred_value < null_value:
+            warm_started = True
+            starts.append(transferred)
+        else:
+            warm_start_rejected = True
+
+    if not starts:
+        if num_layers == 1:
+            gamma_axis = np.linspace(*gamma_range, grid_resolution)
+            beta_axis = np.linspace(*beta_range, grid_resolution)
+            grid_best = None
+            grid_best_value = np.inf
+            for gamma in gamma_axis:
+                for beta in beta_axis:
+                    value = objective(np.array([gamma, beta]))
+                    if value < grid_best_value:
+                        grid_best_value = value
+                        grid_best = np.array([gamma, beta])
+            starts.append(grid_best)
+        else:
+            for __ in range(num_starts):
+                gammas = rng.uniform(*gamma_range, size=num_layers)
+                betas = rng.uniform(*beta_range, size=num_layers)
+                starts.append(np.concatenate([gammas, betas]))
 
     for start in starts:
         sciopt.minimize(
@@ -128,6 +165,8 @@ def optimize_qaoa(
         value=float(best_value),
         num_evaluations=evaluations,
         history=history,
+        warm_started=warm_started,
+        warm_start_rejected=warm_start_rejected,
     )
 
 

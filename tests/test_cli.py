@@ -2,6 +2,8 @@
 
 import os
 
+import pytest
+
 from repro.experiments.__main__ import main
 
 
@@ -29,3 +31,34 @@ class TestCli:
         assert main(["--only", "table3"]) == 0
         out = capsys.readouterr().out
         assert "CutQC" in out and "FrozenQubits" in out
+
+    def test_planning_flags_run_and_reset_defaults(self, capsys):
+        from repro.planning import get_default_planning
+
+        assert main(["--only", "fig18", "--budget", "2", "--warm-start"]) == 0
+        assert "fig18_runtime" in capsys.readouterr().out
+        # The CLI installs session planning defaults for the run only.
+        defaults = get_default_planning()
+        assert defaults.budget is None and not defaults.warm_start
+
+    def test_cli_preserves_caller_installed_defaults(self, capsys):
+        from repro.planning import (
+            PlanningDefaults,
+            get_default_planning,
+            set_default_planning,
+        )
+
+        mine = PlanningDefaults(warm_start=True)
+        set_default_planning(mine)
+        try:
+            assert main(["--only", "fig18"]) == 0
+            assert get_default_planning() is mine  # untouched: no flags
+            assert main(["--only", "fig18", "--budget", "3"]) == 0
+            assert get_default_planning() is mine  # restored after flags
+        finally:
+            set_default_planning(None)
+        capsys.readouterr()
+
+    def test_budget_must_be_positive(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["--only", "fig18", "--budget", "0"])
