@@ -29,6 +29,12 @@ from repro.backend import (
     set_default_backend,
 )
 from repro.baselines import BaselineQAOA
+from repro.cache import (
+    SolveCache,
+    canonical_ising_key,
+    ising_fingerprint,
+    set_default_cache,
+)
 from repro.circuit import Parameter, QuantumCircuit
 from repro.core import (
     FrozenQubitsResult,
@@ -85,6 +91,7 @@ __all__ = [
     "ProcessPoolBackend",
     "QuantumCircuit",
     "SerialBackend",
+    "SolveCache",
     "SolverConfig",
     "TranspileOptions",
     "approximation_ratio",
@@ -93,7 +100,9 @@ __all__ = [
     "brute_force_minimum",
     "build_qaoa_circuit",
     "build_qaoa_template",
+    "canonical_ising_key",
     "freeze_qubits",
+    "ising_fingerprint",
     "get_backend",
     "grid_device",
     "list_backends",
@@ -102,6 +111,7 @@ __all__ = [
     "recommend_num_frozen",
     "select_hotspots",
     "set_default_backend",
+    "set_default_cache",
     "set_default_planning",
     "simulated_annealing",
     "sk_graph",

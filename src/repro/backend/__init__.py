@@ -22,12 +22,12 @@ from repro.backend.base import (
     ExecutionBackend,
     JobResult,
     JobSpec,
+    dependency_levels,
     execute_job,
     execute_jobs_serially,
     inject_warm_start,
     train_job,
     trained_params,
-    warm_start_waves,
 )
 from repro.backend.batched import BatchedStatevectorBackend
 from repro.backend.process_pool import ProcessPoolBackend
@@ -100,6 +100,7 @@ __all__ = [
     "JobSpec",
     "ProcessPoolBackend",
     "SerialBackend",
+    "dependency_levels",
     "execute_job",
     "execute_jobs_serially",
     "get_default_backend",
@@ -108,5 +109,4 @@ __all__ = [
     "set_default_backend",
     "train_job",
     "trained_params",
-    "warm_start_waves",
 ]

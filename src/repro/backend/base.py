@@ -14,12 +14,13 @@ Determinism contract: a job's entire stochastic behaviour is governed by
 that is what makes ``SerialBackend`` and ``ProcessPoolBackend`` produce
 bit-identical results from the same solver seed.
 
-Warm-start contract: a job whose ``spec.warm_start_from`` names a sibling
-must be trained *after* that sibling, with the sibling's trained
-``(gammas, betas)`` injected as its optimizer's initial point (see
-:func:`warm_start_waves` and :func:`inject_warm_start`). Injection is a
-pure function of the source job's result, so the two-wave schedule keeps
-backends deterministic and order-independent within each wave.
+Dependency contract: a job whose ``spec.warm_start_from`` (optimizer
+seeding) or ``spec.params_from`` (dedup adoption) names a sibling must be
+trained *after* that sibling, with the sibling's trained ``(gammas,
+betas)`` injected beforehand (see :func:`dependency_levels` and
+:func:`inject_warm_start`). Injection is a pure function of the source
+job's result, so the level schedule keeps backends deterministic and
+order-independent within each level.
 """
 
 from __future__ import annotations
@@ -71,8 +72,16 @@ class JobSpec:
         warm_start_from: job_id of the sibling whose trained optimum
             should seed this job's optimizer. Backends must execute that
             job first and inject its parameters (see
-            :func:`warm_start_waves` / :func:`inject_warm_start`); a
+            :func:`dependency_levels` / :func:`inject_warm_start`); a
             source missing from the submission degrades to fresh training.
+        params_from: job_id of the structurally-identical sibling whose
+            trained parameters this job *adopts outright* (the cache-dedup
+            path: both jobs carry bit-identical sub-Hamiltonians, and p=1
+            training is deterministic, so the duplicate would retrain the
+            exact same optimum). Backends execute the source first and
+            inject its parameters as ``params`` — the duplicate skips
+            optimization but still samples on its own seed stream. A
+            missing source degrades to fresh training.
     """
 
     job_id: str
@@ -85,6 +94,12 @@ class JobSpec:
     params: "tuple[tuple[float, ...], tuple[float, ...]] | None" = None
     initial_params: "tuple[tuple[float, ...], tuple[float, ...]] | None" = None
     warm_start_from: "str | None" = None
+    params_from: "str | None" = None
+
+    @property
+    def depends_on(self) -> "str | None":
+        """The sibling (if any) whose result this job needs before training."""
+        return self.params_from if self.params_from is not None else self.warm_start_from
 
 
 @dataclass
@@ -136,20 +151,45 @@ def execute_job(spec: JobSpec) -> JobResult:
     )
 
 
-def warm_start_waves(
-    jobs: Sequence[JobSpec],
-) -> tuple[list[int], list[int]]:
-    """Split a submission into warm-start execution waves.
+def dependency_levels(jobs: Sequence[JobSpec]) -> list[list[int]]:
+    """Topological execution levels of a submission's dependency graph.
 
-    Wave 1 is every job with no ``warm_start_from`` (representatives and
-    independents); wave 2 is the dependents, which need a wave-1 job's
-    trained parameters injected before training. Submission order is
-    preserved inside each wave, so a submission without warm-start
-    metadata degenerates to ``(all jobs, [])`` — the legacy schedule.
+    A job depends on at most one sibling (``params_from`` wins over
+    ``warm_start_from``); level 0 holds the independents, level k the jobs
+    whose source sits in level k-1. Submission order is preserved inside
+    each level, so scheduling any level concurrently — after injecting the
+    previous levels' trained parameters — reproduces the serial reference
+    semantics. Unknown sources (and, defensively, dependency cycles) are
+    treated as independent: those jobs degrade to fresh training, matching
+    :func:`inject_warm_start`'s missing-source behaviour.
     """
-    independents = [i for i, s in enumerate(jobs) if s.warm_start_from is None]
-    dependents = [i for i, s in enumerate(jobs) if s.warm_start_from is not None]
-    return independents, dependents
+    jobs = list(jobs)
+    index_by_id = {spec.job_id: i for i, spec in enumerate(jobs)}
+    level_of: dict[int, int] = {}
+    remaining = list(range(len(jobs)))
+    levels: list[list[int]] = []
+    depth = 0
+    while remaining:
+        current = []
+        for i in remaining:
+            source = jobs[i].depends_on
+            source_index = index_by_id.get(source) if source is not None else None
+            if source_index is None or source_index == i:
+                eligible = depth == 0
+            else:
+                eligible = level_of.get(source_index) == depth - 1
+            if eligible:
+                current.append(i)
+        if not current:
+            # Cycle (or source scheduled >1 level back): run the leftovers
+            # as one final level rather than looping forever.
+            current = remaining
+        for i in current:
+            level_of[i] = depth
+        remaining = [i for i in remaining if i not in level_of]
+        levels.append(current)
+        depth += 1
+    return levels
 
 
 def trained_params(result: JobResult) -> tuple[tuple[float, ...], tuple[float, ...]]:
@@ -159,24 +199,28 @@ def trained_params(result: JobResult) -> tuple[tuple[float, ...], tuple[float, .
 
 
 def execute_jobs_serially(jobs: Sequence[JobSpec]) -> list[JobResult]:
-    """Run a submission in-process, honouring the warm-start contract.
+    """Run a submission in-process, honouring the dependency contract.
 
-    The reference two-wave schedule: independents in submission order
-    (collecting each one's trained parameters), then dependents with their
-    source's parameters injected. ``SerialBackend`` *is* this function;
+    The reference schedule: dependency levels in order, submission order
+    inside each level, collecting every finished job's trained parameters
+    so later levels can inject them. ``SerialBackend`` *is* this function;
     pooled backends reuse it for their no-pool shortcut so the schedule
     lives in exactly one place.
     """
     jobs = list(jobs)
-    independents, dependents = warm_start_waves(jobs)
     results: dict[int, JobResult] = {}
     params_by_id: dict = {}
-    for index in independents:
-        result = execute_job(jobs[index])
-        results[index] = result
-        params_by_id[result.job_id] = trained_params(result)
-    for index in dependents:
-        results[index] = execute_job(inject_warm_start(jobs[index], params_by_id))
+    for level in dependency_levels(jobs):
+        # Inject from a snapshot of the *previous* levels only: inside a
+        # level, jobs must not see each other's results — that is what
+        # makes the level schedulable concurrently (and keeps this
+        # reference semantics identical to the pooled backends, even for
+        # degenerate cycle-fallback levels).
+        snapshot = dict(params_by_id)
+        for index in level:
+            result = execute_job(inject_warm_start(jobs[index], snapshot))
+            results[index] = result
+            params_by_id[result.job_id] = trained_params(result)
     return [results[index] for index in range(len(jobs))]
 
 
@@ -184,16 +228,24 @@ def inject_warm_start(
     spec: JobSpec,
     params_by_id: "dict[str, tuple[tuple[float, ...], tuple[float, ...]]]",
 ) -> JobSpec:
-    """Resolve a dependent job's ``warm_start_from`` into ``initial_params``.
+    """Resolve a dependent job's source parameters into the spec.
 
-    Jobs that already carry pre-trained ``params`` or an explicit
+    ``params_from`` adopts the source's trained optimum outright (the
+    structural-dedup path: the duplicate skips optimization);
+    ``warm_start_from`` seeds the optimizer via ``initial_params``. Jobs
+    that already carry pre-trained ``params`` or an explicit
     ``initial_params`` are returned unchanged, as are jobs whose source is
     missing from ``params_by_id`` (they simply train fresh — a degraded
     but correct outcome).
     """
-    if spec.warm_start_from is None or spec.params is not None:
+    if spec.params is not None:
         return spec
-    if spec.initial_params is not None:
+    if spec.params_from is not None:
+        params = params_by_id.get(spec.params_from)
+        if params is None:
+            return spec
+        return replace(spec, params=params)
+    if spec.warm_start_from is None or spec.initial_params is not None:
         return spec
     params = params_by_id.get(spec.warm_start_from)
     if params is None:

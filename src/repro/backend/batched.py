@@ -25,10 +25,10 @@ from repro.backend.base import (
     ExecutionBackend,
     JobResult,
     JobSpec,
+    dependency_levels,
     finish_qaoa_instance,
     inject_warm_start,
     train_job,
-    warm_start_waves,
 )
 from repro.exceptions import SolverError
 from repro.sim.batched import batched_probabilities, group_by_signature
@@ -54,31 +54,30 @@ class BatchedStatevectorBackend(ExecutionBackend):
     def run(self, jobs: Sequence[JobSpec]) -> list[JobResult]:
         """Train sequentially, simulate stacked, finish in job order.
 
-        Training runs in two warm-start waves (sources before dependents,
-        submission order within each wave); the stacked simulation and the
-        finish stage are unaffected by the re-ordering because each job's
-        RNG stream is its own.
+        Training runs in dependency-level order (sources before their
+        warm-start or dedup dependents, submission order within each
+        level); the stacked simulation and the finish stage are unaffected
+        by the re-ordering because each job's RNG stream is its own.
         """
         jobs = list(jobs)
         elapsed = [0.0] * len(jobs)
         trained: list = [None] * len(jobs)
-        independents, dependents = warm_start_waves(jobs)
         params_by_id: dict = {}
-        for index in independents:
-            t0 = time.perf_counter()
-            instance = train_job(jobs[index])
-            trained[index] = instance
-            elapsed[index] = time.perf_counter() - t0
-            params_by_id[jobs[index].job_id] = (
-                instance.optimization.gammas,
-                instance.optimization.betas,
-            )
-        for index in dependents:
-            t0 = time.perf_counter()
-            trained[index] = train_job(
-                inject_warm_start(jobs[index], params_by_id)
-            )
-            elapsed[index] = time.perf_counter() - t0
+        for level in dependency_levels(jobs):
+            # Snapshot injection (previous levels only) — matches the
+            # serial reference semantics; see execute_jobs_serially.
+            snapshot = dict(params_by_id)
+            for index in level:
+                t0 = time.perf_counter()
+                instance = train_job(
+                    inject_warm_start(jobs[index], snapshot)
+                )
+                trained[index] = instance
+                elapsed[index] = time.perf_counter() - t0
+                params_by_id[jobs[index].job_id] = (
+                    instance.optimization.gammas,
+                    instance.optimization.betas,
+                )
 
         # Group the jobs that need a simulation by circuit shape and run
         # one stacked pass per group (chunked to bound memory). Each pass's

@@ -17,11 +17,11 @@ from repro.backend.base import (
     ExecutionBackend,
     JobResult,
     JobSpec,
+    dependency_levels,
     execute_job,
     execute_jobs_serially,
     inject_warm_start,
     trained_params,
-    warm_start_waves,
 )
 from repro.exceptions import SolverError
 
@@ -55,10 +55,10 @@ class ProcessPoolBackend(ExecutionBackend):
     def run(self, jobs: Sequence[JobSpec]) -> list[JobResult]:
         """Execute every job across the pool; results come back in job order.
 
-        Warm-start dependents are submitted as a second wave after their
-        source jobs complete, with the trained parameters injected into
-        the dependent specs before pickling — workers never need to see
-        another job's result.
+        Dependent jobs (warm-start seeds, dedup adoptions) are submitted
+        level by level after their source jobs complete, with the trained
+        parameters injected into the dependent specs before pickling —
+        workers never need to see another job's result.
         """
         jobs = list(jobs)
         if not jobs:
@@ -67,31 +67,24 @@ class ProcessPoolBackend(ExecutionBackend):
         # skip the fork + pickle round-trip entirely.
         if self._max_workers == 1 or len(jobs) == 1:
             return execute_jobs_serially(jobs)
-        independents, dependents = warm_start_waves(jobs)
         results: dict[int, JobResult] = {}
+        params_by_id: dict = {}
         workers = min(self._max_workers, len(jobs))
         with ProcessPoolExecutor(max_workers=workers) as pool:
-            wave_one = list(
-                pool.map(
-                    execute_job,
-                    [jobs[i] for i in independents],
-                    chunksize=self._chunksize,
-                )
-            )
-            params_by_id = {r.job_id: trained_params(r) for r in wave_one}
-            results.update(zip(independents, wave_one))
-            if dependents:
-                wave_two = list(
+            for level in dependency_levels(jobs):
+                level_results = list(
                     pool.map(
                         execute_job,
                         [
                             inject_warm_start(jobs[i], params_by_id)
-                            for i in dependents
+                            for i in level
                         ],
                         chunksize=self._chunksize,
                     )
                 )
-                results.update(zip(dependents, wave_two))
+                results.update(zip(level, level_results))
+                for result in level_results:
+                    params_by_id[result.job_id] = trained_params(result)
         return [results[index] for index in range(len(jobs))]
 
     def __repr__(self) -> str:

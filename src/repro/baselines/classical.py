@@ -8,14 +8,16 @@ used as a sanity floor in examples.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 import numpy as np
 
 from repro.exceptions import SolverError
-from repro.ising.annealer import simulated_annealing
-from repro.ising.bruteforce import brute_force_minimum
 from repro.ising.hamiltonian import IsingHamiltonian
 from repro.utils.rng import ensure_rng
+
+if TYPE_CHECKING:
+    from repro.cache.store import SolveCache
 
 
 @dataclass(frozen=True)
@@ -76,6 +78,7 @@ def solve_classically(
     method: str = "auto",
     seed: "int | np.random.Generator | None" = None,
     exact_threshold: int = 20,
+    cache: "SolveCache | None" = None,
 ) -> ClassicalResult:
     """Solve an Ising problem classically.
 
@@ -85,22 +88,26 @@ def solve_classically(
             (exact up to ``exact_threshold`` qubits, annealing beyond).
         seed: RNG seed for the heuristics.
         exact_threshold: Size cut-over for ``"auto"``.
+        cache: Optional solve cache; exact solves (always) and annealing
+            solves (when ``seed`` is an integer) are memoized.
 
     Raises:
         SolverError: Unknown method or exact on an oversized problem.
     """
+    from repro.cache.memo import cached_brute_force, cached_simulated_annealing
+
     n = hamiltonian.num_qubits
     if method == "auto":
         method = "exact" if n <= exact_threshold else "anneal"
     if method == "exact":
         if n > 26:
             raise SolverError(f"exact solve limited to 26 qubits, got {n}")
-        result = brute_force_minimum(hamiltonian)
+        result = cached_brute_force(hamiltonian, cache=cache)
         return ClassicalResult(
             value=result.value, spins=result.spins, method="exact", exact=True
         )
     if method == "anneal":
-        result = simulated_annealing(hamiltonian, seed=seed)
+        result = cached_simulated_annealing(hamiltonian, seed=seed, cache=cache)
         return ClassicalResult(
             value=result.value, spins=result.spins, method="anneal", exact=False
         )

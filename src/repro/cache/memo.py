@@ -1,0 +1,208 @@
+"""Cache-aware wrappers for the expensive calls on the solve path.
+
+Each wrapper is a drop-in for its uncached counterpart: with ``cache=None``
+it simply delegates, so call sites stay unconditional. All wrappers obey
+the bit-identity contract — a cached answer is only returned when it is
+exactly what the underlying call would have recomputed:
+
+* :func:`cached_transpile` — transpilation is a pure function of
+  ``(circuit, device, options)``; the key hashes all three.
+* :func:`cached_simulated_annealing` — stochastic, so the key includes the
+  integer seed (pure memoization of the exact call); generator seeds carry
+  hidden state and bypass the cache entirely.
+* :func:`cached_brute_force` — deterministic and seedless; keyed on the
+  exact instance fingerprint.
+
+Trained-parameter caching lives in the solver (it needs job context —
+warm-start mode, noise signature); this module only hosts its payload
+encoders so the disk format is defined in one place.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from repro.cache.keys import anneal_key, bruteforce_key, transpile_key
+from repro.cache.store import SolveCache
+from repro.ising.annealer import AnnealResult, simulated_annealing
+from repro.ising.bruteforce import BruteForceResult, brute_force_minimum
+from repro.ising.hamiltonian import IsingHamiltonian
+
+if TYPE_CHECKING:
+    from repro.circuit.circuit import QuantumCircuit
+    from repro.devices.device import Device
+    from repro.qaoa.executor import NoiseProfile
+    from repro.transpile.compiler import TranspileOptions, TranspiledCircuit
+
+
+# ----------------------------------------------------------------------
+# Transpiled templates
+# ----------------------------------------------------------------------
+def cached_transpile(
+    circuit: "QuantumCircuit",
+    device: "Device",
+    options: "TranspileOptions | None" = None,
+    cache: "SolveCache | None" = None,
+) -> "tuple[TranspiledCircuit, NoiseProfile]":
+    """Compile (or rehydrate) a template and its noise profile.
+
+    The noise profile is derived from the compiled circuit and the device
+    calibration — both pinned by the cache key — so it is recomputed on a
+    disk hit rather than serialized (cheaper than persisting the noise
+    model, and bit-identical by construction).
+    """
+    from repro.qaoa.executor import noise_profile_for_transpiled
+    from repro.transpile.compiler import TranspiledCircuit, transpile
+
+    if cache is None:
+        compiled = transpile(circuit, device, options)
+        return compiled, noise_profile_for_transpiled(compiled)
+
+    def rebuild(payload: dict):
+        # Rehydrate to the same (compiled, profile) shape the memory tier
+        # holds; the profile is derived, not persisted (see docstring).
+        loaded = TranspiledCircuit.from_payload(payload, device)
+        return loaded, noise_profile_for_transpiled(loaded)
+
+    key = transpile_key(circuit, device, options)
+    hit = cache.get("transpiled", key, rebuild=rebuild)
+    if hit is not None:
+        return hit
+    compiled = transpile(circuit, device, options)
+    profile = noise_profile_for_transpiled(compiled)
+    cache.put("transpiled", key, (compiled, profile), payload=compiled.to_payload())
+    return compiled, profile
+
+
+# ----------------------------------------------------------------------
+# Annealer sub-solutions
+# ----------------------------------------------------------------------
+def _anneal_rebuild(payload: dict) -> AnnealResult:
+    return AnnealResult(
+        value=float(payload["value"]),
+        spins=tuple(int(s) for s in payload["spins"]),
+        num_sweeps=int(payload["num_sweeps"]),
+        num_restarts=int(payload["num_restarts"]),
+    )
+
+
+def cached_simulated_annealing(
+    hamiltonian: IsingHamiltonian,
+    num_sweeps: int = 500,
+    num_restarts: int = 4,
+    initial_temperature: float = 5.0,
+    final_temperature: float = 0.01,
+    seed: "int | np.random.Generator | None" = None,
+    cache: "SolveCache | None" = None,
+) -> AnnealResult:
+    """Memoized :func:`repro.ising.annealer.simulated_annealing`.
+
+    Only integer seeds are cacheable: the key must pin the whole RNG
+    stream, and a live generator's position cannot be captured (nor would
+    replaying it leave the caller's stream in the right state). Unseeded
+    and generator-seeded calls always run live.
+    """
+    cacheable = cache is not None and isinstance(seed, (int, np.integer))
+    key = None
+    if cacheable:
+        key = anneal_key(
+            hamiltonian,
+            num_sweeps,
+            num_restarts,
+            initial_temperature,
+            final_temperature,
+            int(seed),
+        )
+        hit = cache.get("anneal", key, rebuild=_anneal_rebuild)
+        if hit is not None:
+            return hit
+    result = simulated_annealing(
+        hamiltonian,
+        num_sweeps=num_sweeps,
+        num_restarts=num_restarts,
+        initial_temperature=initial_temperature,
+        final_temperature=final_temperature,
+        seed=seed,
+    )
+    if cacheable:
+        cache.put(
+            "anneal",
+            key,
+            result,
+            payload={
+                "value": result.value,
+                "spins": list(result.spins),
+                "num_sweeps": result.num_sweeps,
+                "num_restarts": result.num_restarts,
+            },
+        )
+    return result
+
+
+# ----------------------------------------------------------------------
+# Brute-force sub-solutions
+# ----------------------------------------------------------------------
+def _bruteforce_rebuild(payload: dict) -> BruteForceResult:
+    spins = payload["arrays"]["spins"]
+    return BruteForceResult(
+        value=float(payload["value"]),
+        spins=tuple(int(s) for s in spins),
+        maximum=float(payload["maximum"]),
+    )
+
+
+def cached_brute_force(
+    hamiltonian: IsingHamiltonian,
+    cache: "SolveCache | None" = None,
+) -> BruteForceResult:
+    """Memoized :func:`repro.ising.bruteforce.brute_force_minimum`.
+
+    Exhaustive search is deterministic, so the exact instance fingerprint
+    is the whole key — sweep harnesses that re-derive ``C_min`` for the
+    same instance across figures pay the ``2**n`` scan once.
+    """
+    if cache is None:
+        return brute_force_minimum(hamiltonian)
+    key = bruteforce_key(hamiltonian)
+    hit = cache.get("bruteforce", key, rebuild=_bruteforce_rebuild)
+    if hit is not None:
+        return hit
+    result = brute_force_minimum(hamiltonian)
+    cache.put(
+        "bruteforce",
+        key,
+        result,
+        payload={
+            "value": result.value,
+            "maximum": result.maximum,
+            "arrays": {"spins": np.asarray(result.spins, dtype=np.int8)},
+        },
+    )
+    return result
+
+
+# ----------------------------------------------------------------------
+# Trained-parameter payloads (encoders shared by the solver)
+# ----------------------------------------------------------------------
+def params_payload(
+    params: "tuple[tuple[float, ...], tuple[float, ...]]",
+) -> dict:
+    """Disk payload of a trained ``(gammas, betas)`` pair.
+
+    Python's ``repr``-based JSON float encoding round-trips every finite
+    double exactly, so the disk tier preserves bit-identity.
+    """
+    gammas, betas = params
+    return {"gammas": list(gammas), "betas": list(betas)}
+
+
+def params_rebuild(
+    payload: dict,
+) -> "tuple[tuple[float, ...], tuple[float, ...]]":
+    """Inverse of :func:`params_payload`."""
+    return (
+        tuple(float(g) for g in payload["gammas"]),
+        tuple(float(b) for b in payload["betas"]),
+    )

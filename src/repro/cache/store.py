@@ -1,0 +1,237 @@
+"""The two-tier content-addressed artifact store.
+
+Tier 1 is an in-memory LRU keyed by ``(kind, key)``; tier 2 is an optional
+on-disk artifact directory (``<cache_dir>/<kind>/<key prefix>/<key>.json``
+plus a sibling ``.npz`` when a payload carries arrays) that survives
+processes and can be shared between runs. Values live in memory as real
+Python objects; the disk tier stores JSON payloads produced by the caller
+(see :mod:`repro.cache.memo` for the per-artifact encoders), so the store
+itself stays agnostic of what it holds.
+
+Read path: memory, then disk (rebuilding the object and promoting it back
+into memory), then miss. Every get/put is tallied per kind in
+:attr:`SolveCache.stats`; :func:`stats_delta` turns two snapshots into the
+per-run hit/miss report surfaced on ``FrozenQubitsResult``.
+
+Disk reads are defensive: a corrupt or half-written payload is treated as a
+miss (and the entry ignored), never as an error — a cache must degrade to
+recomputation, not take the solve down with it.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from collections import OrderedDict
+from collections.abc import Callable
+from typing import Any
+
+import numpy as np
+
+from repro.exceptions import CacheError
+
+
+class SolveCache:
+    """Two-tier (memory LRU + optional disk) content-addressed cache.
+
+    Args:
+        capacity: Maximum in-memory entries; least-recently-used entries
+            are evicted first. Eviction never touches the disk tier.
+        cache_dir: Artifact directory for the persistent tier; ``None``
+            keeps the cache memory-only. Created on first write.
+    """
+
+    def __init__(self, capacity: int = 4096, cache_dir: "str | None" = None):
+        if capacity < 1:
+            raise CacheError(f"capacity must be >= 1, got {capacity}")
+        self._capacity = capacity
+        self._cache_dir = (
+            os.path.expanduser(cache_dir) if cache_dir is not None else None
+        )
+        self._memory: "OrderedDict[tuple[str, str], Any]" = OrderedDict()
+        self._stats: dict[str, dict[str, int]] = {}
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def capacity(self) -> int:
+        """Maximum in-memory entries."""
+        return self._capacity
+
+    @property
+    def cache_dir(self) -> "str | None":
+        """Artifact directory of the disk tier (``None`` = memory only)."""
+        return self._cache_dir
+
+    def __len__(self) -> int:
+        return len(self._memory)
+
+    def __repr__(self) -> str:
+        return (
+            f"SolveCache(entries={len(self._memory)}, "
+            f"capacity={self._capacity}, cache_dir={self._cache_dir!r})"
+        )
+
+    # ------------------------------------------------------------------
+    # Stats
+    # ------------------------------------------------------------------
+    def _tally(self, kind: str, event: str) -> None:
+        bucket = self._stats.setdefault(
+            kind,
+            {"memory_hits": 0, "disk_hits": 0, "misses": 0, "stores": 0,
+             "evictions": 0},
+        )
+        bucket[event] += 1
+
+    def stats_snapshot(self) -> dict[str, dict[str, int]]:
+        """Deep copy of the per-kind counters (hits/misses/stores)."""
+        return {kind: dict(bucket) for kind, bucket in self._stats.items()}
+
+    def reset_stats(self) -> None:
+        """Zero every counter (entries are kept)."""
+        self._stats = {}
+
+    # ------------------------------------------------------------------
+    # Core get/put
+    # ------------------------------------------------------------------
+    def get(
+        self,
+        kind: str,
+        key: str,
+        rebuild: "Callable[[dict], Any] | None" = None,
+    ) -> Any:
+        """Look a value up: memory first, then disk, else ``None``.
+
+        Args:
+            kind: Artifact family (``"params"``, ``"transpiled"``, ...).
+            key: Content-addressed key within the family.
+            rebuild: Turns a disk payload dict back into the live object;
+                when omitted, the disk tier is skipped for this lookup.
+                A rebuild that raises marks the entry corrupt => miss.
+        """
+        slot = (kind, key)
+        if slot in self._memory:
+            self._memory.move_to_end(slot)
+            self._tally(kind, "memory_hits")
+            return self._memory[slot]
+        if self._cache_dir is not None and rebuild is not None:
+            payload = self._read_payload(kind, key)
+            if payload is not None:
+                try:
+                    value = rebuild(payload)
+                except Exception:
+                    value = None
+                if value is not None:
+                    self._tally(kind, "disk_hits")
+                    self._insert(slot, value)
+                    return value
+        self._tally(kind, "misses")
+        return None
+
+    def put(
+        self,
+        kind: str,
+        key: str,
+        value: Any,
+        payload: "dict | None" = None,
+    ) -> None:
+        """Store a value (and optionally persist its disk payload).
+
+        Args:
+            kind: Artifact family.
+            key: Content-addressed key.
+            value: The live object for the memory tier.
+            payload: JSON-serializable dict for the disk tier; numpy arrays
+                under the reserved ``"arrays"`` entry are split into a
+                sibling ``.npz``. ``None`` keeps the entry memory-only.
+        """
+        self._tally(kind, "stores")
+        self._insert((kind, key), value)
+        if payload is not None and self._cache_dir is not None:
+            self._write_payload(kind, key, payload)
+
+    def clear(self) -> None:
+        """Drop every in-memory entry (the disk tier is left alone)."""
+        self._memory.clear()
+
+    def _insert(self, slot: tuple[str, str], value: Any) -> None:
+        self._memory[slot] = value
+        self._memory.move_to_end(slot)
+        while len(self._memory) > self._capacity:
+            evicted_slot, _ = self._memory.popitem(last=False)
+            self._tally(evicted_slot[0], "evictions")
+
+    # ------------------------------------------------------------------
+    # Disk tier
+    # ------------------------------------------------------------------
+    def _paths(self, kind: str, key: str) -> tuple[str, str]:
+        stem = os.path.join(self._cache_dir, kind, key[:2], key)
+        return stem + ".json", stem + ".npz"
+
+    def _read_payload(self, kind: str, key: str) -> "dict | None":
+        json_path, npz_path = self._paths(kind, key)
+        try:
+            with open(json_path, encoding="utf-8") as handle:
+                payload = json.load(handle)
+        except (OSError, ValueError):
+            return None
+        if not isinstance(payload, dict):
+            return None
+        if payload.pop("__has_arrays__", False):
+            try:
+                with np.load(npz_path) as bundle:
+                    payload["arrays"] = {
+                        name: bundle[name] for name in bundle.files
+                    }
+            except (OSError, ValueError):
+                return None
+        return payload
+
+    def _write_payload(self, kind: str, key: str, payload: dict) -> None:
+        json_path, npz_path = self._paths(kind, key)
+        os.makedirs(os.path.dirname(json_path), exist_ok=True)
+        payload = dict(payload)
+        arrays = payload.pop("arrays", None)
+        payload["__has_arrays__"] = bool(arrays)
+        # Write-then-rename so concurrent readers never see a torn file.
+        directory = os.path.dirname(json_path)
+        if arrays:
+            fd, tmp = tempfile.mkstemp(dir=directory, suffix=".npz.tmp")
+            with os.fdopen(fd, "wb") as handle:
+                np.savez(handle, **arrays)
+            os.replace(tmp, npz_path)
+        fd, tmp = tempfile.mkstemp(dir=directory, suffix=".json.tmp")
+        with os.fdopen(fd, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle)
+        os.replace(tmp, json_path)
+
+
+def stats_delta(
+    before: dict[str, dict[str, int]],
+    after: dict[str, dict[str, int]],
+) -> dict[str, dict[str, int]]:
+    """Per-kind counter difference between two snapshots (zero rows pruned)."""
+    delta: dict[str, dict[str, int]] = {}
+    for kind, bucket in after.items():
+        base = before.get(kind, {})
+        row = {
+            event: count - base.get(event, 0) for event, count in bucket.items()
+        }
+        if any(row.values()):
+            delta[kind] = {k: v for k, v in row.items() if v}
+    return delta
+
+
+def summarize_stats(stats: "dict[str, dict[str, int]] | None") -> str:
+    """One-line human-readable rendering of a stats (or delta) dict."""
+    if not stats:
+        return "cache: no activity"
+    parts = []
+    for kind in sorted(stats):
+        bucket = stats[kind]
+        hits = bucket.get("memory_hits", 0) + bucket.get("disk_hits", 0)
+        misses = bucket.get("misses", 0)
+        parts.append(f"{kind}: {hits} hit / {misses} miss")
+    return "cache: " + ", ".join(parts)

@@ -357,3 +357,72 @@ class QuantumCircuit:
         duplicate = QuantumCircuit(self._num_qubits, name=self._name)
         duplicate._instructions = list(self._instructions)
         return duplicate
+
+    # ------------------------------------------------------------------
+    # Serialisation (cache artifact payloads)
+    # ------------------------------------------------------------------
+    def to_payload(self) -> dict:
+        """JSON-friendly serialisation of the full instruction stream.
+
+        Symbolic angles are stored by parameter *name* plus the linear
+        coefficients; :meth:`from_payload` recreates one shared
+        :class:`Parameter` per distinct name, so expressions that shared a
+        parameter still do after a round-trip.
+        """
+        ops = []
+        for op in self._instructions:
+            if op.angle is None:
+                angle = None
+            elif op.is_parametric:
+                angle = {
+                    "parameter": op.angle.parameter.name,
+                    "coefficient": op.angle.coefficient,
+                    "constant": op.angle.constant,
+                }
+            else:
+                angle = float(op.angle)
+            ops.append(
+                {
+                    "name": op.name,
+                    "qubits": list(op.qubits),
+                    "angle": angle,
+                    "tag": op.tag,
+                }
+            )
+        return {
+            "num_qubits": self._num_qubits,
+            "name": self._name,
+            "instructions": ops,
+        }
+
+    @classmethod
+    def from_payload(cls, payload: dict) -> "QuantumCircuit":
+        """Inverse of :meth:`to_payload`.
+
+        Raises:
+            CircuitError: On malformed payloads (missing keys, bad qubits).
+        """
+        try:
+            circuit = cls(int(payload["num_qubits"]), name=payload.get("name", "circuit"))
+            parameters: dict[str, Parameter] = {}
+            for op in payload["instructions"]:
+                angle = op["angle"]
+                if isinstance(angle, dict):
+                    name = angle["parameter"]
+                    if name not in parameters:
+                        parameters[name] = Parameter(name)
+                    angle = ParameterExpression(
+                        parameters[name],
+                        coefficient=float(angle["coefficient"]),
+                        constant=float(angle["constant"]),
+                    )
+                elif angle is not None:
+                    angle = float(angle)
+                circuit.append(
+                    Instruction(
+                        op["name"], tuple(op["qubits"]), angle, op.get("tag")
+                    )
+                )
+            return circuit
+        except (KeyError, TypeError, ValueError) as exc:
+            raise CircuitError(f"malformed circuit payload: {exc}") from exc

@@ -25,6 +25,7 @@ from repro.utils.rng import spawn_seeds
 
 if TYPE_CHECKING:
     from repro.backend.base import ExecutionBackend
+    from repro.cache.store import SolveCache
     from repro.planning.budget import ExecutionBudget
     from repro.planning.planner import FreezePlan
 
@@ -55,6 +56,7 @@ def solve_many(
     budget: "ExecutionBudget | None" = None,
     plans: "FreezePlan | Sequence[FreezePlan | None] | None" = None,
     warm_start: "bool | None" = None,
+    cache: "SolveCache | bool | None" = None,
 ) -> list[FrozenQubitsResult]:
     """Solve a batch of problems with one backend submission.
 
@@ -86,12 +88,22 @@ def solve_many(
             makes sense for structurally identical problems.
         warm_start: Cross-sibling warm starts for every problem (``None``
             defers to plans / session defaults).
+        cache: Solve cache shared by the whole batch (see
+            :class:`repro.core.solver.FrozenQubitsSolver`). Cross-problem
+            reuse happens naturally: identical instances in the batch
+            transpile and train once. Each result's ``cache_stats``
+            carries the *batch-wide* counter delta.
 
     Returns:
         One :class:`FrozenQubitsResult` per problem, in input order.
     """
     from repro.backend import resolve_backend
+    from repro.cache import resolve_cache
 
+    solve_cache = resolve_cache(cache)
+    stats_before = (
+        solve_cache.stats_snapshot() if solve_cache is not None else None
+    )
     hamiltonians = [_as_hamiltonian(problem) for problem in problems]
     if seeds is None:
         seeds = spawn_seeds(seed, len(hamiltonians))
@@ -120,10 +132,35 @@ def solve_many(
             plan=problem_plan,
             budget=budget,
             warm_start=warm_start,
+            cache=solve_cache if solve_cache is not None else False,
         )
         plan = solver.prepare_jobs(hamiltonian, device, job_prefix=f"p{index}/")
         prepared.append((solver, plan))
         all_jobs.extend(plan.jobs)
+
+    # Cross-problem structural dedup: prepare_jobs dedups within one
+    # problem, but a batch may repeat instances (sweep trials), and the
+    # trained-parameter key is seed-independent — so link later duplicates
+    # to the first trainer across the whole submission. The adopting jobs
+    # skip optimization and still sample on their own streams (p=1
+    # training is deterministic, so this changes no result bit).
+    if solve_cache is not None:
+        trainer_by_key: dict[str, str] = {}
+        for _, plan in prepared:
+            for job in plan.jobs:
+                key = plan.params_keys.get(job.job_id)
+                if (
+                    key is None
+                    or job.params is not None
+                    or job.params_from is not None
+                ):
+                    continue
+                trainer = trainer_by_key.get(key)
+                if trainer is None:
+                    trainer_by_key[key] = job.job_id
+                else:
+                    job.params_from = trainer
+                    job.warm_start_from = None
 
     all_results = resolve_backend(backend).run(all_jobs)
 
@@ -133,6 +170,12 @@ def solve_many(
         count = len(plan.jobs)
         results.append(solver.finalize(plan, all_results[cursor : cursor + count]))
         cursor += count
+    if solve_cache is not None:
+        from repro.cache.store import stats_delta
+
+        batch_stats = stats_delta(stats_before, solve_cache.stats_snapshot())
+        for result in results:
+            result.cache_stats = batch_stats
     return results
 
 

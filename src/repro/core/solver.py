@@ -36,6 +36,14 @@ from typing import TYPE_CHECKING
 
 import numpy as np
 
+from repro.cache import resolve_cache
+from repro.cache.keys import ising_fingerprint, params_key
+from repro.cache.memo import (
+    cached_simulated_annealing,
+    cached_transpile,
+    params_payload,
+    params_rebuild,
+)
 from repro.circuit.circuit import QuantumCircuit
 from repro.core.hotspots import select_hotspots
 from repro.core.partition import (
@@ -72,6 +80,7 @@ from repro.utils.rng import ensure_rng, spawn_seeds
 
 if TYPE_CHECKING:
     from repro.backend.base import ExecutionBackend
+    from repro.cache.store import SolveCache
     from repro.planning.budget import ExecutionBudget
     from repro.planning.planner import FreezePlan
     from repro.planning.pruning import AssignmentRank
@@ -389,6 +398,12 @@ class FrozenQubitsResult:
         num_warm_start_rejected: Executed cells where the transfer was
             offered but evaluated no better than untrained, so training
             fell back to a fresh start.
+        num_deduplicated: Executed cells that adopted a structurally-
+            identical sibling's trained parameters outright (the cache
+            dedup path) instead of training.
+        cache_stats: Per-kind hit/miss/store counters this solve moved on
+            its :class:`~repro.cache.SolveCache` (``None`` when caching
+            was off; batch APIs attach the whole batch's delta).
     """
 
     hamiltonian: IsingHamiltonian
@@ -406,6 +421,8 @@ class FrozenQubitsResult:
     num_optimizer_evaluations: int = 0
     num_warm_started: int = 0
     num_warm_start_rejected: int = 0
+    num_deduplicated: int = 0
+    cache_stats: "dict[str, dict[str, int]] | None" = None
 
     @property
     def combined_counts(self) -> "Counts | None":
@@ -463,6 +480,9 @@ class PreparedSolve:
         plan: The freeze plan this prepare followed (``None`` for the
             legacy fixed-``m`` path).
         warm_start: Whether sibling jobs carry warm-start metadata.
+        params_keys: job_id -> trained-parameter cache key, for the jobs
+            whose training outcome is cacheable (p = 1); finalize stores
+            each freshly-trained result under its key.
     """
 
     hamiltonian: IsingHamiltonian
@@ -476,6 +496,7 @@ class PreparedSolve:
     skipped: list[SkippedAssignment] = field(default_factory=list)
     plan: "FreezePlan | None" = None
     warm_start: bool = False
+    params_keys: dict = field(default_factory=dict)
 
 
 def _assert_own_coefficients(
@@ -527,6 +548,16 @@ class FrozenQubitsSolver:
         warm_start: Seed sibling optimizers from one trained
             representative per solve. ``None`` defers to the plan (if any)
             and then to the session planning defaults.
+        cache: Content-addressed solve cache — a
+            :class:`~repro.cache.SolveCache`, ``True`` (use/create the
+            session default), ``False`` (force off), or ``None`` (defer to
+            the session default installed via
+            :func:`repro.cache.set_default_cache`). With a cache active,
+            transpiles and p=1 trainings are answered from (and recorded
+            into) the store, structurally-identical siblings collapse to
+            one training run, and classical fallbacks/probes are memoized
+            — all without changing any result bit (see
+            ``tests/test_determinism.py``).
     """
 
     def __init__(
@@ -539,6 +570,7 @@ class FrozenQubitsSolver:
         plan: "FreezePlan | None" = None,
         budget: "ExecutionBudget | None" = None,
         warm_start: "bool | None" = None,
+        cache: "SolveCache | bool | None" = None,
     ) -> None:
         from repro.planning.session import get_default_planning
 
@@ -557,6 +589,12 @@ class FrozenQubitsSolver:
                           else defaults.warm_start)
         self._warm_start = bool(warm_start)
         self._adaptive = plan is None and defaults.adaptive
+        self._cache = resolve_cache(cache)
+
+    @property
+    def cache(self) -> "SolveCache | None":
+        """The solve cache this solver consults (``None`` = caching off)."""
+        return self._cache
 
     def prepare_jobs(
         self,
@@ -640,7 +678,9 @@ class FrozenQubitsSolver:
             from repro.planning.pruning import rank_assignments
 
             probe_seed = spawn_seeds(rng, 1)[0]
-            ranks = rank_assignments(all_executed, seed=probe_seed)
+            ranks = rank_assignments(
+                all_executed, seed=probe_seed, cache=self._cache
+            )
             keep = {rank.index for rank in ranks[:max_executed]}
             rank_by_index = {rank.index: rank for rank in ranks}
             executed = [sp for sp in all_executed if sp.index in keep]
@@ -666,12 +706,20 @@ class FrozenQubitsSolver:
                 num_layers=cfg.num_layers,
                 linear_support=support,
             )
-            template_compiled = transpile(
-                master_template.circuit, device, cfg.transpile_options
-            )
             # The noise constants depend on circuit structure only, which
             # angle editing preserves — one profile serves every sibling.
-            noise_profile = noise_profile_for_transpiled(template_compiled)
+            if self._cache is not None:
+                template_compiled, noise_profile = cached_transpile(
+                    master_template.circuit,
+                    device,
+                    cfg.transpile_options,
+                    cache=self._cache,
+                )
+            else:
+                template_compiled = transpile(
+                    master_template.circuit, device, cfg.transpile_options
+                )
+                noise_profile = noise_profile_for_transpiled(template_compiled)
 
         # Cross-sibling warm starts: siblings share one template shape
         # (identical quadratic terms — freezing only reshapes the linear
@@ -679,8 +727,25 @@ class FrozenQubitsSolver:
         warm = warm and len(executed) >= 2
         representative_id = f"{job_prefix}sp{executed[0].index}" if executed else None
 
+        # Trained-parameter reuse (cache hits across runs, structural dedup
+        # within this one) is restricted to p=1, where training consumes no
+        # RNG draws: skipping it leaves each job's sampling stream exactly
+        # where the uncached path would have left it, which is what keeps
+        # cached and uncached solves bit-identical.
+        params_cacheable = self._cache is not None and cfg.num_layers == 1
+        noise_signature = (
+            noise_profile.signature() if noise_profile is not None else "ideal"
+        )
+        params_keys: dict[str, str] = {}
+        representative_key: "str | None" = None
+        if params_cacheable and executed:
+            representative_key = self._params_key(
+                executed[0].hamiltonian, noise_signature, mode="fresh"
+            )
+
         jobs: list[JobSpec] = []
         edited = 0
+        trainer_by_key: dict[str, str] = {}
         for sp in executed:
             job_template: "TranspiledCircuit | None" = None
             if template_compiled is not None:
@@ -699,6 +764,43 @@ class FrozenQubitsSolver:
                     edited += 1
                 _assert_own_coefficients(job_template, sp.hamiltonian, support)
             job_id = f"{job_prefix}sp{sp.index}"
+            warm_source = (
+                representative_id
+                if warm and job_id != representative_id
+                else None
+            )
+            cached_params = None
+            params_from = None
+            if params_cacheable:
+                if job_id == representative_id or warm_source is None:
+                    key = (
+                        representative_key
+                        if job_id == representative_id
+                        else self._params_key(
+                            sp.hamiltonian, noise_signature, mode="fresh"
+                        )
+                    )
+                else:
+                    key = self._params_key(
+                        sp.hamiltonian,
+                        noise_signature,
+                        mode=f"warm:{representative_key}",
+                    )
+                params_keys[job_id] = key
+                cached_params = self._cache.get(
+                    "params", key, rebuild=params_rebuild
+                )
+                if cached_params is None:
+                    # Structural dedup: a later sibling whose (instance,
+                    # training mode) key matches an earlier one adopts that
+                    # trainer's parameters instead of re-deriving them.
+                    trainer = trainer_by_key.get(key)
+                    if trainer is None:
+                        trainer_by_key[key] = job_id
+                    else:
+                        params_from = trainer
+            if cached_params is not None or params_from is not None:
+                warm_source = None
             jobs.append(
                 JobSpec(
                     job_id=job_id,
@@ -708,11 +810,9 @@ class FrozenQubitsSolver:
                     device=device,
                     transpiled=job_template,
                     noise_profile=noise_profile,
-                    warm_start_from=(
-                        representative_id
-                        if warm and job_id != representative_id
-                        else None
-                    ),
+                    params=cached_params,
+                    warm_start_from=warm_source,
+                    params_from=params_from,
                 )
             )
         return PreparedSolve(
@@ -727,6 +827,25 @@ class FrozenQubitsSolver:
             skipped=skipped,
             plan=plan,
             warm_start=warm,
+            params_keys=params_keys,
+        )
+
+    def _params_key(
+        self,
+        hamiltonian: IsingHamiltonian,
+        noise_signature: str,
+        mode: str,
+    ) -> str:
+        """Trained-parameter cache key of one sub-problem under this config."""
+        cfg = self._config
+        return params_key(
+            ising_fingerprint(hamiltonian),
+            num_layers=cfg.num_layers,
+            grid_resolution=cfg.grid_resolution,
+            maxiter=cfg.maxiter,
+            train_noisy=cfg.train_noisy,
+            noise_signature=noise_signature,
+            mode=mode,
         )
 
     def _resolve_plan(
@@ -800,9 +919,28 @@ class FrozenQubitsSolver:
                 ev_noisy=run.ev_noisy,
                 source="quantum",
             )
+        # Record every freshly-trained outcome under its content key so the
+        # next structurally-identical job — in this run or any later one —
+        # rehydrates instead of retraining. Jobs that themselves ran from
+        # cached or adopted parameters store nothing (their key already
+        # holds this exact value).
+        if self._cache is not None and prepared.params_keys:
+            for job, job_result in zip(prepared.jobs, job_results):
+                if job.params is not None or job.params_from is not None:
+                    continue
+                key = prepared.params_keys.get(job.job_id)
+                if key is None:
+                    continue
+                opt = job_result.run.optimization
+                trained = (opt.gammas, opt.betas)
+                self._cache.put(
+                    "params", key, trained, payload=params_payload(trained)
+                )
         for entry in prepared.skipped:
             sp = entry.subproblem
-            anneal = simulated_annealing(sp.hamiltonian, seed=entry.seed)
+            anneal = cached_simulated_annealing(
+                sp.hamiltonian, seed=entry.seed, cache=self._cache
+            )
             sub_spins, value = anneal.spins, anneal.value
             if entry.rank is not None and entry.rank.probe_value < value:
                 sub_spins, value = entry.rank.probe_spins, entry.rank.probe_value
@@ -867,6 +1005,9 @@ class FrozenQubitsSolver:
             num_warm_start_rejected=sum(
                 1 for opt in optimizations if opt.warm_start_rejected
             ),
+            num_deduplicated=sum(
+                1 for job in prepared.jobs if job.params_from is not None
+            ),
         )
 
     def solve(
@@ -891,9 +1032,19 @@ class FrozenQubitsSolver:
         """
         from repro.backend import resolve_backend
 
+        before = (
+            self._cache.stats_snapshot() if self._cache is not None else None
+        )
         prepared = self.prepare_jobs(hamiltonian, device)
         results = resolve_backend(backend).run(prepared.jobs)
-        return self.finalize(prepared, results)
+        result = self.finalize(prepared, results)
+        if self._cache is not None:
+            from repro.cache.store import stats_delta
+
+            result.cache_stats = stats_delta(
+                before, self._cache.stats_snapshot()
+            )
+        return result
 
     @staticmethod
     def _decode_counts(sp: SubProblem, counts: "Counts | None") -> "Counts | None":

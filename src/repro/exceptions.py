@@ -54,3 +54,7 @@ class SolverError(ReproError):
 
 class CutError(ReproError):
     """Circuit-cutting (CutQC comparator) failure."""
+
+
+class CacheError(ReproError):
+    """Invalid solve-cache configuration (never raised for payload rot)."""

@@ -16,6 +16,12 @@ import sys
 import time
 
 from repro.backend import BACKEND_REGISTRY, ProcessPoolBackend, set_default_backend
+from repro.cache import (
+    cache_from_dir,
+    get_default_cache,
+    set_default_cache,
+    summarize_stats,
+)
 from repro.experiments import figures, render_table, rows_to_csv
 from repro.experiments.tables import table3_comparison
 from repro.planning import (
@@ -103,6 +109,22 @@ def main(argv: "list[str] | None" = None) -> int:
         help="seed sibling sub-problem optimizers from one trained "
         "representative per solve",
     )
+    parser.add_argument(
+        "--cache", action="store_true",
+        help="enable the content-addressed solve cache for every solve in "
+        "the run (memory-only unless --cache-dir is given); results are "
+        "bit-identical to an uncached run with the same seeds",
+    )
+    parser.add_argument(
+        "--cache-dir", metavar="DIR", default=None,
+        help="persist cache artifacts (transpiled templates, trained "
+        "parameters, classical sub-solutions) under DIR; implies --cache",
+    )
+    parser.add_argument(
+        "--no-cache", action="store_true",
+        help="force caching off for the run (overrides any session "
+        "default; conflicts with --cache/--cache-dir)",
+    )
     args = parser.parse_args(argv)
     if args.workers is not None and args.backend != "process":
         parser.error("--workers requires --backend process")
@@ -126,6 +148,14 @@ def main(argv: "list[str] | None" = None) -> int:
                 adaptive=args.plan,
             )
         )
+    if args.no_cache and (args.cache or args.cache_dir):
+        parser.error("--no-cache conflicts with --cache/--cache-dir")
+    cache_flags = args.cache or args.cache_dir is not None or args.no_cache
+    previous_cache = get_default_cache()
+    if args.no_cache:
+        set_default_cache(None)
+    elif args.cache or args.cache_dir is not None:
+        set_default_cache(cache_from_dir(args.cache_dir))
     full = os.environ.get("REPRO_FULL", "0") == "1"
     if args.csv:
         os.makedirs(args.csv, exist_ok=True)
@@ -140,11 +170,16 @@ def main(argv: "list[str] | None" = None) -> int:
             print(render_table(rows, title=f"{name}  ({elapsed:.1f}s)"))
             if args.csv:
                 rows_to_csv(rows, os.path.join(args.csv, f"{name}.csv"))
+        active_cache = get_default_cache()
+        if active_cache is not None:
+            print(summarize_stats(active_cache.stats_snapshot()))
     finally:
         # The defaults are process-global; restore whatever an embedding
         # caller (test, notebook) had installed before this run.
         if planning_flags:
             set_default_planning(previous_planning)
+        if cache_flags:
+            set_default_cache(previous_cache)
     return 0
 
 

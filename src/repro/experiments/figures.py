@@ -23,6 +23,7 @@ from repro.analysis.runtime import (
     overall_runtime_hours,
 )
 from repro.baselines.qaoa_baseline import BaselineQAOA
+from repro.cache import cached_brute_force, get_default_cache
 from repro.core.batch import solve_many
 from repro.core.costs import quantum_cost
 from repro.core.hotspots import select_hotspots
@@ -31,7 +32,6 @@ from repro.core.solver import FrozenQubitsSolver, SolverConfig
 from repro.devices.ibm import get_backend, grid_device, list_backends
 from repro.graphs.generators import airport_network, barabasi_albert_graph, sk_graph
 from repro.graphs.powerlaw import degree_stats, fit_powerlaw_exponent, hotspot_ratio
-from repro.ising.bruteforce import brute_force_minimum
 from repro.ising.hamiltonian import IsingHamiltonian
 from repro.qaoa.circuits import build_qaoa_template
 from repro.qaoa.executor import evaluate_noisy, make_context
@@ -398,7 +398,7 @@ def figure_12_landscape(
             lambda gammas, betas: evaluate_noisy(context, gammas, betas),
             resolution=resolution,
         )
-        c_min = brute_force_minimum(target).value
+        c_min = cached_brute_force(target, cache=get_default_cache()).value
         best_gamma, best_beta, best_value = scan.best
         # Landscape contrast in AR units: noise scales the whole landscape
         # toward flat, so the std of AR values measures the paper's "blur"

@@ -27,6 +27,7 @@ from repro.utils.rng import spawn_seeds
 
 if TYPE_CHECKING:
     from repro.backend.base import ExecutionBackend
+    from repro.cache.store import SolveCache
     from repro.planning.budget import ExecutionBudget
     from repro.planning.planner import FreezePlan
 
@@ -145,6 +146,7 @@ def solve_suite(
     budget: "ExecutionBudget | None" = None,
     plans: "FreezePlan | list[FreezePlan | None] | None" = None,
     warm_start: "bool | None" = None,
+    cache: "SolveCache | bool | None" = None,
 ) -> list[tuple[WorkloadInstance, FrozenQubitsResult]]:
     """Solve a whole workload suite through one backend submission.
 
@@ -163,6 +165,9 @@ def solve_suite(
         budget: Execution budget applied to every instance's fan-out.
         plans: Freeze plan(s) — see :func:`repro.core.solve_many`.
         warm_start: Cross-sibling warm starts for every instance.
+        cache: Solve cache shared by the suite — repeated trials of
+            structurally identical instances transpile/train once (see
+            :func:`repro.core.solve_many`).
 
     Returns:
         ``(instance, result)`` pairs in input order.
@@ -178,5 +183,6 @@ def solve_suite(
         budget=budget,
         plans=plans,
         warm_start=warm_start,
+        cache=cache,
     )
     return list(zip(instances, results))

@@ -277,6 +277,27 @@ class IsingHamiltonian:
             f"|J|={len(self._J)}, offset={self._offset})"
         )
 
+    def content_text(self) -> str:
+        """Canonical exact-content serialization (cache-key primitive).
+
+        Bit-faithful: coefficients are rendered with ``float.hex`` (with
+        ``-0.0`` normalised to ``0.0``) and quadratic terms sorted by pair,
+        so two Hamiltonians produce the same text iff they are equal in the
+        sense of :meth:`__eq__`.
+        """
+
+        def tok(value: float) -> str:
+            return (0.0 if value == 0.0 else float(value)).hex()
+
+        linear = ",".join(tok(v) for v in self._h)
+        quadratic = ",".join(
+            f"{i}:{j}:{tok(v)}" for (i, j), v in sorted(self._J.items())
+        )
+        return (
+            f"n={self._num_qubits}|h={linear}|J={quadratic}|"
+            f"offset={tok(self._offset)}"
+        )
+
     def to_dict(self) -> dict:
         """JSON-friendly serialisation."""
         return {

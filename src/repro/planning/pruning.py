@@ -21,12 +21,16 @@ rest classically so the decoded result still partitions the full space.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 import numpy as np
 
+from repro.cache.memo import cached_simulated_annealing
 from repro.core.partition import SubProblem
-from repro.ising.annealer import simulated_annealing
 from repro.utils.rng import ensure_rng, spawn_seeds
+
+if TYPE_CHECKING:
+    from repro.cache.store import SolveCache
 
 
 @dataclass(frozen=True)
@@ -63,6 +67,7 @@ def rank_assignments(
     seed: "int | np.random.Generator | None" = None,
     probe_sweeps: int = 60,
     probe_restarts: int = 1,
+    cache: "SolveCache | None" = None,
 ) -> list[AssignmentRank]:
     """Rank executed cells best-first by their classical probe value.
 
@@ -73,6 +78,8 @@ def rank_assignments(
             stream so the ranking is order-independent.
         probe_sweeps: Annealing sweeps per probe — intentionally small.
         probe_restarts: Annealing restarts per probe.
+        cache: Optional solve cache; each probe is a seeded anneal, so a
+            repeated sweep answers its probes from cache bit-identically.
 
     Returns:
         One :class:`AssignmentRank` per input cell, sorted ascending by
@@ -83,11 +90,12 @@ def rank_assignments(
     probe_seeds = spawn_seeds(rng, len(subproblems))
     ranks: list[AssignmentRank] = []
     for sp, probe_seed in zip(subproblems, probe_seeds):
-        probe = simulated_annealing(
+        probe = cached_simulated_annealing(
             sp.hamiltonian,
             num_sweeps=probe_sweeps,
             num_restarts=probe_restarts,
             seed=probe_seed,
+            cache=cache,
         )
         ranks.append(
             AssignmentRank(

@@ -88,6 +88,19 @@ class NoiseProfile:
     noise_model: NoiseModel
     measured_wires: list[int]
 
+    def signature(self) -> str:
+        """Exact content token of the constants that shape training.
+
+        Part of the trained-parameter cache key: two jobs may share cached
+        ``(gammas, betas)`` only when the noisy objective they trained
+        against was built from bit-identical fidelity and readout factors.
+        """
+        readout = ";".join(
+            f"{q}:{factor.hex()}" for q, factor in sorted(self.readout.items())
+        )
+        wires = ",".join(str(w) for w in self.measured_wires)
+        return f"F={self.fidelity.hex()}|R={readout}|W={wires}"
+
 
 def noise_profile_for_transpiled(transpiled: TranspiledCircuit) -> NoiseProfile:
     """Compute the angle-independent noise constants of a compiled template."""

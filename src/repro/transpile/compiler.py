@@ -92,6 +92,68 @@ class TranspiledCircuit:
             self.final_layout.physical(q) for q in range(self.num_logical_qubits)
         ]
 
+    def to_payload(self) -> dict:
+        """JSON-friendly serialisation (cache artifact payload).
+
+        The device is *not* embedded — a compiled template is only ever
+        rehydrated in a context that already holds the target
+        :class:`Device` (the transpile cache key pins its identity), so
+        :meth:`from_payload` takes it as an argument instead.
+        """
+        return {
+            "circuit": self.circuit.to_payload(),
+            "initial_layout": {
+                str(l): p for l, p in self.initial_layout.to_dict().items()
+            },
+            "final_layout": {
+                str(l): p for l, p in self.final_layout.to_dict().items()
+            },
+            "num_logical": self.initial_layout.num_logical,
+            "swap_count": self.swap_count,
+            "pre_cx_count": self.pre_cx_count,
+            "cx_count": self.cx_count,
+            "depth": self.depth,
+            "duration_ns": self.duration_ns,
+            "compile_seconds": self.compile_seconds,
+            "options": {
+                "layout_method": self.options.layout_method,
+                "lookahead": self.options.lookahead,
+                "basis": self.options.basis,
+                "optimize": self.options.optimize,
+            },
+        }
+
+    @classmethod
+    def from_payload(cls, payload: dict, device: Device) -> "TranspiledCircuit":
+        """Inverse of :meth:`to_payload` against a live device.
+
+        Raises:
+            TranspileError: On malformed payloads.
+        """
+        try:
+            num_logical = int(payload["num_logical"])
+            return cls(
+                circuit=QuantumCircuit.from_payload(payload["circuit"]),
+                device=device,
+                initial_layout=Layout.from_dict(
+                    payload["initial_layout"], num_logical
+                ),
+                final_layout=Layout.from_dict(
+                    payload["final_layout"], num_logical
+                ),
+                swap_count=int(payload["swap_count"]),
+                pre_cx_count=int(payload["pre_cx_count"]),
+                cx_count=int(payload["cx_count"]),
+                depth=int(payload["depth"]),
+                duration_ns=float(payload["duration_ns"]),
+                compile_seconds=float(payload["compile_seconds"]),
+                options=TranspileOptions(**payload["options"]),
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise TranspileError(
+                f"malformed transpiled-circuit payload: {exc}"
+            ) from exc
+
     def parametric_instruction_indices(self) -> dict[str, list[int]]:
         """Map tag -> indices of symbolic rotations carrying that tag.
 

@@ -83,6 +83,15 @@ class Layout:
         """Logical -> physical mapping as a plain dict."""
         return dict(self._l2p)
 
+    @classmethod
+    def from_dict(
+        cls, mapping: Mapping, num_logical: "int | None" = None
+    ) -> "Layout":
+        """Inverse of :meth:`to_dict`; keys may arrive as JSON strings."""
+        return cls(
+            {int(l): int(p) for l, p in mapping.items()}, num_logical
+        )
+
     def __repr__(self) -> str:
         return f"Layout({self._l2p})"
 

@@ -10,6 +10,28 @@ from repro.graphs.generators import barabasi_albert_graph
 from repro.ising.hamiltonian import IsingHamiltonian
 
 
+def pytest_addoption(parser):
+    """Register ``--update-golden``: rewrite tests/golden/ fixtures in place.
+
+    Golden tests compare solver output against stored JSON exactly (no
+    tolerances). After an *intentional* behavior change, regenerate with
+    ``PYTHONPATH=src python -m pytest tests/test_golden.py --update-golden``
+    and review the fixture diff like any other code change.
+    """
+    parser.addoption(
+        "--update-golden",
+        action="store_true",
+        default=False,
+        help="rewrite tests/golden/*.json from the current solver output",
+    )
+
+
+@pytest.fixture
+def update_golden(request) -> bool:
+    """Whether this run should rewrite golden fixtures instead of diffing."""
+    return bool(request.config.getoption("--update-golden"))
+
+
 @pytest.fixture
 def rng() -> np.random.Generator:
     """Deterministic RNG for a test."""

@@ -1,0 +1,306 @@
+"""Property tests for the content-addressed cache keys.
+
+Hand-rolled, seeded generators (no hypothesis): every case is a plain
+``numpy`` draw from a fixed seed, so a failure replays exactly and the
+~1k-instance collision sweep stays fast and deterministic.
+
+Properties under test (ISSUE 3):
+
+* canonical Ising keys are invariant under variable relabeling,
+* invariant under the global sign flip ``h -> -h`` (and the combination),
+* collision-free across ~1k random non-equivalent instances,
+* exact fingerprints and circuit fingerprints separate unequal content.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cache.keys import (
+    canonical_ising_key,
+    circuit_fingerprint,
+    ising_fingerprint,
+    rehydrate_spins,
+)
+from repro.circuit.circuit import QuantumCircuit
+from repro.ising.hamiltonian import IsingHamiltonian
+
+
+# ----------------------------------------------------------------------
+# Hand-rolled generators
+# ----------------------------------------------------------------------
+def random_hamiltonian(
+    rng: np.random.Generator,
+    min_qubits: int = 2,
+    max_qubits: int = 9,
+    weight_pool: "tuple[float, ...] | None" = None,
+    with_linear: bool = True,
+) -> IsingHamiltonian:
+    """One random Ising instance.
+
+    Args:
+        rng: Source of all randomness.
+        min_qubits: Smallest size drawn.
+        max_qubits: Largest size drawn.
+        weight_pool: Draw couplings from this finite set (creates weight
+            collisions, stressing the graph-structure part of the key);
+            ``None`` draws continuous uniforms (distinct instances almost
+            surely non-equivalent).
+        with_linear: Give roughly half the qubits a non-zero ``h``.
+    """
+    n = int(rng.integers(min_qubits, max_qubits + 1))
+    pairs = [(i, j) for i in range(n) for j in range(i + 1, n)]
+    density = rng.uniform(0.2, 0.9)
+    quadratic = {}
+    for pair in pairs:
+        if rng.random() < density:
+            if weight_pool is not None:
+                weight = float(rng.choice(weight_pool))
+            else:
+                weight = float(rng.uniform(-2.0, 2.0))
+            if weight != 0.0:
+                quadratic[pair] = weight
+    linear = {}
+    if with_linear:
+        for qubit in range(n):
+            if rng.random() < 0.5:
+                if weight_pool is not None:
+                    value = float(rng.choice(weight_pool))
+                else:
+                    value = float(rng.uniform(-2.0, 2.0))
+                if value != 0.0:
+                    linear[qubit] = value
+    offset = float(rng.uniform(-1.0, 1.0))
+    return IsingHamiltonian(n, linear=linear, quadratic=quadratic, offset=offset)
+
+
+def relabel(
+    hamiltonian: IsingHamiltonian, permutation: "list[int]"
+) -> IsingHamiltonian:
+    """The instance with variable ``i`` renamed ``permutation[i]``."""
+    n = hamiltonian.num_qubits
+    linear = {
+        permutation[i]: value
+        for i, value in enumerate(hamiltonian.linear)
+        if value != 0.0
+    }
+    quadratic = {}
+    for (i, j), value in hamiltonian.quadratic.items():
+        a, b = permutation[i], permutation[j]
+        quadratic[(min(a, b), max(a, b))] = value
+    return IsingHamiltonian(
+        n, linear=linear, quadratic=quadratic, offset=hamiltonian.offset
+    )
+
+
+def flip(hamiltonian: IsingHamiltonian) -> IsingHamiltonian:
+    """The globally sign-flipped instance (``h -> -h``; J, offset kept)."""
+    return IsingHamiltonian(
+        hamiltonian.num_qubits,
+        linear=[-v for v in hamiltonian.linear],
+        quadratic=hamiltonian.quadratic,
+        offset=hamiltonian.offset,
+    )
+
+
+# ----------------------------------------------------------------------
+# Invariance
+# ----------------------------------------------------------------------
+def test_canonical_key_invariant_under_relabeling():
+    rng = np.random.default_rng(101)
+    for trial in range(60):
+        pool = (-1.0, 1.0) if trial % 2 else None
+        hamiltonian = random_hamiltonian(rng, weight_pool=pool)
+        key = canonical_ising_key(hamiltonian)
+        assert key.complete
+        for _ in range(3):
+            permutation = list(rng.permutation(hamiltonian.num_qubits))
+            permuted_key = canonical_ising_key(relabel(hamiltonian, permutation))
+            assert permuted_key.digest == key.digest
+
+
+def test_canonical_key_invariant_under_global_flip():
+    rng = np.random.default_rng(202)
+    for _ in range(60):
+        hamiltonian = random_hamiltonian(rng)
+        key = canonical_ising_key(hamiltonian)
+        flipped_key = canonical_ising_key(flip(hamiltonian))
+        assert flipped_key.digest == key.digest
+        # At most one of the pair reports the flip as its canonical side.
+        if not hamiltonian.has_zero_linear():
+            assert key.flipped != flipped_key.flipped
+
+
+def test_canonical_key_invariant_under_relabel_and_flip_composed():
+    rng = np.random.default_rng(303)
+    for _ in range(40):
+        hamiltonian = random_hamiltonian(rng, weight_pool=(-1.0, 0.5, 1.0))
+        key = canonical_ising_key(hamiltonian)
+        permutation = list(rng.permutation(hamiltonian.num_qubits))
+        transformed = flip(relabel(hamiltonian, permutation))
+        assert canonical_ising_key(transformed).digest == key.digest
+
+
+def test_canonical_permutation_is_a_valid_witness():
+    """The recorded permutation/flip really map canonical spins back."""
+    rng = np.random.default_rng(404)
+    for _ in range(25):
+        hamiltonian = random_hamiltonian(rng, max_qubits=6)
+        key = canonical_ising_key(hamiltonian)
+        n = hamiltonian.num_qubits
+        # Build the canonical representative explicitly and check that
+        # evaluating it at z equals evaluating the original at the
+        # rehydrated assignment.
+        canonical_spins = tuple(
+            int(s) for s in rng.choice((-1, 1), size=n)
+        )
+        original_spins = rehydrate_spins(canonical_spins, key)
+        base = flip(hamiltonian) if key.flipped else hamiltonian
+        mapped = relabel(base, list(key.permutation))
+        assert hamiltonian.evaluate(original_spins) == pytest.approx(
+            mapped.evaluate(canonical_spins)
+        )
+
+
+# ----------------------------------------------------------------------
+# Collision-freedom
+# ----------------------------------------------------------------------
+@pytest.mark.slow
+def test_canonical_key_collision_free_across_random_instances():
+    """~1k random continuous-weight instances -> pairwise distinct keys.
+
+    Continuous coupling draws make accidental isomorphism a measure-zero
+    event, so every pair of generated instances is non-equivalent and any
+    digest collision is a genuine key defect.
+    """
+    rng = np.random.default_rng(505)
+    digests = {}
+    for index in range(1000):
+        hamiltonian = random_hamiltonian(rng, min_qubits=2, max_qubits=10)
+        key = canonical_ising_key(hamiltonian)
+        assert key.complete
+        assert key.digest not in digests, (
+            f"instance {index} collided with instance {digests[key.digest]}"
+        )
+        digests[key.digest] = index
+    assert len(digests) == 1000
+
+
+@pytest.mark.slow
+def test_canonical_key_separates_near_equivalent_instances():
+    """Perturbing one coefficient (h, J, or offset) must change the key."""
+    rng = np.random.default_rng(606)
+    for _ in range(50):
+        hamiltonian = random_hamiltonian(rng, min_qubits=3, max_qubits=8)
+        base = canonical_ising_key(hamiltonian).digest
+        if hamiltonian.quadratic:
+            pair, value = next(iter(hamiltonian.quadratic.items()))
+            bumped = dict(hamiltonian.quadratic)
+            bumped[pair] = value + 0.125
+            changed = IsingHamiltonian(
+                hamiltonian.num_qubits,
+                linear=hamiltonian.linear,
+                quadratic=bumped,
+                offset=hamiltonian.offset,
+            )
+            assert canonical_ising_key(changed).digest != base
+        shifted = hamiltonian.with_offset(hamiltonian.offset + 0.25)
+        assert canonical_ising_key(shifted).digest != base
+        with_linear = IsingHamiltonian(
+            hamiltonian.num_qubits,
+            linear={0: hamiltonian.linear_coefficient(0) + 0.5},
+            quadratic=hamiltonian.quadratic,
+            offset=hamiltonian.offset,
+        )
+        assert canonical_ising_key(with_linear).digest != base
+
+
+def test_canonical_key_handles_symmetric_unweighted_graphs():
+    """Highly symmetric instances (cycles, uniform weights) still refine."""
+    for n in (4, 6, 8):
+        cycle = IsingHamiltonian(
+            n, quadratic={(i, (i + 1) % n): 1.0 for i in range(n)}
+        )
+        rotated = relabel(cycle, [(i + 2) % n for i in range(n)])
+        assert (
+            canonical_ising_key(cycle).digest
+            == canonical_ising_key(rotated).digest
+        )
+        path = IsingHamiltonian(
+            n, quadratic={(i, i + 1): 1.0 for i in range(n - 1)}
+        )
+        assert (
+            canonical_ising_key(path).digest
+            != canonical_ising_key(cycle).digest
+        )
+
+
+# ----------------------------------------------------------------------
+# Exact fingerprints
+# ----------------------------------------------------------------------
+def test_exact_fingerprint_is_content_equality():
+    rng = np.random.default_rng(707)
+    for _ in range(30):
+        hamiltonian = random_hamiltonian(rng)
+        clone = IsingHamiltonian(
+            hamiltonian.num_qubits,
+            linear=hamiltonian.linear,
+            quadratic=hamiltonian.quadratic,
+            offset=hamiltonian.offset,
+        )
+        assert ising_fingerprint(clone) == ising_fingerprint(hamiltonian)
+        if hamiltonian.num_qubits >= 2:
+            permutation = list(rng.permutation(hamiltonian.num_qubits))
+            permuted = relabel(hamiltonian, permutation)
+            if permuted != hamiltonian:
+                # Exact keys do NOT fold relabeling — that is the
+                # canonical key's job.
+                assert ising_fingerprint(permuted) != ising_fingerprint(
+                    hamiltonian
+                )
+
+
+def test_exact_fingerprint_normalises_negative_zero():
+    a = IsingHamiltonian(2, linear=[0.0, 1.0], quadratic={(0, 1): 1.0})
+    b = IsingHamiltonian(2, linear=[-0.0, 1.0], quadratic={(0, 1): 1.0})
+    assert ising_fingerprint(a) == ising_fingerprint(b)
+
+
+def test_circuit_fingerprint_tracks_structure_and_angles():
+    def build(angle: float, tag: "str | None" = "lin:0") -> QuantumCircuit:
+        circuit = QuantumCircuit(2)
+        circuit.h(0)
+        circuit.rz(angle, 0, tag=tag)
+        circuit.cx(0, 1)
+        circuit.measure_all()
+        return circuit
+
+    base = circuit_fingerprint(build(0.5))
+    assert circuit_fingerprint(build(0.5)) == base
+    assert circuit_fingerprint(build(0.75)) != base
+    assert circuit_fingerprint(build(0.5, tag="lin:1")) != base
+    reordered = QuantumCircuit(2)
+    reordered.rz(0.5, 0, tag="lin:0")
+    reordered.h(0)
+    reordered.cx(0, 1)
+    reordered.measure_all()
+    assert circuit_fingerprint(reordered) != base
+
+
+def test_circuit_fingerprint_distinguishes_symbolic_coefficients():
+    from repro.qaoa.circuits import build_qaoa_template
+
+    a = build_qaoa_template(
+        IsingHamiltonian(3, quadratic={(0, 1): 1.0, (1, 2): -1.0})
+    )
+    b = build_qaoa_template(
+        IsingHamiltonian(3, quadratic={(0, 1): 1.0, (1, 2): 1.0})
+    )
+    assert circuit_fingerprint(a.circuit) != circuit_fingerprint(b.circuit)
+    rebuilt = build_qaoa_template(
+        IsingHamiltonian(3, quadratic={(0, 1): 1.0, (1, 2): -1.0})
+    )
+    assert circuit_fingerprint(a.circuit) == circuit_fingerprint(
+        rebuilt.circuit
+    )

@@ -1,0 +1,251 @@
+"""Behavioral tests for the two-tier :class:`repro.cache.SolveCache`.
+
+Covers the LRU memory tier (eviction order, promotion on hit), the disk
+tier (JSON and NPZ payload round-trips, corruption tolerance, cross-
+instance sharing), the stats counters, and the memoization wrappers'
+bit-exactness guarantees.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+import numpy as np
+import pytest
+
+from repro.cache import (
+    SolveCache,
+    cache_from_dir,
+    cached_brute_force,
+    cached_simulated_annealing,
+    cached_transpile,
+    resolve_cache,
+    set_default_cache,
+    stats_delta,
+    summarize_stats,
+)
+from repro.cache.memo import params_payload, params_rebuild
+from repro.devices import get_backend
+from repro.exceptions import CacheError
+from repro.ising.annealer import simulated_annealing
+from repro.ising.bruteforce import brute_force_minimum
+from repro.ising.hamiltonian import IsingHamiltonian
+from repro.qaoa.circuits import build_qaoa_template
+
+
+@pytest.fixture
+def problem() -> IsingHamiltonian:
+    return IsingHamiltonian(
+        4,
+        linear={0: 0.5},
+        quadratic={(0, 1): 1.0, (1, 2): -1.0, (2, 3): 1.0},
+    )
+
+
+# ----------------------------------------------------------------------
+# Memory tier
+# ----------------------------------------------------------------------
+def test_lru_evicts_least_recently_used():
+    cache = SolveCache(capacity=2)
+    cache.put("kind", "a", 1)
+    cache.put("kind", "b", 2)
+    assert cache.get("kind", "a") == 1  # touch "a" => "b" is now LRU
+    cache.put("kind", "c", 3)
+    assert len(cache) == 2
+    assert cache.get("kind", "b") is None
+    assert cache.get("kind", "a") == 1
+    assert cache.get("kind", "c") == 3
+    stats = cache.stats_snapshot()["kind"]
+    assert stats["evictions"] == 1
+
+
+def test_eviction_is_tallied_under_the_evicted_kind():
+    cache = SolveCache(capacity=2)
+    cache.put("transpiled", "t", object())
+    cache.put("params", "a", 1)
+    cache.put("params", "b", 2)  # evicts the transpiled entry
+    stats = cache.stats_snapshot()
+    assert stats["transpiled"]["evictions"] == 1
+    assert stats["params"]["evictions"] == 0
+
+
+def test_capacity_must_be_positive():
+    with pytest.raises(CacheError):
+        SolveCache(capacity=0)
+
+
+def test_stats_and_delta_accounting():
+    cache = SolveCache()
+    before = cache.stats_snapshot()
+    assert cache.get("params", "missing") is None
+    cache.put("params", "k", (1.0,))
+    assert cache.get("params", "k") == (1.0,)
+    delta = stats_delta(before, cache.stats_snapshot())
+    assert delta["params"]["misses"] == 1
+    assert delta["params"]["stores"] == 1
+    assert delta["params"]["memory_hits"] == 1
+    assert "1 hit" in summarize_stats(delta)
+    assert summarize_stats({}) == "cache: no activity"
+
+
+def test_resolve_cache_forms():
+    cache = SolveCache()
+    assert resolve_cache(cache) is cache
+    assert resolve_cache(False) is None
+    set_default_cache(None)
+    try:
+        assert resolve_cache(None) is None
+        created = resolve_cache(True)
+        assert isinstance(created, SolveCache)
+        assert resolve_cache(True) is created  # sticky session default
+        set_default_cache(cache)
+        assert resolve_cache(None) is cache
+    finally:
+        set_default_cache(None)
+    with pytest.raises(CacheError):
+        resolve_cache("yes")  # type: ignore[arg-type]
+
+
+# ----------------------------------------------------------------------
+# Disk tier
+# ----------------------------------------------------------------------
+def test_disk_round_trip_json_payload(tmp_path):
+    cache = SolveCache(cache_dir=str(tmp_path))
+    params = ((0.123456789012345,), (-0.987654321098765,))
+    cache.put("params", "deadbeef", params, payload=params_payload(params))
+    # A fresh cache over the same directory must rebuild bit-exactly.
+    fresh = SolveCache(cache_dir=str(tmp_path))
+    rebuilt = fresh.get("params", "deadbeef", rebuild=params_rebuild)
+    assert rebuilt == params
+    assert fresh.stats_snapshot()["params"]["disk_hits"] == 1
+    # The rebuilt entry was promoted into memory.
+    assert fresh.get("params", "deadbeef", rebuild=params_rebuild) == params
+    assert fresh.stats_snapshot()["params"]["memory_hits"] == 1
+
+
+def test_disk_skipped_without_rebuild(tmp_path):
+    cache = SolveCache(cache_dir=str(tmp_path))
+    cache.put("params", "k", 1, payload={"v": 1})
+    fresh = SolveCache(cache_dir=str(tmp_path))
+    assert fresh.get("params", "k") is None  # no rebuild => no disk read
+
+
+def test_corrupt_disk_payload_is_a_miss(tmp_path):
+    cache = SolveCache(cache_dir=str(tmp_path))
+    params = ((0.5,), (0.25,))
+    cache.put("params", "cafe", params, payload=params_payload(params))
+    json_path = os.path.join(str(tmp_path), "params", "ca", "cafe.json")
+    with open(json_path, "w", encoding="utf-8") as handle:
+        handle.write("{ not json")
+    fresh = SolveCache(cache_dir=str(tmp_path))
+    assert fresh.get("params", "cafe", rebuild=params_rebuild) is None
+    # A structurally-valid payload that the rebuilder rejects is also a miss.
+    with open(json_path, "w", encoding="utf-8") as handle:
+        json.dump({"wrong": "shape"}, handle)
+    assert fresh.get("params", "cafe", rebuild=params_rebuild) is None
+
+
+def test_npz_array_payload_round_trip(tmp_path, problem):
+    cache = SolveCache(cache_dir=str(tmp_path))
+    expected = brute_force_minimum(problem)
+    first = cached_brute_force(problem, cache=cache)
+    assert first == expected
+    stem = os.path.join(str(tmp_path), "bruteforce")
+    npz_files = [
+        name
+        for _, _, files in os.walk(stem)
+        for name in files
+        if name.endswith(".npz")
+    ]
+    assert npz_files, "spins should persist as an NPZ sidecar"
+    fresh = SolveCache(cache_dir=str(tmp_path))
+    rebuilt = cached_brute_force(problem, cache=fresh)
+    assert rebuilt == expected
+    assert fresh.stats_snapshot()["bruteforce"]["disk_hits"] == 1
+
+
+def test_cache_from_dir_expands_user(tmp_path, monkeypatch):
+    monkeypatch.setenv("HOME", str(tmp_path))
+    cache = cache_from_dir("~/fq-cache")
+    assert cache.cache_dir == str(tmp_path / "fq-cache")
+
+
+# ----------------------------------------------------------------------
+# Memoization wrappers
+# ----------------------------------------------------------------------
+def test_cached_annealing_matches_uncached_bit_for_bit(problem):
+    cache = SolveCache()
+    direct = simulated_annealing(problem, num_sweeps=40, num_restarts=2, seed=9)
+    memoized = cached_simulated_annealing(
+        problem, num_sweeps=40, num_restarts=2, seed=9, cache=cache
+    )
+    assert memoized == direct
+    replay = cached_simulated_annealing(
+        problem, num_sweeps=40, num_restarts=2, seed=9, cache=cache
+    )
+    assert replay == direct
+    stats = cache.stats_snapshot()["anneal"]
+    assert stats["memory_hits"] == 1 and stats["stores"] == 1
+    # A different seed is a different key — never a false hit.
+    other = cached_simulated_annealing(
+        problem, num_sweeps=40, num_restarts=2, seed=10, cache=cache
+    )
+    assert other == simulated_annealing(
+        problem, num_sweeps=40, num_restarts=2, seed=10
+    )
+
+
+def test_cached_annealing_bypasses_generator_seeds(problem):
+    cache = SolveCache()
+    rng = np.random.default_rng(3)
+    cached_simulated_annealing(problem, seed=rng, cache=cache)
+    assert "anneal" not in cache.stats_snapshot()
+    # The caller's stream advanced exactly as the uncached call would.
+    reference_rng = np.random.default_rng(3)
+    simulated_annealing(problem, seed=reference_rng)
+    assert rng.integers(0, 2**31) == reference_rng.integers(0, 2**31)
+
+
+def test_cached_transpile_round_trips_through_disk(tmp_path, problem):
+    device = get_backend("montreal")
+    template = build_qaoa_template(problem, linear_support=[0, 1, 2, 3])
+    cache = SolveCache(cache_dir=str(tmp_path))
+    compiled, profile = cached_transpile(
+        template.circuit, device, cache=cache
+    )
+    again, profile_again = cached_transpile(
+        template.circuit, device, cache=cache
+    )
+    assert again is compiled and profile_again is profile
+    fresh = SolveCache(cache_dir=str(tmp_path))
+    rebuilt, rebuilt_profile = cached_transpile(
+        template.circuit, device, cache=fresh
+    )
+    assert fresh.stats_snapshot()["transpiled"]["disk_hits"] == 1
+    # Full instruction-stream identity (names, qubits, angles incl. the
+    # symbolic coefficients by parameter name, tags) via the fingerprint.
+    from repro.cache import circuit_fingerprint
+
+    assert circuit_fingerprint(rebuilt.circuit) == circuit_fingerprint(
+        compiled.circuit
+    )
+    assert rebuilt.cx_count == compiled.cx_count
+    assert rebuilt.swap_count == compiled.swap_count
+    assert rebuilt.depth == compiled.depth
+    assert rebuilt.duration_ns == compiled.duration_ns
+    assert rebuilt.final_layout.to_dict() == compiled.final_layout.to_dict()
+    assert rebuilt_profile.fidelity == profile.fidelity
+    assert rebuilt_profile.readout == profile.readout
+    assert rebuilt_profile.measured_wires == profile.measured_wires
+    # Symbolic angles survived: the edit surface is intact by tag.
+    assert set(rebuilt.parametric_instruction_indices()) == set(
+        compiled.parametric_instruction_indices()
+    )
+
+
+def test_cached_wrappers_are_transparent_without_a_cache(problem):
+    assert cached_brute_force(problem) == brute_force_minimum(problem)
+    assert cached_simulated_annealing(
+        problem, num_sweeps=30, num_restarts=1, seed=4
+    ) == simulated_annealing(problem, num_sweeps=30, num_restarts=1, seed=4)
