@@ -20,7 +20,7 @@ from dataclasses import replace
 
 import numpy as np
 
-from benchmarks.conftest import scale
+from benchmarks.conftest import emit_bench_json, scale
 from repro.backend import (
     BatchedStatevectorBackend,
     ProcessPoolBackend,
@@ -93,6 +93,10 @@ def test_backend_speedup(benchmark):
     benchmark.pedantic(lambda: backend.run(jobs), rounds=3, iterations=1)
     print()
     print(render_table(rows, title="Backend wall-clock on one sub-problem fan-out"))
+    emit_bench_json(
+        "backend_speedup",
+        {"num_qubits": num_qubits, "rows": rows, "speedups": speedups},
+    )
     # Equal-work sanity: every workload is a >= 8-sub-problem fan-out.
     assert all(row["jobs"] >= 8 for row in rows)
     # The acceptance bar: stacked statevector execution beats serial by

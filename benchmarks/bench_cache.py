@@ -16,7 +16,7 @@ noise model) ``repeats`` times, cache-off vs cache-on, and gates:
 
 import time
 
-from benchmarks.conftest import scale
+from benchmarks.conftest import emit_bench_json, scale
 from repro.cache import SolveCache
 from repro.core import FrozenQubitsSolver, SolverConfig
 from repro.devices import get_backend
@@ -120,6 +120,17 @@ def test_cache_speedup_on_repeated_sweep(benchmark):
     )
     print()
     print(render_table(rows, title="Repeated 16-sibling sweep wall-clock"))
+    emit_bench_json(
+        "cache",
+        {
+            "num_qubits": num_qubits,
+            "repeats": repeats,
+            "siblings": NUM_SIBLINGS,
+            "speedup": speedup,
+            "uncached_seconds": uncached_s,
+            "cached_seconds": cached_s,
+        },
+    )
     print(
         f"speedup: {speedup:.2f}x | params hits: "
         f"{stats['params']['memory_hits']} | transpile hits: "

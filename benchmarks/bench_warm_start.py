@@ -16,7 +16,7 @@ tolerance), plus a wall-clock report for the record.
 
 import time
 
-from benchmarks.conftest import scale
+from benchmarks.conftest import emit_bench_json, scale
 from repro.backend import SerialBackend
 from repro.core import FrozenQubitsSolver, SolverConfig
 from repro.devices import get_backend
@@ -83,6 +83,18 @@ def test_warm_start_eval_reduction(benchmark):
     print()
     print(render_table(rows, title="Warm-started vs independent sibling training"))
     print(f"evaluation reduction: {reduction:.2f}x")
+    emit_bench_json(
+        "warm_start",
+        {
+            "num_qubits": num_qubits,
+            "siblings": 16,
+            "evaluation_reduction": reduction,
+            "cold_seconds": cold_s,
+            "warm_seconds": warm_s,
+            "cold_arg": cold_arg,
+            "warm_arg": warm_arg,
+        },
+    )
 
     assert cold.num_circuits_executed == 16
     assert warm.num_circuits_executed == 16

@@ -23,6 +23,7 @@ from repro.analysis.tradeoff import (
     TradeoffPoint,
     detect_plateau,
     knee_under_budget,
+    landscape_sharpness_curve,
     tradeoff_curve,
 )
 
@@ -38,6 +39,7 @@ __all__ = [
     "geometric_mean",
     "improvement_factor",
     "knee_under_budget",
+    "landscape_sharpness_curve",
     "overall_runtime_hours",
     "relative_series",
     "tradeoff_curve",

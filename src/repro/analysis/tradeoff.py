@@ -11,8 +11,13 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from collections.abc import Sequence
+from typing import TYPE_CHECKING
 
 from repro.exceptions import ReproError
+
+if TYPE_CHECKING:
+    from repro.devices.device import Device
+    from repro.ising.hamiltonian import IsingHamiltonian
 
 
 @dataclass(frozen=True)
@@ -53,6 +58,67 @@ def tradeoff_curve(metric_by_m: Sequence[float]) -> list[TradeoffPoint]:
         )
         for m, value in enumerate(metric_by_m)
     ]
+
+
+def landscape_sharpness_curve(
+    hamiltonian: "IsingHamiltonian",
+    max_frozen: int,
+    device: "Device | None" = None,
+    resolution: int = 12,
+) -> list[TradeoffPoint]:
+    """Fig. 9-style trade-off curve of p=1 landscape *sharpness* vs m.
+
+    The paper's Fig. 12 observation as a cost curve: freezing hotspots
+    sharpens the (noisy) optimizer landscape, which is what makes the
+    sub-problems trainable. For each depth m the first executed
+    sub-problem's full ``resolution**2`` landscape is evaluated in one
+    batched analytic kernel call and condensed to its sharpness; the curve
+    reports ``sharpness(m=0) / sharpness(m)`` on the familiar
+    lower-is-better ``relative_value`` axis against the ``2**m`` quantum
+    cost.
+
+    Args:
+        hamiltonian: The parent problem.
+        max_frozen: Largest m to scan (clamped below ``num_qubits``).
+        device: Optional device; enables the noisy landscape (the paper's
+            setting — without noise the sharpness barely moves).
+        resolution: Grid points per axis of each landscape scan.
+
+    Raises:
+        ReproError: When the baseline landscape is perfectly flat.
+    """
+    from repro.core.hotspots import select_hotspots
+    from repro.core.partition import executed_subproblems, partition_problem
+    from repro.qaoa.executor import batch_objective, make_context
+    from repro.qaoa.optimizer import landscape_scan
+
+    if max_frozen < 0:
+        raise ReproError(f"max_frozen must be >= 0, got {max_frozen}")
+    flatness: list[float] = []
+    upper = min(max_frozen, max(hamiltonian.num_qubits - 1, 0))
+    hotspots = select_hotspots(hamiltonian, upper)
+    for m in range(upper + 1):
+        if m == 0:
+            target = hamiltonian
+        else:
+            parts = partition_problem(hamiltonian, hotspots[:m])
+            target = executed_subproblems(parts)[0].hamiltonian
+        context = make_context(target, num_layers=1, device=device)
+        scan = landscape_scan(
+            None,
+            resolution=resolution,
+            evaluate_batch=batch_objective(context, noisy=device is not None),
+        )
+        sharpness = scan.sharpness()
+        if sharpness == 0.0:
+            if m == 0:
+                raise ReproError(
+                    "baseline landscape is flat; sharpness curve undefined"
+                )
+            flatness.append(float("inf"))
+        else:
+            flatness.append(1.0 / sharpness)
+    return tradeoff_curve(flatness)
 
 
 def detect_plateau(

@@ -1,25 +1,36 @@
 """Backend that stacks same-shape circuit simulations into vectorized passes.
 
 FrozenQubits siblings share one circuit structure (Sec. 3.7.1), so after
-the per-job training stage their bound circuits differ only in angles —
-exactly what :mod:`repro.sim.batched` can simulate in one stacked pass.
-The run is therefore phased:
+the per-job training stage their sampling simulations differ only in
+spectra and angles — exactly what the fused diagonal QAOA kernel's
+fan-out path (:func:`repro.sim.qaoa_kernel.qaoa_probabilities_fanout`)
+evaluates in one stacked pass: per-sibling cost diagonals, shared mixer
+contractions. The run is therefore phased:
 
 1. **train** every job in order (data-dependent, stays sequential;
    analytic and cheap at p = 1),
-2. **group** the resulting bound circuits by structural signature,
-3. **simulate** each group with one batched statevector pass,
+2. **group** the trained jobs by (qubit count, depth),
+3. **simulate** each group with one stacked fused pass,
 4. **finish** every job in order, feeding it its pre-computed distribution.
+
+Legacy scalar instances (``vectorized_evaluation=False``) carry a bound
+sampling circuit instead; those fall back to the signature-grouped
+stacked gate loop of :mod:`repro.sim.batched`, mirroring the serial
+finish path's circuit simulation.
 
 Per-job RNG streams are untouched by the re-ordering, so results match
 ``SerialBackend`` up to floating-point reassociation inside the stacked
-matmuls (and exactly in the common case where they reassociate the same).
+elementwise kernels (and exactly in the common case where they
+reassociate the same — the serial finish path runs the same fused kernel
+one row at a time).
 """
 
 from __future__ import annotations
 
 import time
 from collections.abc import Sequence
+
+import numpy as np
 
 from repro.backend.base import (
     ExecutionBackend,
@@ -32,6 +43,7 @@ from repro.backend.base import (
 )
 from repro.exceptions import SolverError
 from repro.sim.batched import batched_probabilities, group_by_signature
+from repro.sim.qaoa_kernel import qaoa_probabilities_fanout
 
 
 class BatchedStatevectorBackend(ExecutionBackend):
@@ -79,29 +91,55 @@ class BatchedStatevectorBackend(ExecutionBackend):
                     instance.optimization.betas,
                 )
 
-        # Group the jobs that need a simulation by circuit shape and run
-        # one stacked pass per group (chunked to bound memory). Each pass's
-        # duration is split evenly across its members for the bookkeeping.
-        to_simulate = [
-            index
-            for index, t in enumerate(trained)
-            if t.sampling_circuit is not None
-        ]
+        # Group the jobs that need a simulation and run one stacked pass
+        # per group (chunked to bound memory): fused fan-out passes keyed
+        # by (width, depth) for vectorized instances, signature-grouped
+        # stacked gate loops for legacy scalar instances (which carry a
+        # bound circuit). Each pass's duration is split evenly across its
+        # members for the bookkeeping.
         probs_for_job = {}
-        groups = group_by_signature(
-            [trained[index].sampling_circuit for index in to_simulate]
+        fused_groups: dict[tuple, list[int]] = {}
+        circuit_indices: list[int] = []
+        for index, instance in enumerate(trained):
+            if instance.sampling_circuit is not None:
+                circuit_indices.append(index)
+            elif instance.needs_sampling:
+                key = (
+                    instance.hamiltonian.num_qubits,
+                    len(instance.optimization.gammas),
+                )
+                fused_groups.setdefault(key, []).append(index)
+        for members in fused_groups.values():
+            for chunk_start in range(0, len(members), self._max_batch_size):
+                chunk = members[chunk_start : chunk_start + self._max_batch_size]
+                t0 = time.perf_counter()
+                rows = qaoa_probabilities_fanout(
+                    [trained[i].hamiltonian for i in chunk],
+                    np.asarray(
+                        [trained[i].optimization.gammas for i in chunk]
+                    ),
+                    np.asarray(
+                        [trained[i].optimization.betas for i in chunk]
+                    ),
+                )
+                share = (time.perf_counter() - t0) / len(chunk)
+                for row, job_index in zip(rows, chunk):
+                    probs_for_job[job_index] = row
+                    elapsed[job_index] += share
+        signature_groups = group_by_signature(
+            [trained[index].sampling_circuit for index in circuit_indices]
         )
-        for positions in groups.values():
+        for positions in signature_groups.values():
             for chunk_start in range(0, len(positions), self._max_batch_size):
                 chunk = positions[chunk_start : chunk_start + self._max_batch_size]
                 circuits = [
-                    trained[to_simulate[p]].sampling_circuit for p in chunk
+                    trained[circuit_indices[p]].sampling_circuit for p in chunk
                 ]
                 t0 = time.perf_counter()
                 rows = batched_probabilities(circuits)
                 share = (time.perf_counter() - t0) / len(chunk)
                 for row, position in zip(rows, chunk):
-                    job_index = to_simulate[position]
+                    job_index = circuit_indices[position]
                     probs_for_job[job_index] = row
                     elapsed[job_index] += share
 

@@ -41,6 +41,7 @@ from repro.cache.keys import ising_fingerprint, params_key
 from repro.cache.memo import (
     cached_simulated_annealing,
     cached_transpile,
+    memoized_spectrum,
     params_payload,
     params_rebuild,
 )
@@ -60,6 +61,7 @@ from repro.ising.hamiltonian import IsingHamiltonian
 from repro.qaoa.circuits import build_qaoa_template, linear_tag
 from repro.qaoa.executor import (
     EvaluationContext,
+    batch_objective,
     evaluate_ideal,
     evaluate_noisy,
     make_context,
@@ -67,6 +69,7 @@ from repro.qaoa.executor import (
 )
 from repro.qaoa.optimizer import OptimizationResult, optimize_qaoa
 from repro.sim.depolarizing import flip_probabilities_from_factors, noisy_counts
+from repro.sim.qaoa_kernel import qaoa_probabilities
 from repro.sim.sampling import Counts, sample_counts
 from repro.sim.statevector import MAX_SIM_QUBITS, probabilities
 from repro.transpile.compiler import (
@@ -101,6 +104,9 @@ class SolverConfig:
         transpile_options: Compiler knobs for the (template) circuit.
         train_noisy: Train on the noisy objective instead of the ideal one
             (the paper trains on simulation => default False).
+        vectorized_evaluation: Train through the batched analytic / fused
+            diagonal kernels (default). ``False`` pins the legacy scalar
+            evaluation path — the benchmark baseline.
     """
 
     num_layers: int = 1
@@ -110,6 +116,7 @@ class SolverConfig:
     max_sampled_qubits: int = 20
     transpile_options: "TranspileOptions | None" = None
     train_noisy: bool = False
+    vectorized_evaluation: bool = True
 
 
 @dataclass
@@ -154,9 +161,14 @@ class TrainedInstance:
         optimization: Trained parameters and bookkeeping.
         ev_ideal: Ideal expectation at the trained parameters.
         ev_noisy: Noisy expectation at the trained parameters.
-        sampling_circuit: The bound circuit to simulate for sampling, or
-            ``None`` when the instance exceeds the sampling cap (the
-            annealing fallback needs no simulation).
+        sampling_circuit: The bound circuit to simulate for sampling.
+            Bound only on the legacy scalar path
+            (``vectorized_evaluation=False``); the vectorized path derives
+            the distribution from the fused QAOA kernel instead and never
+            builds (or pickles) a bound circuit.
+        needs_sampling: Whether the instance samples at all (``False``
+            above the sampling cap — the annealing fallback needs no
+            simulation).
     """
 
     hamiltonian: IsingHamiltonian
@@ -167,6 +179,7 @@ class TrainedInstance:
     ev_ideal: float
     ev_noisy: float
     sampling_circuit: "QuantumCircuit | None"
+    needs_sampling: bool = False
 
 
 def train_qaoa_instance(
@@ -203,6 +216,7 @@ def train_qaoa_instance(
             num_layers=cfg.num_layers,
             device=device,
             transpile_options=cfg.transpile_options,
+            vectorized=cfg.vectorized_evaluation,
         )
     objective = evaluate_noisy if cfg.train_noisy else evaluate_ideal
     if params is not None:
@@ -216,19 +230,44 @@ def train_qaoa_instance(
             history=[value],
         )
     else:
+        if context.vectorized and cfg.num_layers == 1:
+            # Nelder-Mead's sequential proposals are the one stage a batch
+            # kernel cannot absorb; bind the precomputed term structure
+            # and combination weights directly so each proposal costs a
+            # handful of ufunc calls.
+            structure = context.analytic_structure()
+            weights = context.analytic_weights(cfg.train_noisy)
+            scalar_objective = lambda gammas, betas: (  # noqa: E731
+                structure.expectation_point(
+                    float(gammas[0]), float(betas[0]), weights
+                )
+            )
+        else:
+            scalar_objective = lambda gammas, betas: (  # noqa: E731
+                objective(context, gammas, betas)
+            )
         optimization = optimize_qaoa(
-            lambda gammas, betas: objective(context, gammas, betas),
+            scalar_objective,
             num_layers=cfg.num_layers,
             grid_resolution=cfg.grid_resolution,
             maxiter=cfg.maxiter,
             seed=rng,
             initial_point=initial_params,
+            # Grid seeds and warm-start acceptance tests evaluate whole
+            # point batches in one kernel call (None = scalar context).
+            evaluate_batch=batch_objective(context, noisy=cfg.train_noisy),
         )
     gammas, betas = optimization.gammas, optimization.betas
     ev_ideal = float(evaluate_ideal(context, gammas, betas))
     ev_noisy = float(evaluate_noisy(context, gammas, betas))
     sampling_circuit = None
-    if hamiltonian.num_qubits <= min(cfg.max_sampled_qubits, MAX_SIM_QUBITS):
+    needs_sampling = hamiltonian.num_qubits <= min(
+        cfg.max_sampled_qubits, MAX_SIM_QUBITS
+    )
+    if needs_sampling and not context.vectorized:
+        # Legacy scalar path: sampling simulates the bound circuit. The
+        # vectorized path needs no circuit — the fused kernel derives the
+        # same distribution from (hamiltonian, params) at finish time.
         template = context.ensure_template()
         sampling_circuit = template.bind(gammas, betas)
     return TrainedInstance(
@@ -240,6 +279,7 @@ def train_qaoa_instance(
         ev_ideal=ev_ideal,
         ev_noisy=ev_noisy,
         sampling_circuit=sampling_circuit,
+        needs_sampling=needs_sampling,
     )
 
 
@@ -251,9 +291,12 @@ def finish_qaoa_instance(
 
     Args:
         trained: Output of :func:`train_qaoa_instance`.
-        ideal_probs: Pre-computed outcome distribution of
-            ``trained.sampling_circuit`` (e.g. one row of a batched
-            statevector pass); simulated here when omitted.
+        ideal_probs: Pre-computed outcome distribution of the instance's
+            sampling circuit (e.g. one row of a batched pass); derived
+            here when omitted — via the fused diagonal QAOA kernel (one
+            phase multiply per cost layer against the memoized spectrum)
+            on the vectorized path, or by simulating the bound
+            ``sampling_circuit`` on the legacy scalar path.
     """
     hamiltonian = trained.hamiltonian
     cfg = trained.config
@@ -261,9 +304,18 @@ def finish_qaoa_instance(
     rng = trained.rng
     n = hamiltonian.num_qubits
     counts: "Counts | None" = None
-    if trained.sampling_circuit is not None:
+    if trained.needs_sampling or trained.sampling_circuit is not None:
         if ideal_probs is None:
-            ideal_probs = probabilities(trained.sampling_circuit)
+            if trained.sampling_circuit is not None:
+                ideal_probs = probabilities(trained.sampling_circuit)
+            else:
+                opt = trained.optimization
+                ideal_probs = qaoa_probabilities(
+                    hamiltonian,
+                    opt.gammas,
+                    opt.betas,
+                    spectrum=memoized_spectrum(hamiltonian),
+                )
         if context.noise_model is not None:
             flips = (
                 flip_probabilities_from_factors(context.readout, n)

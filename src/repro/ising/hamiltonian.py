@@ -67,6 +67,9 @@ class IsingHamiltonian:
                 if value != 0.0:
                     self._J[key] = float(value)
         self._offset = float(offset)
+        # Energy-spectrum memo (see energy_landscape): 2**n floats, built
+        # lazily, safe because the class is immutable-by-convention.
+        self._landscape: "np.ndarray | None" = None
 
     # ------------------------------------------------------------------
     # Constructors
@@ -231,8 +234,14 @@ class IsingHamiltonian:
         """Cost of all ``2**n`` assignments, indexed by bitstring integer.
 
         Index ``b`` encodes qubit i as bit i (LSB first); bit 0 means spin +1.
-        Memory is O(2**n); guarded to 26 qubits.
+        Memory is O(2**n); guarded to 26 qubits. The spectrum is computed
+        once per instance and memoized — it doubles as the fused QAOA
+        cost-layer diagonal and the brute-force energy table, both of which
+        hit it repeatedly in the training hot loop. The returned array is
+        the shared read-only memo, not a copy.
         """
+        if self._landscape is not None:
+            return self._landscape
         if self._num_qubits > 26:
             raise HamiltonianError(
                 f"energy_landscape is limited to 26 qubits, got {self._num_qubits}"
@@ -243,7 +252,10 @@ class IsingHamiltonian:
         # spins[b, i] = +1 if bit i of b is 0 else -1
         bits = (indices[:, None] >> np.arange(n, dtype=np.uint32)[None, :]) & 1
         spins = 1.0 - 2.0 * bits.astype(float)
-        return self.evaluate_many(spins)
+        landscape = self.evaluate_many(spins)
+        landscape.setflags(write=False)
+        self._landscape = landscape
+        return landscape
 
     # ------------------------------------------------------------------
     # Algebra
@@ -276,6 +288,14 @@ class IsingHamiltonian:
             f"IsingHamiltonian(num_qubits={self._num_qubits}, "
             f"|J|={len(self._J)}, offset={self._offset})"
         )
+
+    def __getstate__(self) -> dict:
+        # Drop the spectrum memo from pickles: 2**n floats would bloat
+        # every JobSpec crossing a process boundary, and the receiver can
+        # rebuild it bit-identically on first use.
+        state = self.__dict__.copy()
+        state["_landscape"] = None
+        return state
 
     def content_text(self) -> str:
         """Canonical exact-content serialization (cache-key primitive).

@@ -9,18 +9,25 @@ large-instance ideal expectations cheap.
 """
 
 from repro.qaoa.analytic import (
+    QAOA1Structure,
     qaoa1_expectation,
+    qaoa1_expectations_batch,
     qaoa1_term_expectations,
+    qaoa1_term_expectations_batch,
 )
 from repro.qaoa.circuits import QAOATemplate, build_qaoa_circuit, build_qaoa_template
 from repro.qaoa.executor import (
     EvaluationContext,
+    batch_objective,
+    evaluate_batch,
     evaluate_ideal,
     evaluate_noisy,
     make_context,
 )
 from repro.qaoa.objective import approximation_ratio, approximation_ratio_gap
 from repro.qaoa.optimizer import (
+    BatchEvaluateFn,
+    EvaluateFn,
     LandscapeScan,
     OptimizationResult,
     landscape_scan,
@@ -28,19 +35,26 @@ from repro.qaoa.optimizer import (
 )
 
 __all__ = [
+    "BatchEvaluateFn",
+    "EvaluateFn",
     "EvaluationContext",
     "LandscapeScan",
     "OptimizationResult",
+    "QAOA1Structure",
     "QAOATemplate",
     "approximation_ratio",
     "approximation_ratio_gap",
+    "batch_objective",
     "build_qaoa_circuit",
     "build_qaoa_template",
+    "evaluate_batch",
     "evaluate_ideal",
     "evaluate_noisy",
     "landscape_scan",
     "make_context",
     "optimize_qaoa",
     "qaoa1_expectation",
+    "qaoa1_expectations_batch",
     "qaoa1_term_expectations",
+    "qaoa1_term_expectations_batch",
 ]

@@ -7,18 +7,29 @@ model. The optimizer then treats ``evaluate_noisy(ctx, g, b)`` as its black
 box, exactly like the classical outer loop of the paper trains against
 hardware expectation values.
 
-Ideal expectations use the closed form at p=1 and the statevector simulator
-for deeper circuits (bounded by the simulator's qubit cap).
+Engine selection (the training hot path): at p=1 the batched analytic
+closed form evaluates whole ``(gamma, beta)`` point batches over
+precomputed sparse term structures; at p>=2 the fused diagonal statevector
+kernel applies each cost layer as one elementwise phase multiply against
+the memoized energy spectrum (bounded by the simulator's qubit cap). Both
+feed :func:`evaluate_batch`, the vectorized objective the optimizer's grid
+seeds, warm-start acceptance tests and landscape scans consume in one
+kernel call per batch. Set ``vectorized=False`` on the context to fall
+back to the legacy scalar path (the per-point Python loops) — kept as the
+reference implementation and the benchmark baseline.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from collections.abc import Sequence
 
+import numpy as np
+
+from repro.cache.memo import memoized_spectrum
 from repro.exceptions import QAOAError
 from repro.ising.hamiltonian import IsingHamiltonian
-from repro.qaoa.analytic import qaoa1_term_expectations
+from repro.qaoa.analytic import QAOA1Structure, qaoa1_term_expectations
 from repro.qaoa.circuits import QAOATemplate, build_qaoa_template
 from repro.sim.depolarizing import (
     circuit_fidelity,
@@ -27,10 +38,13 @@ from repro.sim.depolarizing import (
     readout_factors,
 )
 from repro.sim.expectation import (
+    combine_term_expectations,
     expectation_from_probabilities,
     term_expectations_from_probabilities,
+    term_sign_matrix,
 )
 from repro.sim.noise import NoiseModel, noise_model_for_transpiled
+from repro.sim.qaoa_kernel import qaoa_probabilities_batch
 from repro.sim.statevector import MAX_SIM_QUBITS, probabilities
 from repro.transpile.compiler import TranspileOptions, TranspiledCircuit, transpile
 
@@ -46,6 +60,8 @@ class EvaluationContext:
         fidelity: Global-depolarizing circuit fidelity F (1.0 = ideal).
         readout: Per-logical-qubit readout attenuation factors.
         transpiled: The compiled template, when a device was supplied.
+        vectorized: Evaluate through the batched analytic / fused diagonal
+            kernels (default). ``False`` pins the legacy scalar path.
     """
 
     hamiltonian: IsingHamiltonian
@@ -56,6 +72,15 @@ class EvaluationContext:
     transpiled: "TranspiledCircuit | None" = None
     noise_model: "NoiseModel | None" = None
     measured_wires: "list[int] | None" = None
+    vectorized: bool = True
+    _analytic: "QAOA1Structure | None" = field(
+        default=None, repr=False, compare=False
+    )
+    _spectrum: "np.ndarray | None" = field(
+        default=None, repr=False, compare=False
+    )
+    _signs: "tuple | None" = field(default=None, repr=False, compare=False)
+    _weights: dict = field(default_factory=dict, repr=False, compare=False)
 
     def ensure_template(self) -> QAOATemplate:
         """Build (and cache) the logical template for simulation paths."""
@@ -64,6 +89,58 @@ class EvaluationContext:
                 self.hamiltonian, num_layers=self.num_layers
             )
         return self.template
+
+    def analytic_structure(self) -> QAOA1Structure:
+        """The precomputed p=1 term structure (built once, then reused)."""
+        if self._analytic is None:
+            self._analytic = QAOA1Structure(self.hamiltonian)
+        return self._analytic
+
+    def spectrum(self) -> np.ndarray:
+        """The memoized ``2**n`` energy table feeding the fused kernel."""
+        if self._spectrum is None:
+            self._spectrum = memoized_spectrum(self.hamiltonian)
+        return self._spectrum
+
+    def sign_basis(self) -> tuple:
+        """Precomputed spin-sign columns for per-term EVs at p >= 2."""
+        if self._signs is None:
+            self._signs = term_sign_matrix(self.hamiltonian)
+        return self._signs
+
+    def __getstate__(self) -> dict:
+        # Like IsingHamiltonian.__getstate__: the derived evaluation caches
+        # (term structure, 2**n spectrum, (2**n, T) sign matrix, weights)
+        # are rebuildable and would dominate every pickled run result —
+        # drop them at the process boundary.
+        state = self.__dict__.copy()
+        state["_analytic"] = None
+        state["_spectrum"] = None
+        state["_signs"] = None
+        state["_weights"] = {}
+        return state
+
+    def analytic_weights(self, noisy: bool) -> tuple:
+        """Cached p=1 combination weights (fidelity/readout are fixed)."""
+        key = ("analytic", noisy)
+        if key not in self._weights:
+            self._weights[key] = self.analytic_structure().term_weights(
+                fidelity=self.fidelity if noisy else 1.0,
+                readout=self.readout if noisy else None,
+            )
+        return self._weights[key]
+
+    def sign_weights(self, noisy: bool) -> "np.ndarray":
+        """Cached combination weights aligned with :meth:`sign_basis`.
+
+        The sign basis orders its columns exactly like the analytic
+        structure (non-zero-h qubits, then quadratic terms in dict
+        order), so the one weight derivation serves both.
+        """
+        key = ("signs", noisy)
+        if key not in self._weights:
+            self._weights[key] = np.concatenate(self.analytic_weights(noisy))
+        return self._weights[key]
 
 
 @dataclass(frozen=True)
@@ -131,6 +208,7 @@ def make_context(
     transpile_options: "TranspileOptions | None" = None,
     transpiled: "TranspiledCircuit | None" = None,
     noise_profile: "NoiseProfile | None" = None,
+    vectorized: bool = True,
 ) -> EvaluationContext:
     """Build an evaluation context, compiling for a device if one is given.
 
@@ -145,8 +223,12 @@ def make_context(
         noise_profile: Pre-computed noise constants of ``transpiled`` (or
             of the master template it was edited from — the profile is
             angle-independent); computed here when omitted.
+        vectorized: Evaluate through the batched kernels (default); pass
+            ``False`` for the legacy scalar reference path.
     """
-    context = EvaluationContext(hamiltonian=hamiltonian, num_layers=num_layers)
+    context = EvaluationContext(
+        hamiltonian=hamiltonian, num_layers=num_layers, vectorized=vectorized
+    )
     if transpiled is None and device is not None:
         template = build_qaoa_template(hamiltonian, num_layers=num_layers)
         context.template = template
@@ -161,29 +243,111 @@ def make_context(
     return context
 
 
-def _ideal_terms(
-    context: EvaluationContext,
-    gammas: Sequence[float],
-    betas: Sequence[float],
-) -> tuple[dict[int, float], dict[tuple[int, int], float]]:
-    hamiltonian = context.hamiltonian
+def _check_layers(context: EvaluationContext, gammas, betas) -> None:
     if len(gammas) != context.num_layers or len(betas) != context.num_layers:
         raise QAOAError(
             f"expected {context.num_layers} gammas/betas, got "
             f"{len(gammas)}/{len(betas)}"
         )
+
+
+def _check_sim_cap(context: EvaluationContext) -> None:
+    if context.hamiltonian.num_qubits > MAX_SIM_QUBITS:
+        raise QAOAError(
+            f"p={context.num_layers} QAOA on "
+            f"{context.hamiltonian.num_qubits} qubits exceeds the "
+            f"{MAX_SIM_QUBITS}-qubit statevector cap"
+        )
+
+
+def _ideal_terms(
+    context: EvaluationContext,
+    gammas: Sequence[float],
+    betas: Sequence[float],
+) -> tuple[dict[int, float], dict[tuple[int, int], float]]:
+    """Legacy scalar per-term expectations (the reference path)."""
+    hamiltonian = context.hamiltonian
+    _check_layers(context, gammas, betas)
     if context.num_layers == 1:
         return qaoa1_term_expectations(hamiltonian, gammas[0], betas[0])
-    if hamiltonian.num_qubits > MAX_SIM_QUBITS:
-        raise QAOAError(
-            f"p={context.num_layers} QAOA on {hamiltonian.num_qubits} qubits "
-            f"exceeds the {MAX_SIM_QUBITS}-qubit statevector cap"
-        )
+    _check_sim_cap(context)
     template = context.ensure_template()
     bound = template.bind(gammas, betas)
     probs = probabilities(bound)
     z_all, zz_all = term_expectations_from_probabilities(hamiltonian, probs)
     return z_all, zz_all
+
+
+def evaluate_batch(
+    context: EvaluationContext,
+    gammas: np.ndarray,
+    betas: np.ndarray,
+    noisy: bool = False,
+) -> np.ndarray:
+    """Expectation values of a whole ``(P, p)`` parameter batch at once.
+
+    The vectorized objective: p=1 goes through the batched analytic closed
+    form over the context's precomputed term structure, p>=2 through the
+    fused diagonal statevector kernel against the memoized spectrum. Noise
+    (``noisy=True``) is folded in as per-term combination weights, so the
+    noisy batch costs the same kernel call as the ideal one.
+
+    Args:
+        context: The evaluation context.
+        gammas: Phase angles, shape ``(P, p)`` (or ``(P,)`` when p=1).
+        betas: Mixing angles, same shape as ``gammas``.
+        noisy: Attenuate with the context's fidelity/readout factors.
+
+    Returns:
+        Expectation values, shape ``(P,)``.
+    """
+    g = np.asarray(gammas, dtype=float)
+    b = np.asarray(betas, dtype=float)
+    if g.ndim == 1:
+        g = g[:, None]
+    if b.ndim == 1:
+        b = b[:, None]
+    if g.ndim != 2 or g.shape != b.shape:
+        raise QAOAError(
+            f"gammas/betas must be matching (P, p) batches, got "
+            f"{g.shape}/{b.shape}"
+        )
+    if g.shape[1] != context.num_layers:
+        raise QAOAError(
+            f"expected {context.num_layers} gammas/betas, got "
+            f"{g.shape[1]}/{b.shape[1]}"
+        )
+    if context.num_layers == 1:
+        return context.analytic_structure().expectations(
+            g[:, 0], b[:, 0], weights=context.analytic_weights(noisy)
+        )
+    _check_sim_cap(context)
+    spectrum = context.spectrum()
+    probs = qaoa_probabilities_batch(
+        context.hamiltonian, g, b, spectrum=spectrum
+    )
+    if not noisy:
+        return probs @ spectrum
+    matrix, __, __ = context.sign_basis()
+    term_values = probs @ matrix
+    return context.hamiltonian.offset + term_values @ context.sign_weights(True)
+
+
+def batch_objective(context: EvaluationContext, noisy: bool = False):
+    """The context's batched objective ``(gammas, betas) -> (P,) values``.
+
+    Convenience for threading :func:`evaluate_batch` into
+    :func:`repro.qaoa.optimizer.optimize_qaoa` and ``landscape_scan``.
+    Returns ``None`` when the context pins the legacy scalar path, so
+    callers can pass the result straight through.
+    """
+    if not context.vectorized:
+        return None
+
+    def evaluate(gammas: np.ndarray, betas: np.ndarray) -> np.ndarray:
+        return evaluate_batch(context, gammas, betas, noisy=noisy)
+
+    return evaluate
 
 
 def evaluate_ideal(
@@ -192,15 +356,25 @@ def evaluate_ideal(
     betas: Sequence[float],
 ) -> float:
     """Noiseless expectation value at the given parameters."""
+    if context.vectorized:
+        _check_layers(context, gammas, betas)
+        if context.num_layers == 1:
+            return context.analytic_structure().expectation_point(
+                float(gammas[0]), float(betas[0]),
+                context.analytic_weights(False),
+            )
+        value = evaluate_batch(
+            context,
+            np.asarray(gammas, dtype=float)[None, :],
+            np.asarray(betas, dtype=float)[None, :],
+        )
+        return float(value[0])
     if context.num_layers == 1:
         z_values, zz_values = _ideal_terms(context, gammas, betas)
-        value = context.hamiltonian.offset
-        h = context.hamiltonian.linear
-        for qubit, expectation in z_values.items():
-            value += h[qubit] * expectation
-        for pair, expectation in zz_values.items():
-            value += context.hamiltonian.quadratic_coefficient(*pair) * expectation
-        return float(value)
+        return combine_term_expectations(
+            context.hamiltonian, z_values, zz_values
+        )
+    _check_layers(context, gammas, betas)
     template = context.ensure_template()
     bound = template.bind(gammas, betas)
     return expectation_from_probabilities(context.hamiltonian, probabilities(bound))
@@ -216,6 +390,20 @@ def evaluate_noisy(
     With ``fidelity == 1`` and no readout factors this equals
     :func:`evaluate_ideal`.
     """
+    if context.vectorized:
+        _check_layers(context, gammas, betas)
+        if context.num_layers == 1:
+            return context.analytic_structure().expectation_point(
+                float(gammas[0]), float(betas[0]),
+                context.analytic_weights(True),
+            )
+        value = evaluate_batch(
+            context,
+            np.asarray(gammas, dtype=float)[None, :],
+            np.asarray(betas, dtype=float)[None, :],
+            noisy=True,
+        )
+        return float(value[0])
     z_values, zz_values = _ideal_terms(context, gammas, betas)
     return noisy_expectation(
         context.hamiltonian,

@@ -5,6 +5,14 @@ expectation value, update. Strategy here: a coarse (gamma, beta) grid seed
 (p=1) or random multistart (p>1), refined with Nelder-Mead — derivative-free
 like the COBYLA/SPSA choices common in QAOA practice.
 
+Both entry points accept an optional *batched* objective
+(``evaluate_batch``: matrices of shape ``(P, p)`` in, values ``(P,)``
+out — see :func:`repro.qaoa.executor.evaluate_batch`): the grid seeding
+scan, the warm-start acceptance test, and the full landscape scan then go
+through one vectorized kernel call instead of one scalar objective call
+per point. Only the Nelder-Mead refinement stays scalar (its proposals are
+inherently sequential).
+
 ``landscape_scan`` reproduces the paper's Fig. 12 protocol: evaluate the
 approximation ratio over a full 2-D parameter grid instead of a single
 optimizer path.
@@ -28,6 +36,8 @@ DEFAULT_GAMMA_RANGE = (-np.pi / 2.0, np.pi / 2.0)
 DEFAULT_BETA_RANGE = (-np.pi / 4.0, np.pi / 4.0)
 
 EvaluateFn = Callable[[Sequence[float], Sequence[float]], float]
+#: Batched objective: ``(gammas (P, p), betas (P, p)) -> values (P,)``.
+BatchEvaluateFn = Callable[[np.ndarray, np.ndarray], np.ndarray]
 
 
 @dataclass
@@ -67,6 +77,7 @@ def optimize_qaoa(
     beta_range: tuple[float, float] = DEFAULT_BETA_RANGE,
     seed: "int | np.random.Generator | None" = None,
     initial_point: "tuple[Sequence[float], Sequence[float]] | None" = None,
+    evaluate_batch: "BatchEvaluateFn | None" = None,
 ) -> OptimizationResult:
     """Minimise a QAOA expectation over its 2p parameters.
 
@@ -86,6 +97,11 @@ def optimize_qaoa(
             from it — two evaluations instead of ``grid_resolution**2``.
             Otherwise the transfer is rejected and the fresh-start path
             runs as if no point had been offered.
+        evaluate_batch: Optional batched twin of ``evaluate`` (must agree
+            with it to numerical precision). When given, the seeding scan
+            and the warm-start acceptance test run as single kernel calls
+            over whole point batches; ``num_evaluations`` still counts
+            every point.
 
     Returns:
         The best parameters found and bookkeeping.
@@ -98,17 +114,44 @@ def optimize_qaoa(
     best_value = np.inf
     best_point: "np.ndarray | None" = None
 
-    def objective(point: np.ndarray) -> float:
+    def record(point: np.ndarray, value: float) -> float:
+        """Count one objective evaluation and track the best point."""
         nonlocal evaluations, best_value, best_point
-        gammas = point[:num_layers]
-        betas = point[num_layers:]
-        value = float(evaluate(gammas, betas))
         evaluations += 1
         if value < best_value:
             best_value = value
             best_point = point.copy()
             history.append(value)
         return value
+
+    def objective(point: np.ndarray) -> float:
+        # Deterministic objectives let the winning seed point double as
+        # Nelder-Mead's start vertex without paying a second evaluation:
+        # answer repeats of the tracked best point from memory.
+        if best_point is not None and np.array_equal(point, best_point):
+            return best_value
+        value = float(evaluate(point[:num_layers], point[num_layers:]))
+        return record(point, value)
+
+    def evaluate_points(points: np.ndarray) -> np.ndarray:
+        """Evaluate a ``(P, 2p)`` stack, batched when the kernel exists."""
+        if evaluate_batch is not None:
+            values = np.asarray(
+                evaluate_batch(points[:, :num_layers], points[:, num_layers:]),
+                dtype=float,
+            )
+        else:
+            values = np.asarray(
+                [
+                    float(evaluate(point[:num_layers], point[num_layers:]))
+                    for point in points
+                ]
+            )
+        # Bookkeeping walks the points in scan order either way, so the
+        # batched and scalar paths report identical histories.
+        for point, value in zip(points, values):
+            record(point, float(value))
+        return values
 
     warm_started = False
     warm_start_rejected = False
@@ -123,10 +166,11 @@ def optimize_qaoa(
         transferred = np.asarray([*gammas, *betas], dtype=float)
         # Acceptance test: the transfer must beat the untrained baseline
         # (all angles zero — the uniform superposition, whose expectation
-        # any useful training improves on).
-        null_value = objective(np.zeros(2 * num_layers))
-        transferred_value = objective(transferred)
-        if transferred_value < null_value:
+        # any useful training improves on). One batch of two points.
+        values = evaluate_points(
+            np.stack([np.zeros(2 * num_layers), transferred])
+        )
+        if values[1] < values[0]:
             warm_started = True
             starts.append(transferred)
         else:
@@ -136,15 +180,14 @@ def optimize_qaoa(
         if num_layers == 1:
             gamma_axis = np.linspace(*gamma_range, grid_resolution)
             beta_axis = np.linspace(*beta_range, grid_resolution)
-            grid_best = None
-            grid_best_value = np.inf
-            for gamma in gamma_axis:
-                for beta in beta_axis:
-                    value = objective(np.array([gamma, beta]))
-                    if value < grid_best_value:
-                        grid_best_value = value
-                        grid_best = np.array([gamma, beta])
-            starts.append(grid_best)
+            points = np.column_stack(
+                [
+                    np.repeat(gamma_axis, grid_resolution),
+                    np.tile(beta_axis, grid_resolution),
+                ]
+            )
+            values = evaluate_points(points)
+            starts.append(points[int(np.argmin(values))].copy())
         else:
             for __ in range(num_starts):
                 gammas = rng.uniform(*gamma_range, size=num_layers)
@@ -208,18 +251,34 @@ class LandscapeScan:
 
 
 def landscape_scan(
-    evaluate: EvaluateFn,
+    evaluate: "EvaluateFn | None",
     resolution: int = 50,
     gamma_range: tuple[float, float] = DEFAULT_GAMMA_RANGE,
     beta_range: tuple[float, float] = DEFAULT_BETA_RANGE,
+    evaluate_batch: "BatchEvaluateFn | None" = None,
 ) -> LandscapeScan:
-    """Evaluate a p=1 objective over a ``resolution x resolution`` grid."""
+    """Evaluate a p=1 objective over a ``resolution x resolution`` grid.
+
+    Pass ``evaluate_batch`` to evaluate the whole grid in one vectorized
+    kernel call (the Fig. 12 hot path: ``resolution**2`` scalar objective
+    calls collapse to one batch); ``evaluate`` alone falls back to the
+    point-by-point loop.
+    """
     if resolution < 2:
         raise QAOAError(f"resolution must be >= 2, got {resolution}")
+    if evaluate is None and evaluate_batch is None:
+        raise QAOAError("landscape_scan needs evaluate or evaluate_batch")
     gammas = np.linspace(*gamma_range, resolution)
     betas = np.linspace(*beta_range, resolution)
-    values = np.empty((resolution, resolution))
-    for i, gamma in enumerate(gammas):
-        for j, beta in enumerate(betas):
-            values[i, j] = evaluate([gamma], [beta])
+    if evaluate_batch is not None:
+        grid_g = np.repeat(gammas, resolution)[:, None]
+        grid_b = np.tile(betas, resolution)[:, None]
+        values = np.asarray(
+            evaluate_batch(grid_g, grid_b), dtype=float
+        ).reshape(resolution, resolution)
+    else:
+        values = np.empty((resolution, resolution))
+        for i, gamma in enumerate(gammas):
+            for j, beta in enumerate(betas):
+                values[i, j] = evaluate([gamma], [beta])
     return LandscapeScan(gammas=gammas, betas=betas, values=values)

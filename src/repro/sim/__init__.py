@@ -27,13 +27,26 @@ from repro.sim.depolarizing import (
     readout_factors,
 )
 from repro.sim.expectation import (
+    combine_term_expectations,
     expectation_from_counts,
     expectation_from_probabilities,
     term_expectations_from_probabilities,
+    term_sign_matrix,
 )
 from repro.sim.noise import NoiseModel, trajectory_counts
+from repro.sim.qaoa_kernel import (
+    qaoa_expectations_batch,
+    qaoa_probabilities,
+    qaoa_probabilities_batch,
+    qaoa_statevector,
+    qaoa_statevectors_batch,
+)
 from repro.sim.sampling import Counts, sample_counts
-from repro.sim.statevector import probabilities, simulate_statevector
+from repro.sim.statevector import (
+    probabilities,
+    simulate_statevector,
+    uniform_superposition,
+)
 
 __all__ = [
     "Counts",
@@ -42,15 +55,23 @@ __all__ = [
     "batched_statevectors",
     "circuit_fidelity",
     "circuit_signature",
+    "combine_term_expectations",
     "group_by_signature",
     "expectation_from_counts",
     "expectation_from_probabilities",
     "noisy_counts",
     "noisy_expectation",
     "probabilities",
+    "qaoa_expectations_batch",
+    "qaoa_probabilities",
+    "qaoa_probabilities_batch",
+    "qaoa_statevector",
+    "qaoa_statevectors_batch",
     "readout_factors",
     "sample_counts",
     "simulate_statevector",
     "term_expectations_from_probabilities",
+    "term_sign_matrix",
     "trajectory_counts",
+    "uniform_superposition",
 ]

@@ -29,6 +29,7 @@ from repro.circuit.circuit import QuantumCircuit
 from repro.circuit.dag import circuit_layers
 from repro.exceptions import SimulationError
 from repro.ising.hamiltonian import IsingHamiltonian
+from repro.sim.expectation import combine_term_expectations
 from repro.sim.noise import NoiseModel
 from repro.sim.sampling import Counts, sample_counts
 from repro.utils.rng import ensure_rng
@@ -147,26 +148,9 @@ def noisy_expectation(
     Raises:
         SimulationError: On missing term expectations or bad fidelity.
     """
-    if not 0.0 <= fidelity <= 1.0:
-        raise SimulationError(f"fidelity must be in [0, 1], got {fidelity}")
-    factors = readout or {}
-
-    def factor(qubit: int) -> float:
-        return factors.get(qubit, 1.0)
-
-    value = hamiltonian.offset
-    for qubit, coefficient in enumerate(hamiltonian.linear):
-        if coefficient == 0.0:
-            continue
-        if qubit not in ideal_z:
-            raise SimulationError(f"missing ideal <Z_{qubit}>")
-        value += coefficient * fidelity * factor(qubit) * ideal_z[qubit]
-    for pair, coefficient in hamiltonian.quadratic.items():
-        if pair not in ideal_zz:
-            raise SimulationError(f"missing ideal <Z Z> for pair {pair}")
-        i, j = pair
-        value += coefficient * fidelity * factor(i) * factor(j) * ideal_zz[pair]
-    return float(value)
+    return combine_term_expectations(
+        hamiltonian, ideal_z, ideal_zz, fidelity=fidelity, readout=readout
+    )
 
 
 def flip_probabilities_from_factors(

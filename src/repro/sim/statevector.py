@@ -71,6 +71,21 @@ def diagonal_broadcast(
     return pair.reshape(shape)
 
 
+def uniform_superposition(
+    num_qubits: int, batch: "int | None" = None
+) -> np.ndarray:
+    """The ``|+>^n`` state a QAOA circuit's Hadamard wall prepares.
+
+    Args:
+        num_qubits: Qubit count n.
+        batch: When given, a stacked ``(batch, 2**n)`` copy per batch item.
+    """
+    size = 1 << num_qubits
+    amplitude = 1.0 / np.sqrt(size)
+    shape = (size,) if batch is None else (batch, size)
+    return np.full(shape, amplitude, dtype=complex)
+
+
 def simulate_statevector(
     circuit: QuantumCircuit,
     initial_state: "np.ndarray | None" = None,

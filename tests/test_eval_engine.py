@@ -1,0 +1,472 @@
+"""Tests for the vectorized evaluation engine.
+
+Three layers of agreement, all against the original scalar references:
+
+* the batched p=1 closed form (``QAOA1Structure`` /
+  ``qaoa1_expectations_batch``) vs the per-point Python loop of
+  ``qaoa1_term_expectations``;
+* the fused diagonal statevector kernel (``sim/qaoa_kernel``) vs the
+  gate-by-gate ``simulate_statevector`` on the bound template;
+* the ``evaluate_batch`` objective (and the optimizer/scan paths built on
+  it) vs the legacy scalar ``evaluate_ideal`` / ``evaluate_noisy``.
+
+Agreement bars are 1e-12 absolute — far below anything training could
+notice, far above accumulation noise. Random instances are seeded
+power-law (Barabási–Albert) graphs with dense/sparse/zero linear terms;
+edge cases (h-only, J-only, isolated qubits, deep p) get explicit cases.
+"""
+
+from __future__ import annotations
+
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.cache.memo import memoized_spectrum
+from repro.devices import get_backend
+from repro.exceptions import QAOAError, SimulationError
+from repro.graphs.generators import barabasi_albert_graph
+from repro.ising.hamiltonian import IsingHamiltonian
+from repro.planning.pruning import rank_assignments
+from repro.qaoa import (
+    QAOA1Structure,
+    batch_objective,
+    build_qaoa_template,
+    evaluate_batch,
+    evaluate_ideal,
+    evaluate_noisy,
+    landscape_scan,
+    make_context,
+    optimize_qaoa,
+    qaoa1_expectation,
+    qaoa1_expectations_batch,
+    qaoa1_term_expectations,
+)
+from repro.sim.qaoa_kernel import (
+    qaoa_expectations_batch,
+    qaoa_probabilities,
+    qaoa_probabilities_batch,
+    qaoa_statevector,
+)
+from repro.sim.statevector import probabilities, simulate_statevector
+
+TOL = 1e-12
+
+
+def random_powerlaw_instance(
+    seed: int, num_qubits: int = 8, attachment: int = 2
+) -> IsingHamiltonian:
+    """A seeded BA instance with ±1 couplings and mixed-sparsity h."""
+    rng = np.random.default_rng(seed)
+    graph = barabasi_albert_graph(num_qubits, attachment, seed=seed)
+    base = IsingHamiltonian.from_graph(graph, weights="random_pm1", seed=seed + 1)
+    linear = rng.normal(size=num_qubits) * (rng.random(num_qubits) < 0.6)
+    return IsingHamiltonian(
+        num_qubits,
+        linear=linear,
+        quadratic=base.quadratic,
+        offset=float(rng.normal()),
+    )
+
+
+EDGE_CASES = [
+    # h-only: no quadratic terms at all.
+    IsingHamiltonian(3, linear=[0.7, -1.2, 0.4], offset=1.5),
+    # J-only: the paper's benchmark shape (h = 0 everywhere).
+    IsingHamiltonian(4, quadratic={(0, 1): 1.0, (1, 2): -1.0, (2, 3): 1.0}),
+    # Isolated qubits: qubit 2 carries no term, qubit 3 only a linear one.
+    IsingHamiltonian(
+        4, linear=[0.0, 0.5, 0.0, -0.8], quadratic={(0, 1): -1.0}, offset=-0.3
+    ),
+    # Single qubit.
+    IsingHamiltonian(1, linear=[0.9]),
+]
+
+
+def _assert_terms_agree(hamiltonian: IsingHamiltonian, gammas, betas):
+    structure = QAOA1Structure(hamiltonian)
+    z, zz = structure.term_expectations(gammas, betas)
+    for row, (gamma, beta) in enumerate(zip(gammas, betas)):
+        z_ref, zz_ref = qaoa1_term_expectations(hamiltonian, gamma, beta)
+        for col, qubit in enumerate(structure.z_qubits):
+            assert abs(z[row, col] - z_ref[int(qubit)]) < TOL
+        for col, (i, j) in enumerate(structure.pairs):
+            assert abs(zz[row, col] - zz_ref[(int(i), int(j))]) < TOL
+
+
+class TestBatchedAnalytic:
+    def test_batch_matches_scalar_on_random_instances(self):
+        rng = np.random.default_rng(7)
+        for seed in range(8):
+            h = random_powerlaw_instance(seed)
+            gammas = rng.uniform(-3, 3, 12)
+            betas = rng.uniform(-3, 3, 12)
+            batch = qaoa1_expectations_batch(h, gammas, betas)
+            scalar = [
+                qaoa1_expectation(h, g, b) for g, b in zip(gammas, betas)
+            ]
+            assert np.max(np.abs(batch - scalar)) < TOL
+
+    def test_per_term_agreement(self):
+        rng = np.random.default_rng(11)
+        for seed in range(4):
+            h = random_powerlaw_instance(seed, num_qubits=7)
+            _assert_terms_agree(h, rng.uniform(-2, 2, 5), rng.uniform(-2, 2, 5))
+
+    @pytest.mark.parametrize("hamiltonian", EDGE_CASES)
+    def test_edge_cases(self, hamiltonian):
+        rng = np.random.default_rng(13)
+        gammas = rng.uniform(-3, 3, 9)
+        betas = rng.uniform(-3, 3, 9)
+        batch = qaoa1_expectations_batch(hamiltonian, gammas, betas)
+        scalar = [
+            qaoa1_expectation(hamiltonian, g, b)
+            for g, b in zip(gammas, betas)
+        ]
+        assert np.max(np.abs(batch - scalar)) < TOL
+        _assert_terms_agree(hamiltonian, gammas, betas)
+
+    def test_chunked_evaluation_matches_unchunked(self, monkeypatch):
+        import repro.qaoa.analytic as analytic
+
+        h = random_powerlaw_instance(3)
+        gammas = np.linspace(-2, 2, 37)
+        betas = np.linspace(-1, 1, 37)
+        whole = qaoa1_expectations_batch(h, gammas, betas)
+        monkeypatch.setattr(analytic, "BATCH_CHUNK_ELEMENTS", 16)
+        chunked = qaoa1_expectations_batch(h, gammas, betas)
+        np.testing.assert_array_equal(whole, chunked)
+
+    def test_noise_weights_match_scalar_noisy_path(self):
+        h = random_powerlaw_instance(5)
+        context = make_context(h, device=get_backend("montreal"))
+        legacy = make_context(
+            h, device=get_backend("montreal"), vectorized=False
+        )
+        rng = np.random.default_rng(17)
+        gammas = rng.uniform(-2, 2, 6)
+        betas = rng.uniform(-2, 2, 6)
+        batch = evaluate_batch(context, gammas, betas, noisy=True)
+        scalar = [
+            evaluate_noisy(legacy, [g], [b]) for g, b in zip(gammas, betas)
+        ]
+        assert np.max(np.abs(batch - scalar)) < TOL
+
+    def test_empty_hamiltonian_rejected(self):
+        with pytest.raises(QAOAError):
+            QAOA1Structure(IsingHamiltonian(0))
+
+    def test_shape_mismatch_rejected(self):
+        h = EDGE_CASES[1]
+        with pytest.raises(QAOAError):
+            qaoa1_expectations_batch(h, np.zeros(3), np.zeros(4))
+
+
+class TestFusedKernel:
+    @pytest.mark.parametrize("num_layers", [1, 2, 3])
+    def test_statevector_matches_gate_loop(self, num_layers):
+        rng = np.random.default_rng(19)
+        for seed in range(3):
+            h = random_powerlaw_instance(seed, num_qubits=6)
+            gammas = rng.uniform(-2, 2, num_layers)
+            betas = rng.uniform(-2, 2, num_layers)
+            template = build_qaoa_template(h, num_layers=num_layers)
+            reference = simulate_statevector(template.bind(gammas, betas))
+            fused = qaoa_statevector(h, gammas, betas)
+            assert np.max(np.abs(reference - fused)) < TOL
+
+    @pytest.mark.parametrize("hamiltonian", EDGE_CASES)
+    def test_edge_case_probabilities(self, hamiltonian):
+        gammas, betas = [0.7, -0.4, 1.1], [0.3, 0.9, -0.2]
+        template = build_qaoa_template(hamiltonian, num_layers=3)
+        reference = probabilities(template.bind(gammas, betas))
+        fused = qaoa_probabilities(hamiltonian, gammas, betas)
+        assert np.max(np.abs(reference - fused)) < TOL
+
+    def test_batch_rows_match_single_calls(self):
+        h = random_powerlaw_instance(23, num_qubits=5)
+        rng = np.random.default_rng(29)
+        G = rng.uniform(-2, 2, (7, 2))
+        B = rng.uniform(-2, 2, (7, 2))
+        batch = qaoa_probabilities_batch(h, G, B)
+        for row in range(7):
+            single = qaoa_probabilities(h, G[row], B[row])
+            np.testing.assert_allclose(batch[row], single, atol=TOL, rtol=0)
+
+    def test_expectations_batch_matches_dense_reference(self):
+        from repro.sim import expectation_from_probabilities
+
+        h = random_powerlaw_instance(31, num_qubits=5)
+        rng = np.random.default_rng(37)
+        G = rng.uniform(-2, 2, (5, 3))
+        B = rng.uniform(-2, 2, (5, 3))
+        values = qaoa_expectations_batch(h, G, B)
+        for row in range(5):
+            template = build_qaoa_template(h, num_layers=3)
+            probs = probabilities(template.bind(G[row], B[row]))
+            assert abs(values[row] - expectation_from_probabilities(h, probs)) < TOL
+
+    def test_oversized_instance_rejected(self):
+        big = IsingHamiltonian(25, quadratic={(0, 1): 1.0})
+        with pytest.raises(SimulationError):
+            qaoa_statevector(big, [0.1], [0.2])
+
+    def test_spectrum_length_validated(self):
+        h = EDGE_CASES[1]
+        with pytest.raises(SimulationError):
+            qaoa_statevector(h, [0.1], [0.2], spectrum=np.zeros(3))
+
+
+class TestEvaluateBatch:
+    @pytest.mark.parametrize("num_layers", [1, 2])
+    @pytest.mark.parametrize("noisy", [False, True])
+    def test_matches_legacy_scalar(self, num_layers, noisy):
+        h = random_powerlaw_instance(41, num_qubits=6)
+        device = get_backend("montreal")
+        context = make_context(h, num_layers=num_layers, device=device)
+        legacy = make_context(
+            h, num_layers=num_layers, device=device, vectorized=False
+        )
+        rng = np.random.default_rng(43)
+        G = rng.uniform(-2, 2, (5, num_layers))
+        B = rng.uniform(-2, 2, (5, num_layers))
+        batch = evaluate_batch(context, G, B, noisy=noisy)
+        fn = evaluate_noisy if noisy else evaluate_ideal
+        scalar = [fn(legacy, G[i], B[i]) for i in range(5)]
+        assert np.max(np.abs(batch - scalar)) < TOL
+        # The scalar entry points agree with their own batch too.
+        point = [float(fn(context, G[i], B[i])) for i in range(5)]
+        assert np.max(np.abs(batch - point)) < TOL
+
+    def test_layer_count_validated(self):
+        context = make_context(EDGE_CASES[1], num_layers=2)
+        with pytest.raises(QAOAError):
+            evaluate_batch(context, np.zeros((3, 1)), np.zeros((3, 1)))
+
+    def test_batch_objective_none_for_scalar_context(self):
+        context = make_context(EDGE_CASES[1], vectorized=False)
+        assert batch_objective(context) is None
+
+
+class TestOptimizerIntegration:
+    def test_batched_and_scalar_seeding_agree(self):
+        h = random_powerlaw_instance(47, num_qubits=6)
+        context = make_context(h)
+        scalar = optimize_qaoa(
+            lambda g, b: evaluate_ideal(context, g, b), grid_resolution=8
+        )
+        batched = optimize_qaoa(
+            lambda g, b: evaluate_ideal(context, g, b),
+            grid_resolution=8,
+            evaluate_batch=batch_objective(context),
+        )
+        assert batched.gammas == pytest.approx(scalar.gammas, abs=TOL)
+        assert batched.betas == pytest.approx(scalar.betas, abs=TOL)
+        assert batched.value == pytest.approx(scalar.value, abs=TOL)
+        assert batched.num_evaluations == scalar.num_evaluations
+        assert batched.history == pytest.approx(scalar.history, abs=TOL)
+
+    def test_seed_vertex_not_double_counted(self):
+        h = random_powerlaw_instance(53, num_qubits=5)
+        context = make_context(h)
+        seen: list[tuple[float, float]] = []
+
+        def evaluate(gammas, betas):
+            seen.append((float(gammas[0]), float(betas[0])))
+            return evaluate_ideal(context, gammas, betas)
+
+        result = optimize_qaoa(evaluate, grid_resolution=6)
+        # Every objective call reached the black box exactly once ...
+        assert result.num_evaluations == len(seen)
+        # ... and the winning grid point was never re-evaluated by
+        # Nelder-Mead at its start vertex.
+        winner = (result.history[-1] if result.history else None)
+        grid_points = seen[:36]
+        values = [evaluate_ideal(context, [g], [b]) for g, b in grid_points]
+        best_grid = grid_points[int(np.argmin(values))]
+        assert seen.count(best_grid) == 1
+
+    def test_warm_start_acceptance_batched_matches_scalar(self):
+        h = random_powerlaw_instance(59, num_qubits=6)
+        context = make_context(h)
+        trained = optimize_qaoa(
+            lambda g, b: evaluate_ideal(context, g, b), grid_resolution=8
+        )
+        point = (trained.gammas, trained.betas)
+        kwargs = dict(grid_resolution=8, initial_point=point)
+        scalar = optimize_qaoa(
+            lambda g, b: evaluate_ideal(context, g, b), **kwargs
+        )
+        batched = optimize_qaoa(
+            lambda g, b: evaluate_ideal(context, g, b),
+            evaluate_batch=batch_objective(context),
+            **kwargs,
+        )
+        assert scalar.warm_started and batched.warm_started
+        assert batched.value == pytest.approx(scalar.value, abs=TOL)
+        assert batched.num_evaluations == scalar.num_evaluations
+
+    def test_landscape_scan_batched_matches_scalar(self):
+        h = random_powerlaw_instance(61, num_qubits=6)
+        device = get_backend("montreal")
+        context = make_context(h, device=device)
+        legacy = make_context(h, device=device, vectorized=False)
+        scalar = landscape_scan(
+            lambda g, b: evaluate_noisy(legacy, g, b), resolution=9
+        )
+        batched = landscape_scan(
+            None,
+            resolution=9,
+            evaluate_batch=batch_objective(context, noisy=True),
+        )
+        assert np.max(np.abs(scalar.values - batched.values)) < TOL
+        assert batched.best == pytest.approx(scalar.best, abs=TOL)
+
+    def test_landscape_scan_requires_an_objective(self):
+        with pytest.raises(QAOAError):
+            landscape_scan(None, resolution=5)
+
+
+class TestScalarPinnedSampling:
+    def test_batched_backend_matches_serial_on_legacy_path(self):
+        """vectorized_evaluation=False pins the gate-loop sampling path on
+        every backend: the batched backend falls back to the stacked gate
+        loop and still matches serial bit-for-bit."""
+        from repro.core import FrozenQubitsSolver, SolverConfig
+
+        h = random_powerlaw_instance(83, num_qubits=8, attachment=1)
+        device = get_backend("montreal")
+        config = SolverConfig(
+            shots=256, grid_resolution=4, maxiter=6,
+            vectorized_evaluation=False,
+        )
+
+        def solve(backend):
+            solver = FrozenQubitsSolver(num_frozen=2, config=config, seed=5)
+            return solver.solve(h, device, backend=backend)
+
+        serial = solve("serial")
+        batched = solve("batched")
+        assert serial.best_spins == batched.best_spins
+        assert serial.ev_noisy == batched.ev_noisy
+        assert sorted(serial.combined_counts.items()) == sorted(
+            batched.combined_counts.items()
+        )
+        # The legacy path really built bound sampling circuits...
+        from repro.backend.base import train_job
+        from repro.core.solver import FrozenQubitsSolver as Solver
+
+        prepared = Solver(num_frozen=2, config=config, seed=5).prepare_jobs(
+            h, device
+        )
+        trained = train_job(prepared.jobs[0])
+        assert trained.sampling_circuit is not None
+        # ... while the vectorized path skips them and samples via the
+        # fused kernel.
+        vec_config = SolverConfig(shots=256, grid_resolution=4, maxiter=6)
+        prepared = Solver(num_frozen=2, config=vec_config, seed=5).prepare_jobs(
+            h, device
+        )
+        trained = train_job(prepared.jobs[0])
+        assert trained.sampling_circuit is None and trained.needs_sampling
+
+
+class TestSpectrumMemo:
+    def test_energy_landscape_memoized_and_read_only(self):
+        h = EDGE_CASES[1]
+        first = h.energy_landscape()
+        assert h.energy_landscape() is first
+        assert not first.flags.writeable
+        with pytest.raises(ValueError):
+            first[0] = 0.0
+
+    def test_pickle_drops_spectrum_memo(self):
+        h = random_powerlaw_instance(67, num_qubits=5)
+        h.energy_landscape()
+        clone = pickle.loads(pickle.dumps(h))
+        assert clone == h
+        assert clone._landscape is None
+        np.testing.assert_array_equal(
+            clone.energy_landscape(), h.energy_landscape()
+        )
+
+    def test_memoized_spectrum_shared_across_equal_instances(self):
+        a = random_powerlaw_instance(71, num_qubits=5)
+        b = random_powerlaw_instance(71, num_qubits=5)
+        assert a is not b and a == b
+        assert memoized_spectrum(a) is memoized_spectrum(b)
+
+
+class TestPlannerProbe:
+    def _cells(self):
+        from repro.core.hotspots import select_hotspots
+        from repro.core.partition import (
+            executed_subproblems,
+            partition_problem,
+        )
+
+        h = random_powerlaw_instance(73, num_qubits=8)
+        hotspots = select_hotspots(h, 3)
+        parts = partition_problem(h, hotspots, prune_symmetric=False)
+        return executed_subproblems(parts)
+
+    def test_qaoa1_probe_ranks_all_cells_deterministically(self):
+        cells = self._cells()
+        first = rank_assignments(cells, seed=5, probe="qaoa1")
+        second = rank_assignments(cells, seed=5, probe="qaoa1")
+        assert [r.index for r in first] == [r.index for r in second]
+        assert sorted(r.index for r in first) == sorted(
+            sp.index for sp in cells
+        )
+        # The anneal probe stays attached for the fallback floor.
+        assert all(r.probe_spins for r in first)
+
+    def test_unknown_probe_rejected(self):
+        with pytest.raises(ValueError):
+            rank_assignments(self._cells(), probe="nope")
+
+
+class TestSharpnessCurve:
+    def test_curve_shape_and_baseline(self):
+        from repro.analysis.tradeoff import landscape_sharpness_curve
+
+        h = random_powerlaw_instance(79, num_qubits=8, attachment=1)
+        curve = landscape_sharpness_curve(
+            h, max_frozen=2, device=get_backend("montreal"), resolution=8
+        )
+        assert len(curve) == 3
+        assert [p.quantum_cost for p in curve] == [1, 2, 4]
+        assert curve[0].relative_value == pytest.approx(1.0)
+        assert all(np.isfinite(p.relative_value) for p in curve)
+
+
+@pytest.mark.slow
+class TestLargeAgreementSweeps:
+    def test_batch_vs_scalar_sweep(self):
+        rng = np.random.default_rng(101)
+        for seed in range(40):
+            h = random_powerlaw_instance(
+                seed, num_qubits=int(rng.integers(3, 11)),
+                attachment=int(rng.integers(1, 3)),
+            )
+            gammas = rng.uniform(-4, 4, 20)
+            betas = rng.uniform(-4, 4, 20)
+            batch = qaoa1_expectations_batch(h, gammas, betas)
+            scalar = [
+                qaoa1_expectation(h, g, b) for g, b in zip(gammas, betas)
+            ]
+            assert np.max(np.abs(batch - scalar)) < TOL
+
+    def test_fused_vs_gate_loop_sweep(self):
+        rng = np.random.default_rng(103)
+        for seed in range(15):
+            num_layers = int(rng.integers(1, 4))
+            h = random_powerlaw_instance(seed, num_qubits=int(rng.integers(3, 9)))
+            G = rng.uniform(-3, 3, (4, num_layers))
+            B = rng.uniform(-3, 3, (4, num_layers))
+            batch = qaoa_probabilities_batch(h, G, B)
+            template = build_qaoa_template(h, num_layers=num_layers)
+            for row in range(4):
+                reference = probabilities(template.bind(G[row], B[row]))
+                assert np.max(np.abs(batch[row] - reference)) < TOL
