@@ -1,0 +1,141 @@
+"""Diff two sets of ``BENCH_*.json`` perf records.
+
+Each perf-gating bench drops a machine-readable record under
+``bench_artifacts/`` (see ``benchmarks/conftest.emit_bench_json``). This
+tool diffs two such sets — typically the committed baseline against a
+fresh CI run — so the perf trajectory is inspectable at a glance in CI
+logs::
+
+    python benchmarks/compare_bench.py bench_artifacts bench_artifacts_ci
+
+Numeric fields are compared with their relative change; ``*seconds*``
+fields are annotated faster/slower, ``speedup`` fields higher/lower.
+Exits 0 always — the comparison is informational; the gates live in the
+benches themselves.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+
+#: Bookkeeping fields that are never worth diffing.
+SKIP_FIELDS = {"bench", "commit", "timestamp_utc", "full_scale"}
+
+
+def load_records(path: str) -> dict[str, dict]:
+    """All ``BENCH_*.json`` records in a directory, keyed by bench name."""
+    records: dict[str, dict] = {}
+    if not os.path.isdir(path):
+        return records
+    for name in sorted(os.listdir(path)):
+        if not (name.startswith("BENCH_") and name.endswith(".json")):
+            continue
+        try:
+            with open(os.path.join(path, name), encoding="utf-8") as handle:
+                record = json.load(handle)
+        except (OSError, json.JSONDecodeError) as exc:
+            print(f"  ! unreadable {name}: {exc}")
+            continue
+        records[record.get("bench", name[6:-5])] = record
+    return records
+
+
+def _flatten(value, prefix: str = "") -> dict[str, float]:
+    """Numeric leaves of a record, dotted-path keyed."""
+    flat: dict[str, float] = {}
+    if isinstance(value, dict):
+        for key, child in value.items():
+            if key in SKIP_FIELDS:
+                continue
+            flat.update(_flatten(child, f"{prefix}{key}."))
+    elif isinstance(value, bool):
+        pass
+    elif isinstance(value, (int, float)):
+        flat[prefix[:-1]] = float(value)
+    return flat
+
+
+def compare(baseline: dict, current: dict) -> list[dict]:
+    """Field-level diff rows of two bench records (numeric fields only)."""
+    base_flat = _flatten(baseline)
+    curr_flat = _flatten(current)
+    rows = []
+    for field in sorted(set(base_flat) | set(curr_flat)):
+        old = base_flat.get(field)
+        new = curr_flat.get(field)
+        row = {"field": field, "baseline": old, "current": new}
+        if old is not None and new is not None and old != 0:
+            row["relative_change"] = (new - old) / abs(old)
+        rows.append(row)
+    return rows
+
+
+def _verdict(field: str, change: float) -> str:
+    lowered = field.lower()
+    if "seconds" in lowered or lowered.endswith("_ms"):
+        return "faster" if change < 0 else "slower"
+    if "speedup" in lowered:
+        return "higher" if change > 0 else "lower"
+    return "changed"
+
+
+def render_comparison(
+    baseline_dir: str, current_dir: str, threshold: float = 0.02
+) -> str:
+    """The full human-readable diff of two artifact directories."""
+    baseline = load_records(baseline_dir)
+    current = load_records(current_dir)
+    lines = [f"perf diff: {baseline_dir} (baseline) vs {current_dir} (current)"]
+    for bench in sorted(set(baseline) | set(current)):
+        if bench not in baseline:
+            lines.append(f"[{bench}] NEW (no baseline record)")
+            continue
+        if bench not in current:
+            lines.append(f"[{bench}] MISSING from current run")
+            continue
+        lines.append(
+            f"[{bench}] baseline commit "
+            f"{baseline[bench].get('commit', '?')[:12]} -> current "
+            f"{current[bench].get('commit', '?')[:12]}"
+        )
+        for row in compare(baseline[bench], current[bench]):
+            change = row.get("relative_change")
+            if change is None:
+                if row["baseline"] is None or row["current"] is None:
+                    lines.append(
+                        f"  {row['field']}: {row['baseline']} -> "
+                        f"{row['current']} (field added/removed)"
+                    )
+                continue
+            if abs(change) < threshold:
+                continue
+            lines.append(
+                f"  {row['field']}: {row['baseline']:.6g} -> "
+                f"{row['current']:.6g} ({change:+.1%}, "
+                f"{_verdict(row['field'], change)})"
+            )
+    if len(lines) == 1:
+        lines.append("  (no records found)")
+    return "\n".join(lines)
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("baseline", help="baseline artifact directory")
+    parser.add_argument("current", help="current artifact directory")
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=0.02,
+        help="hide numeric changes smaller than this fraction (default 2%%)",
+    )
+    args = parser.parse_args(argv)
+    print(render_comparison(args.baseline, args.current, args.threshold))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -53,6 +53,7 @@ from repro.graphs import (
 )
 from repro.ising import (
     IsingHamiltonian,
+    anneal_many,
     brute_force_minimum,
     freeze_qubits,
     simulated_annealing,
@@ -113,6 +114,7 @@ __all__ = [
     "set_default_backend",
     "set_default_cache",
     "set_default_planning",
+    "anneal_many",
     "simulated_annealing",
     "sk_graph",
     "solve_many",

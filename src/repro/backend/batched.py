@@ -41,7 +41,9 @@ from repro.backend.base import (
     inject_warm_start,
     train_job,
 )
+from repro.cache.memo import cached_anneal_many
 from repro.exceptions import SolverError
+from repro.ising.annealer import AnnealResult
 from repro.sim.batched import batched_probabilities, group_by_signature
 from repro.sim.qaoa_kernel import qaoa_probabilities_fanout
 
@@ -143,11 +145,46 @@ class BatchedStatevectorBackend(ExecutionBackend):
                     probs_for_job[job_index] = row
                     elapsed[job_index] += share
 
+        # Sampling-cap fallbacks: anneal every uncovered instance in one
+        # batched multi-replica pass. The per-instance fallback seed is
+        # drawn from the instance's own stream exactly as the serial
+        # finish path would (see sampling_cap_fallback_anneal), so the
+        # batching changes no result bit. Legacy-engine instances
+        # (vectorized_annealer=False) keep their generator-driven
+        # per-instance call inside finish_qaoa_instance.
+        fallback_for_job: dict[int, AnnealResult] = {}
+        fallback_indices = [
+            index
+            for index, instance in enumerate(trained)
+            if not instance.needs_sampling
+            and instance.sampling_circuit is None
+            and instance.config.vectorized_annealer
+        ]
+        if fallback_indices:
+            from repro.cache import get_default_cache
+
+            t0 = time.perf_counter()
+            fallback_seeds = [
+                int(trained[index].rng.integers(0, 2**31 - 1))
+                for index in fallback_indices
+            ]
+            anneals = cached_anneal_many(
+                [trained[index].hamiltonian for index in fallback_indices],
+                seeds=fallback_seeds,
+                cache=get_default_cache(),
+            )
+            share = (time.perf_counter() - t0) / len(fallback_indices)
+            for index, anneal in zip(fallback_indices, anneals):
+                fallback_for_job[index] = anneal
+                elapsed[index] += share
+
         results = []
         for index, spec in enumerate(jobs):
             t0 = time.perf_counter()
             run = finish_qaoa_instance(
-                trained[index], ideal_probs=probs_for_job.get(index)
+                trained[index],
+                ideal_probs=probs_for_job.get(index),
+                fallback_anneal=fallback_for_job.get(index),
             )
             elapsed[index] += time.perf_counter() - t0
             results.append(

@@ -10,7 +10,12 @@
 * :mod:`repro.baselines.classical` — classical reference solvers.
 """
 
-from repro.baselines.classical import ClassicalResult, solve_classically
+from repro.baselines.classical import (
+    ClassicalResult,
+    c_min_many,
+    solve_classically,
+    solve_classically_many,
+)
 from repro.baselines.cutqc import (
     CutCostModel,
     EdgeCutResult,
@@ -26,8 +31,10 @@ __all__ = [
     "ClassicalResult",
     "CutCostModel",
     "EdgeCutResult",
+    "c_min_many",
     "cutqc_cost_model",
     "edge_cut_solve",
     "find_edge_cut",
     "solve_classically",
+    "solve_classically_many",
 ]

@@ -3,18 +3,25 @@
 Small problems get the exact vectorised brute force; larger ones get
 restart simulated annealing; ``greedy`` provides the cheap 1-opt descent
 used as a sanity floor in examples.
+
+:func:`solve_classically_many` is the batch form: the annealed instances
+of a suite run as one vectorized multi-replica pass (instances sharing a
+coupling graph share one precomputed structure), which is how the
+figure-scale ``C_min`` estimates (:func:`c_min_many`) stay cheap when the
+suite outgrows the brute-force threshold.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+from collections.abc import Sequence
 from typing import TYPE_CHECKING
 
 import numpy as np
 
 from repro.exceptions import SolverError
 from repro.ising.hamiltonian import IsingHamiltonian
-from repro.utils.rng import ensure_rng
+from repro.utils.rng import ensure_rng, spawn_seeds
 
 if TYPE_CHECKING:
     from repro.cache.store import SolveCache
@@ -79,6 +86,7 @@ def solve_classically(
     seed: "int | np.random.Generator | None" = None,
     exact_threshold: int = 20,
     cache: "SolveCache | None" = None,
+    vectorized: bool = True,
 ) -> ClassicalResult:
     """Solve an Ising problem classically.
 
@@ -90,6 +98,9 @@ def solve_classically(
         exact_threshold: Size cut-over for ``"auto"``.
         cache: Optional solve cache; exact solves (always) and annealing
             solves (when ``seed`` is an integer) are memoized.
+        vectorized: Anneal through the batched multi-replica engine
+            (default); ``False`` pins the legacy scalar loop
+            (bit-identical to historical seeded results).
 
     Raises:
         SolverError: Unknown method or exact on an oversized problem.
@@ -107,10 +118,133 @@ def solve_classically(
             value=result.value, spins=result.spins, method="exact", exact=True
         )
     if method == "anneal":
-        result = cached_simulated_annealing(hamiltonian, seed=seed, cache=cache)
+        result = cached_simulated_annealing(
+            hamiltonian, seed=seed, cache=cache, vectorized=vectorized
+        )
         return ClassicalResult(
             value=result.value, spins=result.spins, method="anneal", exact=False
         )
     if method == "greedy":
         return greedy_descent(hamiltonian, seed=seed)
     raise SolverError(f"unknown classical method {method!r}")
+
+
+def solve_classically_many(
+    hamiltonians: "Sequence[IsingHamiltonian]",
+    method: str = "auto",
+    seed: "int | np.random.Generator | None" = None,
+    seeds: "Sequence[int | np.random.Generator | None] | None" = None,
+    exact_threshold: int = 20,
+    cache: "SolveCache | None" = None,
+) -> list[ClassicalResult]:
+    """Solve a batch of Ising problems classically in one submission.
+
+    The annealed instances (``method="anneal"``, or ``"auto"`` above the
+    threshold) run together through the batch-aware memoized engine
+    (:func:`repro.cache.memo.cached_anneal_many`): instances sharing a
+    coupling graph share one precomputed structure, cached instances are
+    answered individually, and only the misses anneal — in one vectorized
+    multi-replica pass. Exact and greedy instances dispatch per instance
+    (brute force is already a single vectorized scan each).
+
+    Args:
+        hamiltonians: The batch.
+        method: As :func:`solve_classically`, applied per instance.
+        seed: Parent seed; per-instance integer seeds are spawned from it
+            (so the batch is reproducible *and* per-instance cacheable).
+        seeds: Explicit per-instance seeds (overrides ``seed`` spawning;
+            must match ``len(hamiltonians)``).
+        exact_threshold: Size cut-over for ``"auto"``.
+        cache: Optional solve cache shared by the batch.
+
+    Returns:
+        One :class:`ClassicalResult` per instance, in input order.
+
+    Raises:
+        SolverError: Unknown method, exact on an oversized problem, or a
+            ``seeds`` length mismatch.
+    """
+    from repro.cache.memo import cached_anneal_many
+
+    hamiltonians = list(hamiltonians)
+    if seeds is None:
+        seeds = spawn_seeds(seed, len(hamiltonians))
+    elif len(seeds) != len(hamiltonians):
+        raise SolverError(
+            f"got {len(seeds)} seeds for {len(hamiltonians)} hamiltonians"
+        )
+    methods = []
+    for hamiltonian in hamiltonians:
+        resolved = method
+        if resolved == "auto":
+            resolved = (
+                "exact"
+                if hamiltonian.num_qubits <= exact_threshold
+                else "anneal"
+            )
+        if resolved not in ("exact", "anneal", "greedy"):
+            raise SolverError(f"unknown classical method {method!r}")
+        methods.append(resolved)
+    results: "list[ClassicalResult | None]" = [None] * len(hamiltonians)
+    annealed = [i for i, m in enumerate(methods) if m == "anneal"]
+    if annealed:
+        anneal_results = cached_anneal_many(
+            [hamiltonians[i] for i in annealed],
+            seeds=[seeds[i] for i in annealed],
+            cache=cache,
+        )
+        for index, result in zip(annealed, anneal_results):
+            results[index] = ClassicalResult(
+                value=result.value,
+                spins=result.spins,
+                method="anneal",
+                exact=False,
+            )
+    for index, resolved in enumerate(methods):
+        if resolved == "anneal":
+            continue
+        results[index] = solve_classically(
+            hamiltonians[index],
+            method=resolved,
+            seed=seeds[index],
+            exact_threshold=exact_threshold,
+            cache=cache,
+        )
+    return [result for result in results if result is not None]
+
+
+def c_min_many(
+    hamiltonians: "Sequence[IsingHamiltonian]",
+    seed: "int | np.random.Generator | None" = 0,
+    exact_threshold: int = 20,
+    cache: "SolveCache | None" = None,
+) -> list[float]:
+    """Batched ``C_min`` estimates for a suite of instances.
+
+    The denominator of every approximation-ratio figure: exact minima up
+    to ``exact_threshold`` qubits (memoized brute force), batched
+    multi-replica annealing estimates beyond — the whole suite's
+    heuristic tail runs as one :func:`solve_classically_many` submission,
+    which is what keeps the Sec. 6-scale (hundreds of qubits) studies
+    tractable.
+
+    Args:
+        hamiltonians: The suite.
+        seed: Parent seed for the annealed estimates (deterministic
+            per-instance child seeds are spawned from it).
+        exact_threshold: Largest size solved exactly.
+        cache: Optional solve cache shared by the suite.
+
+    Returns:
+        One ``C_min`` (exact or estimated) per instance, in input order.
+    """
+    return [
+        result.value
+        for result in solve_classically_many(
+            hamiltonians,
+            method="auto",
+            seed=seed,
+            exact_threshold=exact_threshold,
+            cache=cache,
+        )
+    ]

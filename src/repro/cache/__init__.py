@@ -38,6 +38,7 @@ from repro.cache.keys import (
     bruteforce_key,
     canonical_ising_key,
     circuit_fingerprint,
+    coupling_fingerprint,
     device_fingerprint,
     ising_fingerprint,
     params_key,
@@ -45,9 +46,12 @@ from repro.cache.keys import (
     transpile_key,
 )
 from repro.cache.memo import (
+    cached_anneal_many,
     cached_brute_force,
     cached_simulated_annealing,
     cached_transpile,
+    memoized_distance_matrix,
+    memoized_spectrum,
 )
 from repro.cache.store import (
     SolveCache,
@@ -111,14 +115,18 @@ __all__ = [
     "anneal_key",
     "bruteforce_key",
     "cache_from_dir",
+    "cached_anneal_many",
     "cached_brute_force",
     "cached_simulated_annealing",
     "cached_transpile",
     "canonical_ising_key",
     "circuit_fingerprint",
+    "coupling_fingerprint",
     "device_fingerprint",
     "get_default_cache",
     "ising_fingerprint",
+    "memoized_distance_matrix",
+    "memoized_spectrum",
     "params_key",
     "rehydrate_spins",
     "resolve_cache",

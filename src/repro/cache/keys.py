@@ -45,6 +45,7 @@ from repro.ising.hamiltonian import IsingHamiltonian
 
 if TYPE_CHECKING:
     from repro.circuit.circuit import QuantumCircuit
+    from repro.devices.coupling import CouplingMap
     from repro.devices.device import Device
     from repro.transpile.compiler import TranspileOptions
 
@@ -119,6 +120,18 @@ def device_fingerprint(device: "Device") -> str:
     return _sha("|".join(parts))
 
 
+def coupling_fingerprint(coupling: "CouplingMap") -> str:
+    """Exact hash of a connectivity graph: qubit count + sorted edge list.
+
+    Keys the process-wide all-pairs-distance memo
+    (:func:`repro.cache.memo.memoized_distance_matrix`): two distinct
+    :class:`~repro.devices.coupling.CouplingMap` instances over the same
+    edges share one BFS result.
+    """
+    edges = ";".join(f"{a}-{b}" for a, b in coupling.edges())
+    return _sha(f"coupling|{coupling.num_qubits}|{edges}")
+
+
 def transpile_key(
     circuit: "QuantumCircuit",
     device: "Device",
@@ -144,6 +157,7 @@ def anneal_key(
     initial_temperature: float,
     final_temperature: float,
     seed: int,
+    engine: str = "scalar",
 ) -> str:
     """Memoization key of one seeded ``simulated_annealing`` call.
 
@@ -151,10 +165,20 @@ def anneal_key(
     *exact same call* may be answered from cache — which is precisely what
     repeated sweeps re-issue, and what keeps cached runs bit-identical to
     uncached ones.
+
+    The ``engine`` is part of the key too: the legacy scalar loop and the
+    vectorized replica engine consume randomness in different orders, so
+    the same seed yields different (equally valid) results on each — a
+    cached answer from one engine must never satisfy the other. The
+    ``"scalar"`` spelling preserves the historical key format, so warm
+    disk caches from before the vectorized engine stay valid for the
+    legacy path.
     """
+    suffix = "" if engine == "scalar" else f"|{engine}"
     return _sha(
         f"anneal|{ising_fingerprint(hamiltonian)}|{num_sweeps}|{num_restarts}|"
         f"{_ftok(initial_temperature)}|{_ftok(final_temperature)}|{int(seed)}"
+        f"{suffix}"
     )
 
 

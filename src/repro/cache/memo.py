@@ -8,10 +8,21 @@ exactly what the underlying call would have recomputed:
 * :func:`cached_transpile` — transpilation is a pure function of
   ``(circuit, device, options)``; the key hashes all three.
 * :func:`cached_simulated_annealing` — stochastic, so the key includes the
-  integer seed (pure memoization of the exact call); generator seeds carry
-  hidden state and bypass the cache entirely.
+  integer seed *and the engine* (pure memoization of the exact call);
+  generator seeds carry hidden state and bypass the cache entirely.
+* :func:`cached_anneal_many` — the batch-aware anneal memo: per-sibling
+  keys, so a repeated fan-out answers each hit individually and runs only
+  the misses in one vectorized pass (the batched engine's per-sibling
+  seeding contract guarantees a sibling's result is independent of batch
+  composition, which is what makes the mixed hit/miss answer exact).
 * :func:`cached_brute_force` — deterministic and seedless; keyed on the
   exact instance fingerprint.
+
+Process-wide derived-structure memos live here too:
+:func:`memoized_spectrum` (energy tables) and
+:func:`memoized_distance_matrix` (all-pairs coupling distances) — both
+fingerprint-keyed LRUs over read-only arrays, independent of any
+:class:`~repro.cache.store.SolveCache`.
 
 Trained-parameter caching lives in the solver (it needs job context —
 warm-start mode, noise signature); this module only hosts its payload
@@ -20,24 +31,30 @@ encoders so the disk format is defined in one place.
 
 from __future__ import annotations
 
-from collections import OrderedDict
 from typing import TYPE_CHECKING
 
 import numpy as np
 
+from repro.utils.memo import BoundedMemo
+
 from repro.cache.keys import (
     anneal_key,
     bruteforce_key,
+    coupling_fingerprint,
     ising_fingerprint,
     transpile_key,
 )
 from repro.cache.store import SolveCache
 from repro.ising.annealer import AnnealResult, simulated_annealing
+from repro.ising.annealer_batched import anneal_many
 from repro.ising.bruteforce import BruteForceResult, brute_force_minimum
 from repro.ising.hamiltonian import IsingHamiltonian
 
 if TYPE_CHECKING:
+    from collections.abc import Sequence
+
     from repro.circuit.circuit import QuantumCircuit
+    from repro.devices.coupling import CouplingMap
     from repro.devices.device import Device
     from repro.qaoa.executor import NoiseProfile
     from repro.transpile.compiler import TranspileOptions, TranspiledCircuit
@@ -49,8 +66,7 @@ if TYPE_CHECKING:
 #: Process-wide spectrum memo: exact instance fingerprint -> read-only
 #: ``2**n`` energy table. Bounded so a long sweep over many instances
 #: cannot accumulate unbounded 2**n arrays.
-_SPECTRUM_MEMO: "OrderedDict[str, np.ndarray]" = OrderedDict()
-_SPECTRUM_MEMO_MAX = 64
+_SPECTRUM_MEMO: "BoundedMemo[np.ndarray]" = BoundedMemo(max_entries=64)
 
 
 def memoized_spectrum(hamiltonian: IsingHamiltonian) -> np.ndarray:
@@ -61,19 +77,40 @@ def memoized_spectrum(hamiltonian: IsingHamiltonian) -> np.ndarray:
     rebuilds equal Hamiltonians (sweep harnesses re-deriving the same
     sub-problems, repeated solves of one workload) still pays the ``2**n``
     scan once per process. The returned array is read-only and shared —
-    never mutate it. Memory trade-off: up to ``_SPECTRUM_MEMO_MAX``
-    spectra of ``2**n`` float64 each.
+    never mutate it. Memory trade-off: up to 64 spectra of ``2**n``
+    float64 each.
     """
-    key = ising_fingerprint(hamiltonian)
-    hit = _SPECTRUM_MEMO.get(key)
-    if hit is not None:
-        _SPECTRUM_MEMO.move_to_end(key)
-        return hit
-    spectrum = hamiltonian.energy_landscape()
-    _SPECTRUM_MEMO[key] = spectrum
-    if len(_SPECTRUM_MEMO) > _SPECTRUM_MEMO_MAX:
-        _SPECTRUM_MEMO.popitem(last=False)
-    return spectrum
+    return _SPECTRUM_MEMO.get_or_build(
+        ising_fingerprint(hamiltonian), hamiltonian.energy_landscape
+    )
+
+
+# ----------------------------------------------------------------------
+# Coupling distances
+# ----------------------------------------------------------------------
+#: Process-wide all-pairs-distance memo: coupling fingerprint -> read-only
+#: distance matrix. Bounded so sweeping many device models cannot
+#: accumulate unbounded n**2 arrays.
+_DISTANCE_MEMO: "BoundedMemo[np.ndarray]" = BoundedMemo(max_entries=16)
+
+
+def memoized_distance_matrix(coupling: "CouplingMap") -> np.ndarray:
+    """All-pairs hop distances of a coupling map, shared across equal maps.
+
+    :meth:`~repro.devices.coupling.CouplingMap.distance_matrix` caches per
+    *instance*; this adds a fingerprint-keyed LRU on top so code that
+    rebuilds equal coupling maps (re-instantiated device models, routing
+    the same topology from different contexts) pays the all-pairs BFS once
+    per process. The returned matrix is read-only and shared — never
+    mutate it. Memory trade-off: up to 16 matrices of ``n**2`` int32 each.
+    """
+
+    def build() -> np.ndarray:
+        distances = coupling._compute_distance_matrix()
+        distances.setflags(write=False)
+        return distances
+
+    return _DISTANCE_MEMO.get_or_build(coupling_fingerprint(coupling), build)
 
 
 # ----------------------------------------------------------------------
@@ -119,12 +156,29 @@ def cached_transpile(
 # Annealer sub-solutions
 # ----------------------------------------------------------------------
 def _anneal_rebuild(payload: dict) -> AnnealResult:
+    # Provenance fields arrived after the first disk payloads; old entries
+    # rebuild with the documented "unknown provenance" defaults.
     return AnnealResult(
         value=float(payload["value"]),
         spins=tuple(int(s) for s in payload["spins"]),
         num_sweeps=int(payload["num_sweeps"]),
         num_restarts=int(payload["num_restarts"]),
+        num_replicas=int(payload.get("num_replicas", 0)),
+        restart_values=tuple(
+            float(v) for v in payload.get("restart_values", ())
+        ),
     )
+
+
+def _anneal_payload(result: AnnealResult) -> dict:
+    return {
+        "value": result.value,
+        "spins": list(result.spins),
+        "num_sweeps": result.num_sweeps,
+        "num_restarts": result.num_restarts,
+        "num_replicas": result.num_replicas,
+        "restart_values": list(result.restart_values),
+    }
 
 
 def cached_simulated_annealing(
@@ -135,6 +189,7 @@ def cached_simulated_annealing(
     final_temperature: float = 0.01,
     seed: "int | np.random.Generator | None" = None,
     cache: "SolveCache | None" = None,
+    vectorized: bool = True,
 ) -> AnnealResult:
     """Memoized :func:`repro.ising.annealer.simulated_annealing`.
 
@@ -142,6 +197,11 @@ def cached_simulated_annealing(
     stream, and a live generator's position cannot be captured (nor would
     replaying it leave the caller's stream in the right state). Unseeded
     and generator-seeded calls always run live.
+
+    The engine choice is part of the key (see
+    :func:`repro.cache.keys.anneal_key`): vectorized and legacy results
+    for the same seed are different values and never answer for each
+    other.
     """
     cacheable = cache is not None and isinstance(seed, (int, np.integer))
     key = None
@@ -153,6 +213,7 @@ def cached_simulated_annealing(
             initial_temperature,
             final_temperature,
             int(seed),
+            engine="vectorized" if vectorized else "scalar",
         )
         hit = cache.get("anneal", key, rebuild=_anneal_rebuild)
         if hit is not None:
@@ -164,20 +225,109 @@ def cached_simulated_annealing(
         initial_temperature=initial_temperature,
         final_temperature=final_temperature,
         seed=seed,
+        vectorized=vectorized,
     )
     if cacheable:
-        cache.put(
-            "anneal",
-            key,
-            result,
-            payload={
-                "value": result.value,
-                "spins": list(result.spins),
-                "num_sweeps": result.num_sweeps,
-                "num_restarts": result.num_restarts,
-            },
-        )
+        cache.put("anneal", key, result, payload=_anneal_payload(result))
     return result
+
+
+def cached_anneal_many(
+    hamiltonians: "Sequence[IsingHamiltonian]",
+    num_sweeps: int = 500,
+    num_restarts: int = 4,
+    initial_temperature: float = 5.0,
+    final_temperature: float = 0.01,
+    seeds: "Sequence[int | np.random.Generator | None] | None" = None,
+    cache: "SolveCache | None" = None,
+) -> list[AnnealResult]:
+    """Batch-aware memoized :func:`repro.ising.annealer_batched.anneal_many`.
+
+    Each integer-seeded sibling is keyed individually (same key as the
+    matching :func:`cached_simulated_annealing` call on the vectorized
+    engine), so a repeated fan-out answers its hits one by one and anneals
+    only the misses — still in a single vectorized pass. This is exact
+    because the batched engine's seeding contract makes every sibling's
+    result independent of batch composition: the misses annealed together
+    return bit-identical results to the full batch annealed cold.
+
+    Args:
+        hamiltonians: The sibling batch.
+        num_sweeps: Metropolis sweeps per replica.
+        num_restarts: Replicas per sibling.
+        initial_temperature: Start of the cooling schedule.
+        final_temperature: End of the cooling schedule.
+        seeds: Per-sibling seeds; integer entries are cacheable,
+            generator/None entries always anneal live.
+        cache: Optional solve cache (``None`` delegates straight to
+            :func:`~repro.ising.annealer_batched.anneal_many`).
+
+    Returns:
+        One :class:`~repro.ising.annealer.AnnealResult` per sibling, in
+        input order.
+    """
+    hamiltonians = list(hamiltonians)
+    if seeds is None:
+        seeds = [None] * len(hamiltonians)
+    seeds = list(seeds)
+    if len(seeds) != len(hamiltonians):
+        # Same contract as anneal_many — without this, the zip below
+        # would silently truncate and misalign results with inputs.
+        from repro.exceptions import HamiltonianError
+
+        raise HamiltonianError(
+            f"got {len(seeds)} seeds for {len(hamiltonians)} hamiltonians"
+        )
+    if cache is None:
+        return anneal_many(
+            hamiltonians,
+            num_sweeps=num_sweeps,
+            num_restarts=num_restarts,
+            initial_temperature=initial_temperature,
+            final_temperature=final_temperature,
+            seeds=seeds,
+        )
+    results: "list[AnnealResult | None]" = [None] * len(hamiltonians)
+    keys: "list[str | None]" = [None] * len(hamiltonians)
+    misses: list[int] = []
+    for index, (hamiltonian, sibling_seed) in enumerate(
+        zip(hamiltonians, seeds)
+    ):
+        if isinstance(sibling_seed, (int, np.integer)):
+            key = anneal_key(
+                hamiltonian,
+                num_sweeps,
+                num_restarts,
+                initial_temperature,
+                final_temperature,
+                int(sibling_seed),
+                engine="vectorized",
+            )
+            keys[index] = key
+            hit = cache.get("anneal", key, rebuild=_anneal_rebuild)
+            if hit is not None:
+                results[index] = hit
+                continue
+        misses.append(index)
+    if misses:
+        fresh = anneal_many(
+            [hamiltonians[i] for i in misses],
+            num_sweeps=num_sweeps,
+            num_restarts=num_restarts,
+            initial_temperature=initial_temperature,
+            final_temperature=final_temperature,
+            seeds=[seeds[i] for i in misses],
+        )
+        for index, result in zip(misses, fresh):
+            results[index] = result
+            if keys[index] is not None:
+                cache.put(
+                    "anneal",
+                    keys[index],
+                    result,
+                    payload=_anneal_payload(result),
+                )
+    return [result for result in results if result is not None]
 
 
 # ----------------------------------------------------------------------

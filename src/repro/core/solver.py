@@ -39,6 +39,7 @@ import numpy as np
 from repro.cache import resolve_cache
 from repro.cache.keys import ising_fingerprint, params_key
 from repro.cache.memo import (
+    cached_anneal_many,
     cached_simulated_annealing,
     cached_transpile,
     memoized_spectrum,
@@ -55,7 +56,7 @@ from repro.core.partition import (
 )
 from repro.devices.device import Device
 from repro.exceptions import SolverError
-from repro.ising.annealer import simulated_annealing
+from repro.ising.annealer import AnnealResult
 from repro.ising.freeze import decode_spins
 from repro.ising.hamiltonian import IsingHamiltonian
 from repro.qaoa.circuits import build_qaoa_template, linear_tag
@@ -107,6 +108,13 @@ class SolverConfig:
         vectorized_evaluation: Train through the batched analytic / fused
             diagonal kernels (default). ``False`` pins the legacy scalar
             evaluation path — the benchmark baseline.
+        vectorized_annealer: Run every classical annealing stage (planner
+            probes, budget fallbacks, the sampling-cap fallback) through
+            the batched multi-replica engine (default). ``False`` pins the
+            legacy per-spin scalar loop — bit-identical to historical
+            seeded results, and the benchmark baseline. The engines draw
+            randomness differently, so flipping this flag changes (equally
+            valid) annealed outcomes.
     """
 
     num_layers: int = 1
@@ -117,6 +125,7 @@ class SolverConfig:
     transpile_options: "TranspileOptions | None" = None
     train_noisy: bool = False
     vectorized_evaluation: bool = True
+    vectorized_annealer: bool = True
 
 
 @dataclass
@@ -283,9 +292,44 @@ def train_qaoa_instance(
     )
 
 
+def sampling_cap_fallback_anneal(
+    hamiltonian: IsingHamiltonian,
+    config: SolverConfig,
+    rng: np.random.Generator,
+) -> AnnealResult:
+    """The over-the-cap instance's annealing fallback (one call site).
+
+    Unified through :func:`~repro.cache.memo.cached_simulated_annealing`
+    against the *session default* cache, matching every other annealing
+    call site: repeated sweeps answer this fallback from cache too. On the
+    vectorized engine the fallback seed is one integer drawn from the
+    instance's stream — an int pins the whole RNG trajectory, which is
+    what makes the call cacheable. The legacy engine keeps the historical
+    generator-seeded call (bit-identical to pre-cache results, inherently
+    uncacheable).
+
+    Backends that batch this fallback across instances
+    (:class:`~repro.backend.batched.BatchedStatevectorBackend`) must
+    reproduce the exact same draw: one ``rng.integers(0, 2**31 - 1)`` per
+    vectorized instance, at finish time.
+    """
+    from repro.cache import get_default_cache
+
+    cache = get_default_cache()
+    if config.vectorized_annealer:
+        fallback_seed = int(rng.integers(0, 2**31 - 1))
+        return cached_simulated_annealing(
+            hamiltonian, seed=fallback_seed, cache=cache, vectorized=True
+        )
+    return cached_simulated_annealing(
+        hamiltonian, seed=rng, cache=cache, vectorized=False
+    )
+
+
 def finish_qaoa_instance(
     trained: TrainedInstance,
     ideal_probs: "np.ndarray | None" = None,
+    fallback_anneal: "AnnealResult | None" = None,
 ) -> QAOARunResult:
     """Stage 2 of a QAOA run: simulate, sample, and pick the best outcome.
 
@@ -297,6 +341,12 @@ def finish_qaoa_instance(
             phase multiply per cost layer against the memoized spectrum)
             on the vectorized path, or by simulating the bound
             ``sampling_circuit`` on the legacy scalar path.
+        fallback_anneal: Pre-computed sampling-cap fallback result (e.g.
+            one sibling of a backend's batched
+            :func:`~repro.cache.memo.cached_anneal_many` pass). The caller
+            must have drawn the fallback seed from ``trained.rng`` exactly
+            as :func:`sampling_cap_fallback_anneal` would, so the stream
+            stays aligned with the serial path.
     """
     hamiltonian = trained.hamiltonian
     cfg = trained.config
@@ -343,7 +393,9 @@ def finish_qaoa_instance(
             best_value = float(values[index])
             best_spins = tuple(int(s) for s in spins[index])
     else:
-        anneal = simulated_annealing(hamiltonian, seed=rng)
+        anneal = fallback_anneal
+        if anneal is None:
+            anneal = sampling_cap_fallback_anneal(hamiltonian, cfg, rng)
         best_spins, best_value = anneal.spins, anneal.value
     return QAOARunResult(
         context=context,
@@ -409,6 +461,13 @@ class SubProblemOutcome:
         source: How the cell was covered: ``"quantum"`` (a circuit ran),
             ``"mirror"`` (bit-flipped from a twin, Sec. 3.7.2), or
             ``"classical"`` (budget-pruned; simulated-annealing fallback).
+        fallback: The budget-fallback annealing run of a ``"classical"``
+            cell (``None`` otherwise) — carries the replica provenance
+            (``num_replicas``, per-restart best energies) without touching
+            the golden counts/spins fields. The cell's reported
+            spins/value are the better of this run and the prepare-time
+            probe, so ``best_value`` can beat ``fallback.value`` (the
+            probe floor).
     """
 
     subproblem: SubProblem
@@ -419,6 +478,7 @@ class SubProblemOutcome:
     ev_ideal: float
     ev_noisy: float
     source: str = "quantum"
+    fallback: "AnnealResult | None" = None
 
 
 @dataclass
@@ -489,6 +549,32 @@ class FrozenQubitsResult:
                 else merged.merge(outcome.decoded_counts)
             )
         return merged
+
+    @property
+    def fallback_provenance(self) -> dict[int, dict[str, float]]:
+        """Replica provenance of every classically-covered cell.
+
+        Maps partition index -> the fallback anneal's ``num_replicas``
+        plus its NaN-safe per-restart best-energy stats (see
+        :meth:`repro.ising.annealer.AnnealResult.restart_stats`), so the
+        quality spread behind each budget-pruned cell's coverage is
+        inspectable without re-running anything. ``covered_value`` is the
+        value the cell actually reports — it can beat the anneal's own
+        ``min`` when the prepare-time probe supplied the better
+        assignment (the probe floor; see
+        :class:`SubProblemOutcome`'s ``fallback`` docs).
+        """
+        provenance: dict[int, dict[str, float]] = {}
+        for outcome in self.outcomes:
+            if outcome.fallback is None:
+                continue
+            record = {
+                "num_replicas": float(outcome.fallback.num_replicas),
+                "covered_value": float(outcome.best_value),
+            }
+            record.update(outcome.fallback.restart_stats)
+            provenance[outcome.subproblem.index] = record
+        return provenance
 
 
 @dataclass(frozen=True)
@@ -609,7 +695,13 @@ class FrozenQubitsSolver:
             into) the store, structurally-identical siblings collapse to
             one training run, and classical fallbacks/probes are memoized
             — all without changing any result bit (see
-            ``tests/test_determinism.py``).
+            ``tests/test_determinism.py``). One exception to the scoping:
+            the *sampling-cap* fallback (instances over
+            ``max_sampled_qubits``) runs inside backend workers, which
+            this per-solver cache cannot reach — it memoizes against the
+            session default cache instead (install one with
+            :func:`repro.cache.set_default_cache`); caching there is a
+            speed concern only, results are identical either way.
     """
 
     def __init__(
@@ -731,7 +823,10 @@ class FrozenQubitsSolver:
 
             probe_seed = spawn_seeds(rng, 1)[0]
             ranks = rank_assignments(
-                all_executed, seed=probe_seed, cache=self._cache
+                all_executed,
+                seed=probe_seed,
+                cache=self._cache,
+                vectorized=cfg.vectorized_annealer,
             )
             keep = {rank.index for rank in ranks[:max_executed]}
             rank_by_index = {rank.index: rank for rank in ranks}
@@ -988,11 +1083,28 @@ class FrozenQubitsSolver:
                 self._cache.put(
                     "params", key, trained, payload=params_payload(trained)
                 )
-        for entry in prepared.skipped:
-            sp = entry.subproblem
-            anneal = cached_simulated_annealing(
-                sp.hamiltonian, seed=entry.seed, cache=self._cache
+        # Budget-pruned cells: one batched fallback pass covers all of
+        # them (siblings share a coupling graph, so the engine sweeps the
+        # whole set as a single cells x replicas array program); the
+        # legacy engine keeps the historical per-cell scalar loop.
+        if self._config.vectorized_annealer:
+            fallback_anneals = cached_anneal_many(
+                [entry.subproblem.hamiltonian for entry in prepared.skipped],
+                seeds=[entry.seed for entry in prepared.skipped],
+                cache=self._cache,
             )
+        else:
+            fallback_anneals = [
+                cached_simulated_annealing(
+                    entry.subproblem.hamiltonian,
+                    seed=entry.seed,
+                    cache=self._cache,
+                    vectorized=False,
+                )
+                for entry in prepared.skipped
+            ]
+        for entry, anneal in zip(prepared.skipped, fallback_anneals):
+            sp = entry.subproblem
             sub_spins, value = anneal.spins, anneal.value
             if entry.rank is not None and entry.rank.probe_value < value:
                 sub_spins, value = entry.rank.probe_spins, entry.rank.probe_value
@@ -1006,6 +1118,7 @@ class FrozenQubitsSolver:
                 ev_ideal=float("nan"),
                 ev_noisy=float("nan"),
                 source="classical",
+                fallback=anneal,
             )
         for sp in prepared.subproblems:
             if not sp.is_mirror:

@@ -87,28 +87,37 @@ class CouplingMap:
     def distance_matrix(self) -> np.ndarray:
         """All-pairs hop distances (cached). Unreachable pairs are -1.
 
-        Uses scipy's C-level BFS so 2500-qubit grids (the Sec.-6 device)
-        stay fast.
+        Cached per instance *and* shared process-wide across equal maps
+        via the fingerprint-keyed memo in :mod:`repro.cache.memo`, so
+        re-instantiated device models (routing the same topology from a
+        different context) never repeat the all-pairs BFS. The returned
+        matrix is read-only.
         """
         if self._distances is None:
-            from scipy.sparse import csr_matrix
-            from scipy.sparse.csgraph import shortest_path
+            from repro.cache.memo import memoized_distance_matrix
 
-            n = self._num_qubits
-            if self._edges:
-                rows, cols = zip(*self._edges)
-                data = np.ones(len(self._edges), dtype=np.int8)
-                adjacency = csr_matrix(
-                    (data, (rows, cols)), shape=(n, n), dtype=np.int8
-                )
-            else:
-                adjacency = csr_matrix((n, n), dtype=np.int8)
-            raw = shortest_path(
-                adjacency, method="D", directed=False, unweighted=True
-            )
-            distances = np.where(np.isinf(raw), -1, raw).astype(np.int32)
-            self._distances = distances
+            self._distances = memoized_distance_matrix(self)
         return self._distances
+
+    def _compute_distance_matrix(self) -> np.ndarray:
+        """The actual all-pairs BFS (scipy's C-level shortest path, so
+        2500-qubit grids — the Sec.-6 device — stay fast)."""
+        from scipy.sparse import csr_matrix
+        from scipy.sparse.csgraph import shortest_path
+
+        n = self._num_qubits
+        if self._edges:
+            rows, cols = zip(*self._edges)
+            data = np.ones(len(self._edges), dtype=np.int8)
+            adjacency = csr_matrix(
+                (data, (rows, cols)), shape=(n, n), dtype=np.int8
+            )
+        else:
+            adjacency = csr_matrix((n, n), dtype=np.int8)
+        raw = shortest_path(
+            adjacency, method="D", directed=False, unweighted=True
+        )
+        return np.where(np.isinf(raw), -1, raw).astype(np.int32)
 
     def distance(self, a: int, b: int) -> int:
         """Hop distance between two physical qubits (-1 if unreachable)."""

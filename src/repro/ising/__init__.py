@@ -8,6 +8,7 @@ force and simulated annealing).
 """
 
 from repro.ising.annealer import AnnealResult, simulated_annealing
+from repro.ising.annealer_batched import AnnealStructure, anneal_many
 from repro.ising.bruteforce import BruteForceResult, brute_force_minimum, energy_table
 from repro.ising.freeze import (
     FrozenSpec,
@@ -26,9 +27,11 @@ from repro.ising.symmetry import (
 
 __all__ = [
     "AnnealResult",
+    "AnnealStructure",
     "BruteForceResult",
     "FrozenSpec",
     "IsingHamiltonian",
+    "anneal_many",
     "brute_force_minimum",
     "count_ground_states",
     "decode_spins",

@@ -25,7 +25,7 @@ from typing import TYPE_CHECKING
 
 import numpy as np
 
-from repro.cache.memo import cached_simulated_annealing
+from repro.cache.memo import cached_anneal_many, cached_simulated_annealing
 from repro.core.partition import SubProblem
 from repro.utils.rng import ensure_rng, spawn_seeds
 
@@ -93,6 +93,7 @@ def rank_assignments(
     cache: "SolveCache | None" = None,
     probe: str = "anneal",
     qaoa_resolution: int = 8,
+    vectorized: bool = True,
 ) -> list[AssignmentRank]:
     """Rank executed cells best-first by their classical probe value.
 
@@ -104,13 +105,20 @@ def rank_assignments(
         probe_sweeps: Annealing sweeps per probe — intentionally small.
         probe_restarts: Annealing restarts per probe.
         cache: Optional solve cache; each probe is a seeded anneal, so a
-            repeated sweep answers its probes from cache bit-identically.
+            repeated sweep answers its probes from cache bit-identically
+            (per cell — the batch-aware memo answers hits individually
+            and anneals only the misses).
         probe: ``"anneal"`` (default) ranks by the annealing probe's best
             cost; ``"qaoa1"`` ranks by what a trained p=1 QAOA could
             actually reach — the batched closed-form grid minimum of each
             cell (see :func:`qaoa1_grid_minima`) — with the annealing
             probe retained as tie-break and classical-fallback floor.
         qaoa_resolution: Grid points per axis for the ``"qaoa1"`` probe.
+        vectorized: Probe the whole fan-out in one batched multi-replica
+            anneal (default) — the sibling cells share one coupling graph,
+            so the batch axis costs almost nothing. ``False`` pins the
+            legacy per-cell scalar loop (bit-identical to historical
+            rankings).
 
     Returns:
         One :class:`AssignmentRank` per input cell, most promising first,
@@ -121,15 +129,31 @@ def rank_assignments(
         raise ValueError(f"unknown probe mode {probe!r}")
     rng = ensure_rng(seed)
     probe_seeds = spawn_seeds(rng, len(subproblems))
-    ranks: list[AssignmentRank] = []
-    for sp, probe_seed in zip(subproblems, probe_seeds):
-        anneal_probe = cached_simulated_annealing(
-            sp.hamiltonian,
+    if vectorized:
+        # All cells in one engine call: siblings share J, so the batched
+        # core precomputes one neighbor structure and sweeps the whole
+        # fan-out as a (cells x replicas) array program.
+        probes = cached_anneal_many(
+            [sp.hamiltonian for sp in subproblems],
             num_sweeps=probe_sweeps,
             num_restarts=probe_restarts,
-            seed=probe_seed,
+            seeds=probe_seeds,
             cache=cache,
         )
+    else:
+        probes = [
+            cached_simulated_annealing(
+                sp.hamiltonian,
+                num_sweeps=probe_sweeps,
+                num_restarts=probe_restarts,
+                seed=probe_seed,
+                cache=cache,
+                vectorized=False,
+            )
+            for sp, probe_seed in zip(subproblems, probe_seeds)
+        ]
+    ranks: list[AssignmentRank] = []
+    for sp, anneal_probe in zip(subproblems, probes):
         ranks.append(
             AssignmentRank(
                 index=sp.index,

@@ -85,6 +85,8 @@ def route(
     coupling = device.coupling
     if not coupling.is_connected():
         raise TranspileError(f"device {device.name} coupling map is disconnected")
+    # Memoized per coupling fingerprint (see repro.cache.memo): repeated
+    # routes on the same topology share one all-pairs BFS result.
     distances = coupling.distance_matrix()
     working = layout.copy()
     routed = QuantumCircuit(device.num_qubits, name=f"{circuit.name}@{device.name}")

@@ -102,7 +102,37 @@ def test_golden_frozenqubits_device_solve(update_golden):
 
 
 def test_golden_budgeted_solve_with_fallback(update_golden):
-    """Scenario 2: budget-capped fan-out with classical fallback coverage."""
+    """Scenario 2: budget-capped fan-out with classical fallback coverage.
+
+    Pinned to the legacy scalar annealer (``vectorized_annealer=False``):
+    this fixture predates the batched engine and must stay byte-identical
+    — it is the proof that the legacy path still reproduces historical
+    results flip-for-flip.
+    """
+    graph = barabasi_albert_graph(9, attachment=2, seed=23)
+    problem = IsingHamiltonian.from_graph(graph, weights="random_pm1", seed=24)
+    solver = FrozenQubitsSolver(
+        num_frozen=3,
+        config=SolverConfig(
+            grid_resolution=3, maxiter=4, shots=256, vectorized_annealer=False
+        ),
+        seed=2024,
+        budget=ExecutionBudget(max_circuits=2),
+        warm_start=False,
+    )
+    result = solver.solve(problem, get_backend("montreal"))
+    assert result.skipped_assignments  # the scenario must exercise fallback
+    check_golden("budgeted_fallback_m3", result, update_golden)
+
+
+def test_golden_budgeted_solve_vectorized_annealer(update_golden):
+    """Scenario 3: the same budgeted solve on the batched annealing engine.
+
+    Same problem and seed as scenario 2 with the default
+    ``vectorized_annealer=True`` — pins the vectorized probes and the
+    batched classical fallback bit-for-bit, and records replica
+    provenance for every covered cell.
+    """
     graph = barabasi_albert_graph(9, attachment=2, seed=23)
     problem = IsingHamiltonian.from_graph(graph, weights="random_pm1", seed=24)
     solver = FrozenQubitsSolver(
@@ -113,5 +143,11 @@ def test_golden_budgeted_solve_with_fallback(update_golden):
         warm_start=False,
     )
     result = solver.solve(problem, get_backend("montreal"))
-    assert result.skipped_assignments  # the scenario must exercise fallback
-    check_golden("budgeted_fallback_m3", result, update_golden)
+    assert result.skipped_assignments
+    # Every classical cell carries its fallback's replica provenance.
+    classical = [o for o in result.outcomes if o.source == "classical"]
+    assert classical and all(o.fallback is not None for o in classical)
+    assert set(result.fallback_provenance) == {
+        o.subproblem.index for o in classical
+    }
+    check_golden("budgeted_fallback_m3_vectorized", result, update_golden)
