@@ -61,11 +61,14 @@ def _scan_seconds(context, resolution, use_batch, reps=1):
 def _sweep(problem, device, vectorized, reps=1):
     # A finer 16-point seeding grid: the p=1 seeding scan is the hot loop
     # the engine vectorizes, and quality-oriented runs seed finer.
+    # The optimizer is held fixed at legacy Nelder-Mead so the two arms
+    # differ only in the evaluation engine under test.
     config = SolverConfig(
         grid_resolution=16,
         maxiter=30,
         shots=1024,
         vectorized_evaluation=vectorized,
+        analytic_gradients=False,
     )
     solver = FrozenQubitsSolver(
         num_frozen=4, prune_symmetric=False, config=config, seed=13

@@ -10,8 +10,14 @@ logs::
 
 Numeric fields are compared with their relative change; ``*seconds*``
 fields are annotated faster/slower, ``speedup`` fields higher/lower.
-Exits 0 always — the comparison is informational; the gates live in the
-benches themselves.
+
+By default the comparison is informational (exit 0) — the absolute gates
+live in the benches themselves. With ``--fail-threshold FRAC`` the tool
+*also* gates the trajectory: any machine-normalized ratio field (a
+``speedup`` or ``*_ratio``) that drops by more than ``FRAC`` relative to
+the committed baseline is a regression and the exit code is non-zero.
+Raw ``seconds`` fields are never gated — they vary with the host — only
+within-run ratios are comparable across machines.
 """
 
 from __future__ import annotations
@@ -73,6 +79,32 @@ def compare(baseline: dict, current: dict) -> list[dict]:
     return rows
 
 
+def _is_ratio_field(field: str) -> bool:
+    """Machine-normalized higher-is-better fields — the gateable ones."""
+    leaf = field.lower().rsplit(".", 1)[-1]
+    return "speedup" in leaf or leaf.endswith("ratio")
+
+
+def find_regressions(
+    baseline_dir: str, current_dir: str, fail_threshold: float
+) -> list[str]:
+    """Ratio fields that dropped by more than ``fail_threshold`` relative."""
+    baseline = load_records(baseline_dir)
+    current = load_records(current_dir)
+    regressions = []
+    for bench in sorted(set(baseline) & set(current)):
+        for row in compare(baseline[bench], current[bench]):
+            change = row.get("relative_change")
+            if change is None or not _is_ratio_field(row["field"]):
+                continue
+            if change < -fail_threshold:
+                regressions.append(
+                    f"[{bench}] {row['field']}: {row['baseline']:.6g} -> "
+                    f"{row['current']:.6g} ({change:+.1%})"
+                )
+    return regressions
+
+
 def _verdict(field: str, change: float) -> str:
     lowered = field.lower()
     if "seconds" in lowered or lowered.endswith("_ms"):
@@ -132,8 +164,34 @@ def main(argv: "list[str] | None" = None) -> int:
         default=0.02,
         help="hide numeric changes smaller than this fraction (default 2%%)",
     )
+    parser.add_argument(
+        "--fail-threshold",
+        type=float,
+        default=None,
+        metavar="FRAC",
+        help=(
+            "exit non-zero when any speedup/ratio field drops by more than "
+            "this fraction vs the baseline (default: informational only)"
+        ),
+    )
     args = parser.parse_args(argv)
     print(render_comparison(args.baseline, args.current, args.threshold))
+    if args.fail_threshold is not None:
+        regressions = find_regressions(
+            args.baseline, args.current, args.fail_threshold
+        )
+        if regressions:
+            print(
+                f"\nREGRESSIONS (ratio fields down > "
+                f"{args.fail_threshold:.0%} vs baseline):"
+            )
+            for line in regressions:
+                print(f"  {line}")
+            return 1
+        print(
+            f"\nno ratio regressions beyond {args.fail_threshold:.0%} "
+            f"of baseline"
+        )
     return 0
 
 

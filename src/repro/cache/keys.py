@@ -195,6 +195,7 @@ def params_key(
     train_noisy: bool,
     noise_signature: str,
     mode: str = "fresh",
+    optimizer: str = "nm",
 ) -> str:
     """Cache key of one QAOA training run's ``(gammas, betas)`` outcome.
 
@@ -206,11 +207,20 @@ def params_key(
     initial point, itself pinned by the source's key). Shots are excluded:
     they only affect sampling, which always runs live on the job's own
     stream.
+
+    ``optimizer`` names the refinement engine — ``"nm"`` (Nelder-Mead, the
+    legacy default whose spelling preserves the historical key format) or
+    ``"lbfgs"`` (the analytic-gradient L-BFGS-B path): the two settle on
+    different floats for the same instance, so their outcomes must never
+    answer each other's lookups.
     """
-    return _sha(
+    token = (
         f"params|{fingerprint}|p={num_layers}|grid={grid_resolution}|"
         f"maxiter={maxiter}|noisy={train_noisy}|{noise_signature}|{mode}"
     )
+    if optimizer != "nm":
+        token += f"|opt={optimizer}"
+    return _sha(token)
 
 
 # ----------------------------------------------------------------------

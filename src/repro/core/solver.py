@@ -67,6 +67,7 @@ from repro.qaoa.executor import (
     evaluate_noisy,
     make_context,
     noise_profile_for_transpiled,
+    value_and_grad_objective,
 )
 from repro.qaoa.optimizer import OptimizationResult, optimize_qaoa
 from repro.sim.depolarizing import flip_probabilities_from_factors, noisy_counts
@@ -105,16 +106,32 @@ class SolverConfig:
         transpile_options: Compiler knobs for the (template) circuit.
         train_noisy: Train on the noisy objective instead of the ideal one
             (the paper trains on simulation => default False).
-        vectorized_evaluation: Train through the batched analytic / fused
-            diagonal kernels (default). ``False`` pins the legacy scalar
-            evaluation path — the benchmark baseline.
+
+    Engine flags — the three hot-path engines, each defaulting to the fast
+    vectorized implementation with the legacy path pinned behind ``False``
+    as the bit-exact reference and benchmark baseline:
+
+        vectorized_evaluation: Evaluate expectations through the batched
+            analytic / fused diagonal kernels (default). ``False`` pins
+            the legacy scalar evaluation path (per-point Python loops).
         vectorized_annealer: Run every classical annealing stage (planner
             probes, budget fallbacks, the sampling-cap fallback) through
             the batched multi-replica engine (default). ``False`` pins the
             legacy per-spin scalar loop — bit-identical to historical
-            seeded results, and the benchmark baseline. The engines draw
-            randomness differently, so flipping this flag changes (equally
-            valid) annealed outcomes.
+            seeded results. The engines draw randomness differently, so
+            flipping this flag changes (equally valid) annealed outcomes.
+        analytic_gradients: Refine parameters with L-BFGS-B fed by the
+            analytic-gradient engine — closed-form p=1 derivatives, and
+            adjoint backprop through the fused kernel at p >= 2: one
+            forward + one reverse statevector pass yields the objective
+            and all 2p exact derivatives (default; typically tens instead
+            of hundreds of evaluations at p >= 2). ``False`` pins the
+            legacy derivative-free Nelder-Mead refinement. Requires
+            ``vectorized_evaluation`` (the gradient kernels are part of
+            the vectorized engine); with the scalar evaluation path
+            pinned, training always uses Nelder-Mead. The two refiners
+            settle on (equally valid) last-float-different optima, so
+            flipping this flag changes trained parameters.
     """
 
     num_layers: int = 1
@@ -126,6 +143,12 @@ class SolverConfig:
     train_noisy: bool = False
     vectorized_evaluation: bool = True
     vectorized_annealer: bool = True
+    analytic_gradients: bool = True
+
+    @property
+    def gradient_training(self) -> bool:
+        """Whether training actually runs the gradient/L-BFGS engine."""
+        return self.analytic_gradients and self.vectorized_evaluation
 
 
 @dataclass
@@ -265,6 +288,15 @@ def train_qaoa_instance(
             # Grid seeds and warm-start acceptance tests evaluate whole
             # point batches in one kernel call (None = scalar context).
             evaluate_batch=batch_objective(context, noisy=cfg.train_noisy),
+            # With analytic gradients on (and the vectorized engine
+            # active), refinement runs L-BFGS-B on exact derivatives —
+            # closed form at p=1, adjoint backprop at p>=2 (None = the
+            # pinned legacy Nelder-Mead refiner).
+            value_and_grad=(
+                value_and_grad_objective(context, noisy=cfg.train_noisy)
+                if cfg.analytic_gradients
+                else None
+            ),
         )
     gammas, betas = optimization.gammas, optimization.betas
     ev_ideal = float(evaluate_ideal(context, gammas, betas))
@@ -505,6 +537,11 @@ class FrozenQubitsResult:
             pruned — covered classically, never executed as circuits.
         num_optimizer_evaluations: Total objective evaluations spent
             training across all executed sub-problems.
+        num_gradient_evaluations: Total gradient passes spent training
+            across all executed sub-problems — counted separately from
+            objective evaluations (always 0 on the legacy Nelder-Mead
+            path), so evaluation-budget accounting stays honest across
+            the optimizer engines.
         num_warm_started: Executed cells whose optimizer accepted a
             transferred sibling optimum.
         num_warm_start_rejected: Executed cells where the transfer was
@@ -531,6 +568,7 @@ class FrozenQubitsResult:
     plan: "FreezePlan | None" = None
     skipped_assignments: tuple[int, ...] = ()
     num_optimizer_evaluations: int = 0
+    num_gradient_evaluations: int = 0
     num_warm_started: int = 0
     num_warm_start_rejected: int = 0
     num_deduplicated: int = 0
@@ -993,6 +1031,7 @@ class FrozenQubitsSolver:
             train_noisy=cfg.train_noisy,
             noise_signature=noise_signature,
             mode=mode,
+            optimizer="lbfgs" if cfg.gradient_training else "nm",
         )
 
     def _resolve_plan(
@@ -1165,6 +1204,9 @@ class FrozenQubitsSolver:
             ),
             num_optimizer_evaluations=sum(
                 opt.num_evaluations for opt in optimizations
+            ),
+            num_gradient_evaluations=sum(
+                opt.num_gradient_evaluations for opt in optimizations
             ),
             num_warm_started=sum(1 for opt in optimizations if opt.warm_started),
             num_warm_start_rejected=sum(

@@ -11,6 +11,7 @@ large-instance ideal expectations cheap.
 from repro.qaoa.analytic import (
     QAOA1Structure,
     qaoa1_expectation,
+    qaoa1_expectation_and_grad,
     qaoa1_expectations_batch,
     qaoa1_term_expectations,
     qaoa1_term_expectations_batch,
@@ -23,6 +24,7 @@ from repro.qaoa.executor import (
     evaluate_ideal,
     evaluate_noisy,
     make_context,
+    value_and_grad_objective,
 )
 from repro.qaoa.objective import approximation_ratio, approximation_ratio_gap
 from repro.qaoa.optimizer import (
@@ -30,6 +32,7 @@ from repro.qaoa.optimizer import (
     EvaluateFn,
     LandscapeScan,
     OptimizationResult,
+    ValueAndGradFn,
     landscape_scan,
     optimize_qaoa,
 )
@@ -42,6 +45,7 @@ __all__ = [
     "OptimizationResult",
     "QAOA1Structure",
     "QAOATemplate",
+    "ValueAndGradFn",
     "approximation_ratio",
     "approximation_ratio_gap",
     "batch_objective",
@@ -54,7 +58,9 @@ __all__ = [
     "make_context",
     "optimize_qaoa",
     "qaoa1_expectation",
+    "qaoa1_expectation_and_grad",
     "qaoa1_expectations_batch",
     "qaoa1_term_expectations",
     "qaoa1_term_expectations_batch",
+    "value_and_grad_objective",
 ]

@@ -132,6 +132,46 @@ def qaoa1_expectation(
     return combine_term_expectations(hamiltonian, z_values, zz_values)
 
 
+def _products_and_gamma_grads(
+    two_g, coeffs: np.ndarray
+) -> tuple[np.ndarray, np.ndarray]:
+    """Each row's product ``prod_k cos(two_g * c_k)`` and its d/dgamma.
+
+    The derivative needs every leave-one-out product
+    ``prod_{m != k} cos(two_g * c_m)``; dividing the full product by one
+    cosine explodes at its zeros, so the leave-one-outs are assembled
+    exactly from prefix x suffix cumulative products instead:
+
+        d/dgamma prod_k cos(2 gamma c_k)
+            = sum_k -2 c_k sin(2 gamma c_k) prod_{m != k} cos(2 gamma c_m)
+
+    Zero padding stays the identity here too: a padded slot has
+    ``c_k = 0``, so its summand is ``-2 * 0 * sin(0) * (...) = 0``.
+
+    Args:
+        two_g: ``2 * gamma`` — a scalar, or shaped to broadcast against
+            ``coeffs`` with a trailing product axis (e.g. ``(P, 1, 1)``).
+        coeffs: Zero-padded coefficient rows, shape ``(..., T, K)``.
+
+    Returns:
+        ``(products, dproducts)``, each of shape ``(..., T)``.
+    """
+    angles = two_g * coeffs
+    cosines = np.cos(angles)
+    products = cosines.prod(axis=-1)
+    if coeffs.shape[-1] == 0:
+        return products, np.zeros_like(products)
+    prefix = np.cumprod(cosines, axis=-1)
+    suffix = np.cumprod(cosines[..., ::-1], axis=-1)[..., ::-1]
+    leave_one_out = np.ones_like(cosines)
+    leave_one_out[..., 1:] *= prefix[..., :-1]
+    leave_one_out[..., :-1] *= suffix[..., 1:]
+    dproducts = (
+        -2.0 * coeffs * np.sin(angles) * leave_one_out
+    ).sum(axis=-1)
+    return products, dproducts
+
+
 def _padded(rows: "list[list[float]]") -> np.ndarray:
     """Stack ragged coefficient lists into a zero-padded matrix.
 
@@ -353,6 +393,154 @@ class QAOA1Structure:
             )
             zz_out[...] = term1 + term2
 
+    def term_gradients(
+        self, gammas: np.ndarray, betas: np.ndarray
+    ) -> tuple[np.ndarray, ...]:
+        """Batched per-term expectations *and* their exact derivatives.
+
+        The closed form is a sum of products of trig factors in
+        ``2 gamma * coefficient`` and ``sin/cos`` of ``2 beta`` /
+        ``4 beta``; every derivative is itself closed-form (leave-one-out
+        cosine products via :func:`_products_and_gamma_grads`), so the p=1
+        gradient path never touches a statevector.
+
+        Args:
+            gammas: Phase angles, shape ``(P,)``.
+            betas: Mixing angles, shape ``(P,)``.
+
+        Returns:
+            ``(z, dz_dgamma, dz_dbeta, zz, dzz_dgamma, dzz_dbeta)`` with
+            ``z``-shaped arrays ``(P, num_z_terms)`` and ``zz``-shaped
+            arrays ``(P, num_zz_terms)``, columns aligned with
+            ``z_qubits`` and ``pairs``.
+        """
+        g = np.atleast_1d(np.asarray(gammas, dtype=float))
+        b = np.atleast_1d(np.asarray(betas, dtype=float))
+        if g.ndim != 1 or g.shape != b.shape:
+            raise QAOAError(
+                f"gammas/betas must be equal-length 1-D batches, got "
+                f"{g.shape}/{b.shape}"
+            )
+        points = g.shape[0]
+        outs = tuple(
+            np.zeros((points, size))
+            for size in (self.num_z_terms,) * 3 + (self.num_zz_terms,) * 3
+        )
+        chunk = self._chunk(points)
+        for start in range(0, points, chunk):
+            stop = min(start + chunk, points)
+            self._chunk_gradients(
+                g[start:stop],
+                b[start:stop],
+                *(out[start:stop] for out in outs),
+            )
+        return outs
+
+    def _chunk_gradients(
+        self,
+        g: np.ndarray,
+        b: np.ndarray,
+        z_out: np.ndarray,
+        dz_dg_out: np.ndarray,
+        dz_db_out: np.ndarray,
+        zz_out: np.ndarray,
+        dzz_dg_out: np.ndarray,
+        dzz_db_out: np.ndarray,
+    ) -> None:
+        two_g = (2.0 * g)[:, None, None]
+        two_g_flat = (2.0 * g)[:, None]
+        sin_2b = np.sin(2.0 * b)[:, None]
+        cos_2b = np.cos(2.0 * b)[:, None]
+        if self.num_z_terms:
+            prod, dprod = _products_and_gamma_grads(two_g, self.z_neighbors)
+            sin_h = np.sin(two_g_flat * self.z_h[None, :])
+            cos_h = np.cos(two_g_flat * self.z_h[None, :])
+            z_out[...] = sin_2b * sin_h * prod
+            dz_dg_out[...] = sin_2b * (
+                2.0 * self.z_h[None, :] * cos_h * prod + sin_h * dprod
+            )
+            dz_db_out[...] = 2.0 * cos_2b * sin_h * prod
+        if self.num_zz_terms:
+            sin_4b = np.sin(4.0 * b)[:, None]
+            cos_4b = np.cos(4.0 * b)[:, None]
+            prod_i, dprod_i = _products_and_gamma_grads(two_g, self.excl_i)
+            prod_j, dprod_j = _products_and_gamma_grads(two_g, self.excl_j)
+            sin_J = np.sin(two_g_flat * self.J[None, :])
+            cos_J = np.cos(two_g_flat * self.J[None, :])
+            cos_hi = np.cos(two_g_flat * self.h_i[None, :])
+            sin_hi = np.sin(two_g_flat * self.h_i[None, :])
+            cos_hj = np.cos(two_g_flat * self.h_j[None, :])
+            sin_hj = np.sin(two_g_flat * self.h_j[None, :])
+            paired = cos_hi * prod_i + cos_hj * prod_j
+            dpaired_dg = (
+                -2.0 * self.h_i[None, :] * sin_hi * prod_i
+                + cos_hi * dprod_i
+                - 2.0 * self.h_j[None, :] * sin_hj * prod_j
+                + cos_hj * dprod_j
+            )
+            term1 = 0.5 * sin_4b * sin_J * paired
+            dterm1_dg = 0.5 * sin_4b * (
+                2.0 * self.J[None, :] * cos_J * paired + sin_J * dpaired_dg
+            )
+            dterm1_db = 2.0 * cos_4b * sin_J * paired
+            prod_m, dprod_m = _products_and_gamma_grads(two_g, self.union_minus)
+            prod_p, dprod_p = _products_and_gamma_grads(two_g, self.union_plus)
+            cos_hd = np.cos(two_g_flat * self.h_diff[None, :])
+            sin_hd = np.sin(two_g_flat * self.h_diff[None, :])
+            cos_hs = np.cos(two_g_flat * self.h_sum[None, :])
+            sin_hs = np.sin(two_g_flat * self.h_sum[None, :])
+            contrast = cos_hd * prod_m - cos_hs * prod_p
+            dcontrast_dg = (
+                -2.0 * self.h_diff[None, :] * sin_hd * prod_m
+                + cos_hd * dprod_m
+                + 2.0 * self.h_sum[None, :] * sin_hs * prod_p
+                - cos_hs * dprod_p
+            )
+            term2 = 0.5 * sin_2b**2 * contrast
+            dterm2_dg = 0.5 * sin_2b**2 * dcontrast_dg
+            # d/dbeta sin^2(2b) = 2 sin(2b) * 2 cos(2b) = 2 sin(4b).
+            dterm2_db = sin_4b * contrast
+            zz_out[...] = term1 + term2
+            dzz_dg_out[...] = dterm1_dg + dterm2_dg
+            dzz_db_out[...] = dterm1_db + dterm2_db
+
+    def expectations_and_grads(
+        self,
+        gammas: np.ndarray,
+        betas: np.ndarray,
+        weights: "tuple[np.ndarray, np.ndarray] | None" = None,
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Batched expectation values with exact (d/dgamma, d/dbeta).
+
+        The p=1 ``value_and_grad`` feeding gradient-based training: noise
+        folds into the combination ``weights`` exactly as on the value
+        path, so the noisy gradient costs the same trig passes as the
+        ideal one.
+
+        Returns:
+            ``(values, dgamma, dbeta)``, each of shape ``(P,)``.
+        """
+        wz, wzz = weights if weights is not None else self.term_weights()
+        z, dz_dg, dz_db, zz, dzz_dg, dzz_db = self.term_gradients(gammas, betas)
+        return (
+            self.offset + z @ wz + zz @ wzz,
+            dz_dg @ wz + dzz_dg @ wzz,
+            dz_db @ wz + dzz_db @ wzz,
+        )
+
+    def expectation_and_grad(
+        self,
+        gamma: float,
+        beta: float,
+        weights: tuple[np.ndarray, np.ndarray],
+    ) -> tuple[float, float, float]:
+        """One ``(value, d/dgamma, d/dbeta)`` point, for sequential L-BFGS
+        proposals (a batch of one through the vectorized gradient core)."""
+        values, dgamma, dbeta = self.expectations_and_grads(
+            np.asarray([gamma]), np.asarray([beta]), weights=weights
+        )
+        return float(values[0]), float(dgamma[0]), float(dbeta[0])
+
     def term_weights(
         self,
         fidelity: float = 1.0,
@@ -458,6 +646,26 @@ def qaoa1_term_expectations_batch(
     """Batched closed-form per-term expectations (see :class:`QAOA1Structure`)."""
     structure = structure or QAOA1Structure(hamiltonian)
     return structure.term_expectations(gammas, betas)
+
+
+def qaoa1_expectation_and_grad(
+    hamiltonian: IsingHamiltonian,
+    gamma: float,
+    beta: float,
+    structure: "QAOA1Structure | None" = None,
+    fidelity: float = 1.0,
+    readout: "dict[int, float] | None" = None,
+) -> tuple[float, float, float]:
+    """Closed-form p=1 ``(value, d/dgamma, d/dbeta)`` at one point.
+
+    The statevector-free twin of :func:`repro.sim.qaoa_kernel.
+    qaoa_value_and_grad` for single-layer training; ``fidelity`` /
+    ``readout`` fold noise into the combination weights exactly as
+    :func:`qaoa1_expectations_batch` does.
+    """
+    structure = structure or QAOA1Structure(hamiltonian)
+    weights = structure.term_weights(fidelity=fidelity, readout=readout)
+    return structure.expectation_and_grad(float(gamma), float(beta), weights)
 
 
 def qaoa1_expectations_batch(

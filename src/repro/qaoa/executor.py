@@ -44,7 +44,7 @@ from repro.sim.expectation import (
     term_sign_matrix,
 )
 from repro.sim.noise import NoiseModel, noise_model_for_transpiled
-from repro.sim.qaoa_kernel import qaoa_probabilities_batch
+from repro.sim.qaoa_kernel import qaoa_probabilities_batch, qaoa_value_and_grad
 from repro.sim.statevector import MAX_SIM_QUBITS, probabilities
 from repro.transpile.compiler import TranspileOptions, TranspiledCircuit, transpile
 
@@ -140,6 +140,23 @@ class EvaluationContext:
         key = ("signs", noisy)
         if key not in self._weights:
             self._weights[key] = np.concatenate(self.analytic_weights(noisy))
+        return self._weights[key]
+
+    def diagonal_observable(self, noisy: bool) -> "np.ndarray":
+        """Cached diagonal observable ``D`` the p>=2 objective contracts
+        against: the energy spectrum when ideal, or
+        ``offset + sign_matrix @ weights`` with the fidelity/readout
+        attenuation folded into the per-term weights when noisy — the
+        same folding the batched evaluation path uses, reused by the
+        adjoint gradient kernel."""
+        if not noisy:
+            return self.spectrum()
+        key = ("observable", True)
+        if key not in self._weights:
+            matrix, __, __ = self.sign_basis()
+            self._weights[key] = (
+                self.hamiltonian.offset + matrix @ self.sign_weights(True)
+            )
         return self._weights[key]
 
 
@@ -348,6 +365,52 @@ def batch_objective(context: EvaluationContext, noisy: bool = False):
         return evaluate_batch(context, gammas, betas, noisy=noisy)
 
     return evaluate
+
+
+def value_and_grad_objective(context: EvaluationContext, noisy: bool = False):
+    """The context's gradient objective ``(g, b) -> (value, grad (2p,))``.
+
+    One evaluation pass returns the expectation *and* its exact gradient
+    w.r.t. all ``2p`` parameters: the closed-form p=1 derivatives of the
+    batched trig expression (:meth:`repro.qaoa.analytic.QAOA1Structure.
+    expectation_and_grad` — never touches a statevector), or adjoint-mode
+    backprop through the fused diagonal kernel at p >= 2
+    (:func:`repro.sim.qaoa_kernel.qaoa_value_and_grad`). Noise folds into
+    combination weights / the diagonal observable exactly as the value
+    path folds it, so the noisy gradient costs the same pass.
+
+    Returns ``None`` when the context pins the legacy scalar path, so
+    callers can pass the result straight through to
+    :func:`repro.qaoa.optimizer.optimize_qaoa`'s ``value_and_grad``.
+    """
+    if not context.vectorized:
+        return None
+    if context.num_layers == 1:
+        structure = context.analytic_structure()
+        weights = context.analytic_weights(noisy)
+
+        def evaluate_p1(gammas, betas):
+            value, dgamma, dbeta = structure.expectation_and_grad(
+                float(gammas[0]), float(betas[0]), weights
+            )
+            return value, np.asarray([dgamma, dbeta])
+
+        return evaluate_p1
+    _check_sim_cap(context)
+    spectrum = context.spectrum()
+    observable = context.diagonal_observable(noisy)
+
+    def evaluate_adjoint(gammas, betas):
+        value, grad_g, grad_b = qaoa_value_and_grad(
+            context.hamiltonian,
+            np.asarray(gammas, dtype=float),
+            np.asarray(betas, dtype=float),
+            spectrum=spectrum,
+            observable=observable,
+        )
+        return value, np.concatenate([grad_g, grad_b])
+
+    return evaluate_adjoint
 
 
 def evaluate_ideal(

@@ -2,8 +2,12 @@
 
 The paper's outer loop (Fig. 1(a)): propose parameters, read the circuit's
 expectation value, update. Strategy here: a coarse (gamma, beta) grid seed
-(p=1) or random multistart (p>1), refined with Nelder-Mead — derivative-free
-like the COBYLA/SPSA choices common in QAOA practice.
+(p=1) or random multistart (p>1), refined with a local optimizer. The
+refiner is L-BFGS-B when the caller supplies a ``value_and_grad`` twin of
+the objective (one pass returning the expectation *and* its exact gradient
+w.r.t. all 2p parameters — the adjoint/closed-form analytic-gradient
+engine), and derivative-free Nelder-Mead otherwise — the pinned legacy
+reference, matching the COBYLA/SPSA choices common in QAOA practice.
 
 Both entry points accept an optional *batched* objective
 (``evaluate_batch``: matrices of shape ``(P, p)`` in, values ``(P,)``
@@ -38,6 +42,11 @@ DEFAULT_BETA_RANGE = (-np.pi / 4.0, np.pi / 4.0)
 EvaluateFn = Callable[[Sequence[float], Sequence[float]], float]
 #: Batched objective: ``(gammas (P, p), betas (P, p)) -> values (P,)``.
 BatchEvaluateFn = Callable[[np.ndarray, np.ndarray], np.ndarray]
+#: Gradient objective: ``(gammas (p,), betas (p,)) -> (value, grad (2p,))``
+#: with the gradient ordered gammas-then-betas, from one evaluation pass.
+ValueAndGradFn = Callable[
+    [np.ndarray, np.ndarray], tuple[float, np.ndarray]
+]
 
 
 @dataclass
@@ -48,7 +57,14 @@ class OptimizationResult:
         gammas: Best phase parameters found.
         betas: Best mixing parameters found.
         value: Objective (expectation value) at the optimum; minimised.
-        num_evaluations: Objective calls consumed.
+        num_evaluations: Objective calls consumed. On the gradient path
+            every ``value_and_grad`` pass counts here too (it produces a
+            value), so evaluation budgets stay comparable across the
+            Nelder-Mead and L-BFGS engines.
+        num_gradient_evaluations: Gradient passes consumed — one per
+            ``value_and_grad`` call, counted *separately* from objective
+            evaluations so warm-start and bench accounting stay honest
+            across engines. Always 0 on the derivative-free path.
         history: Objective value after each improvement, for convergence
             plots.
         warm_started: True when a transferred initial point replaced the
@@ -62,6 +78,7 @@ class OptimizationResult:
     betas: tuple[float, ...]
     value: float
     num_evaluations: int
+    num_gradient_evaluations: int = 0
     history: list[float] = field(default_factory=list)
     warm_started: bool = False
     warm_start_rejected: bool = False
@@ -78,6 +95,7 @@ def optimize_qaoa(
     seed: "int | np.random.Generator | None" = None,
     initial_point: "tuple[Sequence[float], Sequence[float]] | None" = None,
     evaluate_batch: "BatchEvaluateFn | None" = None,
+    value_and_grad: "ValueAndGradFn | None" = None,
 ) -> OptimizationResult:
     """Minimise a QAOA expectation over its 2p parameters.
 
@@ -102,6 +120,15 @@ def optimize_qaoa(
             and the warm-start acceptance test run as single kernel calls
             over whole point batches; ``num_evaluations`` still counts
             every point.
+        value_and_grad: Optional gradient twin of ``evaluate``: one pass
+            returning ``(value, grad)`` with ``grad`` the exact derivative
+            w.r.t. the concatenated ``[gammas, betas]`` point (shape
+            ``(2p,)``). When given, the refinement stage switches from
+            derivative-free Nelder-Mead to L-BFGS-B fed by it — typically
+            converging in tens instead of hundreds of evaluations — while
+            the seeding scan and warm-start acceptance stay on
+            ``evaluate``/``evaluate_batch`` unchanged. Each pass counts as
+            one objective evaluation *and* one gradient evaluation.
 
     Returns:
         The best parameters found and bookkeeping.
@@ -110,6 +137,7 @@ def optimize_qaoa(
         raise QAOAError(f"num_layers must be >= 1, got {num_layers}")
     rng = ensure_rng(seed)
     evaluations = 0
+    gradient_evaluations = 0
     history: list[float] = []
     best_value = np.inf
     best_point: "np.ndarray | None" = None
@@ -194,19 +222,43 @@ def optimize_qaoa(
                 betas = rng.uniform(*beta_range, size=num_layers)
                 starts.append(np.concatenate([gammas, betas]))
 
-    for start in starts:
-        sciopt.minimize(
-            objective,
-            start,
-            method="Nelder-Mead",
-            options={"maxiter": maxiter, "xatol": 1e-4, "fatol": 1e-7},
-        )
+    if value_and_grad is not None:
+
+        def objective_with_grad(point: np.ndarray) -> tuple[float, np.ndarray]:
+            # One pass yields the value and the exact gradient; count both
+            # (the value is genuinely recomputed — no memo shortcut, since
+            # L-BFGS needs the gradient even at already-seen points).
+            nonlocal gradient_evaluations
+            value, grad = value_and_grad(
+                point[:num_layers], point[num_layers:]
+            )
+            gradient_evaluations += 1
+            record(point, float(value))
+            return float(value), np.asarray(grad, dtype=float)
+
+        for start in starts:
+            sciopt.minimize(
+                objective_with_grad,
+                start,
+                method="L-BFGS-B",
+                jac=True,
+                options={"maxiter": maxiter},
+            )
+    else:
+        for start in starts:
+            sciopt.minimize(
+                objective,
+                start,
+                method="Nelder-Mead",
+                options={"maxiter": maxiter, "xatol": 1e-4, "fatol": 1e-7},
+            )
     assert best_point is not None
     return OptimizationResult(
         gammas=tuple(float(g) for g in best_point[:num_layers]),
         betas=tuple(float(b) for b in best_point[num_layers:]),
         value=float(best_value),
         num_evaluations=evaluations,
+        num_gradient_evaluations=gradient_evaluations,
         history=history,
         warm_started=warm_started,
         warm_start_rejected=warm_start_rejected,

@@ -40,6 +40,7 @@ from repro.sim.qaoa_kernel import (
     qaoa_probabilities_batch,
     qaoa_statevector,
     qaoa_statevectors_batch,
+    qaoa_value_and_grad,
 )
 from repro.sim.sampling import Counts, sample_counts
 from repro.sim.statevector import (
@@ -67,6 +68,7 @@ __all__ = [
     "qaoa_probabilities_batch",
     "qaoa_statevector",
     "qaoa_statevectors_batch",
+    "qaoa_value_and_grad",
     "readout_factors",
     "sample_counts",
     "simulate_statevector",

@@ -1,0 +1,101 @@
+"""Tests for the perf-record diff tool's regression gate."""
+
+from __future__ import annotations
+
+import json
+import sys
+
+import pytest
+
+sys.path.insert(0, ".")  # benchmarks/ is a top-level package in this repo
+from benchmarks.compare_bench import find_regressions, main  # noqa: E402
+
+
+def _write(directory, record):
+    directory.mkdir(exist_ok=True)
+    path = directory / f"BENCH_{record['bench']}.json"
+    path.write_text(json.dumps(record), encoding="utf-8")
+
+
+@pytest.fixture
+def dirs(tmp_path):
+    baseline = tmp_path / "baseline"
+    current = tmp_path / "current"
+    _write(
+        baseline,
+        {
+            "bench": "opt",
+            "speedup": 4.0,
+            "evaluation_ratio": 8.0,
+            "sweep": {"seconds": 2.0},
+        },
+    )
+    return baseline, current
+
+
+class TestFindRegressions:
+    def test_ratio_drop_past_threshold_is_a_regression(self, dirs):
+        baseline, current = dirs
+        _write(
+            current,
+            {"bench": "opt", "speedup": 2.0, "evaluation_ratio": 8.0},
+        )
+        hits = find_regressions(str(baseline), str(current), 0.25)
+        assert len(hits) == 1
+        assert "speedup" in hits[0]
+
+    def test_drop_within_threshold_passes(self, dirs):
+        baseline, current = dirs
+        _write(
+            current,
+            {"bench": "opt", "speedup": 3.5, "evaluation_ratio": 7.5},
+        )
+        assert find_regressions(str(baseline), str(current), 0.25) == []
+
+    def test_seconds_are_never_gated(self, dirs):
+        """Raw wall-clocks vary by machine — only ratios gate."""
+        baseline, current = dirs
+        _write(
+            current,
+            {
+                "bench": "opt",
+                "speedup": 4.0,
+                "evaluation_ratio": 8.0,
+                "sweep": {"seconds": 50.0},
+            },
+        )
+        assert find_regressions(str(baseline), str(current), 0.25) == []
+
+    def test_improvements_pass(self, dirs):
+        baseline, current = dirs
+        _write(
+            current,
+            {"bench": "opt", "speedup": 9.0, "evaluation_ratio": 20.0},
+        )
+        assert find_regressions(str(baseline), str(current), 0.25) == []
+
+
+class TestMainExitCode:
+    def test_regression_exits_nonzero(self, dirs, capsys):
+        baseline, current = dirs
+        _write(current, {"bench": "opt", "speedup": 1.0})
+        code = main(
+            [str(baseline), str(current), "--fail-threshold", "0.25"]
+        )
+        assert code == 1
+        assert "REGRESSIONS" in capsys.readouterr().out
+
+    def test_clean_run_exits_zero(self, dirs):
+        baseline, current = dirs
+        _write(
+            current,
+            {"bench": "opt", "speedup": 4.0, "evaluation_ratio": 8.0},
+        )
+        assert main(
+            [str(baseline), str(current), "--fail-threshold", "0.25"]
+        ) == 0
+
+    def test_without_flag_stays_informational(self, dirs):
+        baseline, current = dirs
+        _write(current, {"bench": "opt", "speedup": 0.5})
+        assert main([str(baseline), str(current)]) == 0

@@ -89,12 +89,19 @@ def check_golden(name: str, result: FrozenQubitsResult, update: bool) -> None:
 
 
 def test_golden_frozenqubits_device_solve(update_golden):
-    """Scenario 1: m=2 FrozenQubits solve on a noisy device, mirrors on."""
+    """Scenario 1: m=2 FrozenQubits solve on a noisy device, mirrors on.
+
+    Pinned to the legacy Nelder-Mead optimizer
+    (``analytic_gradients=False``): this fixture predates the gradient
+    training engine and must stay byte-identical.
+    """
     graph = barabasi_albert_graph(8, attachment=1, seed=21)
     problem = IsingHamiltonian.from_graph(graph, weights="random_pm1", seed=22)
     solver = FrozenQubitsSolver(
         num_frozen=2,
-        config=SolverConfig(grid_resolution=4, maxiter=6, shots=512),
+        config=SolverConfig(
+            grid_resolution=4, maxiter=6, shots=512, analytic_gradients=False
+        ),
         seed=2023,
     )
     result = solver.solve(problem, get_backend("montreal"))
@@ -114,7 +121,11 @@ def test_golden_budgeted_solve_with_fallback(update_golden):
     solver = FrozenQubitsSolver(
         num_frozen=3,
         config=SolverConfig(
-            grid_resolution=3, maxiter=4, shots=256, vectorized_annealer=False
+            grid_resolution=3,
+            maxiter=4,
+            shots=256,
+            vectorized_annealer=False,
+            analytic_gradients=False,
         ),
         seed=2024,
         budget=ExecutionBudget(max_circuits=2),
@@ -137,7 +148,9 @@ def test_golden_budgeted_solve_vectorized_annealer(update_golden):
     problem = IsingHamiltonian.from_graph(graph, weights="random_pm1", seed=24)
     solver = FrozenQubitsSolver(
         num_frozen=3,
-        config=SolverConfig(grid_resolution=3, maxiter=4, shots=256),
+        config=SolverConfig(
+            grid_resolution=3, maxiter=4, shots=256, analytic_gradients=False
+        ),
         seed=2024,
         budget=ExecutionBudget(max_circuits=2),
         warm_start=False,
@@ -151,3 +164,25 @@ def test_golden_budgeted_solve_vectorized_annealer(update_golden):
         o.subproblem.index for o in classical
     }
     check_golden("budgeted_fallback_m3_vectorized", result, update_golden)
+
+
+def test_golden_gradient_trained_p2_solve(update_golden):
+    """Scenario 4: p=2 device-mode solve trained with analytic gradients.
+
+    The default engine stack — adjoint value-and-grad kernel feeding
+    L-BFGS-B refinement — on a depth-2 circuit. Pins the gradient
+    training path end to end: one flipped sample or a last-bit drift in
+    the converged angles fails the diff.
+    """
+    graph = barabasi_albert_graph(8, attachment=1, seed=21)
+    problem = IsingHamiltonian.from_graph(graph, weights="random_pm1", seed=22)
+    solver = FrozenQubitsSolver(
+        num_frozen=2,
+        config=SolverConfig(
+            num_layers=2, grid_resolution=4, maxiter=8, shots=512
+        ),
+        seed=2023,
+    )
+    result = solver.solve(problem, get_backend("montreal"))
+    assert result.num_gradient_evaluations > 0
+    check_golden("gradient_trained_p2_m2", result, update_golden)
