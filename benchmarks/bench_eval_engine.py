@@ -10,7 +10,11 @@ False)``) on the two workloads that matter:
   2,500 Python closed-form evaluations: **>= 5x** required;
 * an end-to-end device-mode 16-sibling FrozenQubits sweep (m=4, pruning
   off) — grid seeding, warm-start acceptance and Nelder-Mead refinement
-  all flowing through the engine: **>= 2x** required.
+  all flowing through the engine: **>= 2x** required;
+* the diagonal-spectrum construction (``energy_landscape``) feeding the
+  fused kernels: the O(2^n) bit-doubling recurrence vs the
+  |terms| x 2^n sign-matrix pass it replaced — agreement to <= 1e-12
+  required, speedup reported.
 
 Both gates also require the engines to *agree*: landscape values to
 <= 1e-12, and the sweep's scientific output (expectations to <= 1e-12,
@@ -102,6 +106,33 @@ def _sweep_signature(result):
     )
 
 
+def _sign_matrix_landscape(hamiltonian):
+    """The replaced spectrum construction: one sign vector per term."""
+    n = hamiltonian.num_qubits
+    states = np.arange(2**n)
+    spins = 1.0 - 2.0 * ((states[:, None] >> np.arange(n)[None, :]) & 1)
+    landscape = np.full(2**n, hamiltonian.offset)
+    landscape += spins @ hamiltonian.linear
+    for (i, j), coupling in hamiltonian.quadratic.items():
+        landscape += coupling * spins[:, i] * spins[:, j]
+    return landscape
+
+
+def _spectrum_seconds(fn, make_arg, reps):
+    """Median seconds of ``fn(make_arg())``, argument built off-clock.
+
+    ``energy_landscape`` memoizes per instance, so each rep must run
+    against a *fresh* instance to time the construction, not a memo hit.
+    """
+    times = []
+    for __ in range(reps):
+        arg = make_arg()
+        started = time.perf_counter()
+        value = fn(arg)
+        times.append(time.perf_counter() - started)
+    return value, float(np.median(times))
+
+
 def test_eval_engine_speedup(benchmark):
     num_qubits = scale(14, 18)
     resolution = 50
@@ -138,6 +169,25 @@ def test_eval_engine_speedup(benchmark):
         abs(vec_result.ev_noisy - scalar_result.ev_noisy),
     )
 
+    # --- Gate 3: spectrum recurrence vs sign-matrix construction ------
+    def make_dense():
+        return IsingHamiltonian.from_graph(
+            barabasi_albert_graph(scale(16, 20), 3, seed=19),
+            weights="random_pm1",
+            seed=20,
+        )
+
+    dense = make_dense()
+    _spectrum_seconds(lambda h: h.energy_landscape(), make_dense, reps=1)
+    recurrence, recurrence_s = _spectrum_seconds(
+        lambda h: h.energy_landscape(), make_dense, reps=reps
+    )
+    reference, sign_matrix_s = _spectrum_seconds(
+        _sign_matrix_landscape, make_dense, reps=reps
+    )
+    spectrum_speedup = sign_matrix_s / recurrence_s
+    spectrum_error = float(np.max(np.abs(recurrence - reference)))
+
     rows = [
         {
             "workload": "50x50 p=1 landscape scan",
@@ -153,6 +203,13 @@ def test_eval_engine_speedup(benchmark):
             "speedup": sweep_speedup,
             "max_abs_error": sweep_ev_error,
         },
+        {
+            "workload": f"2^{dense.num_qubits} spectrum construction",
+            "scalar_ms": sign_matrix_s * 1000.0,
+            "vectorized_ms": recurrence_s * 1000.0,
+            "speedup": spectrum_speedup,
+            "max_abs_error": spectrum_error,
+        },
     ]
     # Anchor the pytest-benchmark record to one vectorized sweep.
     benchmark.pedantic(
@@ -161,7 +218,8 @@ def test_eval_engine_speedup(benchmark):
     print()
     print(render_table(rows, title="Vectorized evaluation engine"))
     print(f"landscape speedup: {scan_speedup:.2f}x | sweep speedup: "
-          f"{sweep_speedup:.2f}x")
+          f"{sweep_speedup:.2f}x | spectrum speedup: "
+          f"{spectrum_speedup:.2f}x")
     emit_bench_json(
         "eval_engine",
         {
@@ -180,12 +238,21 @@ def test_eval_engine_speedup(benchmark):
                 "speedup": sweep_speedup,
                 "max_abs_ev_error": sweep_ev_error,
             },
+            "spectrum": {
+                "num_qubits": dense.num_qubits,
+                "num_terms": dense.num_terms,
+                "sign_matrix_seconds": sign_matrix_s,
+                "recurrence_seconds": recurrence_s,
+                "speedup": spectrum_speedup,
+                "max_abs_error": spectrum_error,
+            },
         },
     )
 
     # Agreement first: a fast wrong engine gates nothing.
     assert scan_error <= EV_TOLERANCE, scan_error
     assert sweep_ev_error <= EV_TOLERANCE, sweep_ev_error
+    assert spectrum_error <= EV_TOLERANCE, spectrum_error
     assert _sweep_signature(vec_result) == _sweep_signature(scalar_result)
     assert vec_result.num_circuits_executed == 16
     # The acceptance bars.

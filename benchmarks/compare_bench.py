@@ -88,11 +88,23 @@ def _is_ratio_field(field: str) -> bool:
 def find_regressions(
     baseline_dir: str, current_dir: str, fail_threshold: float
 ) -> list[str]:
-    """Ratio fields that dropped by more than ``fail_threshold`` relative."""
+    """Ratio fields that dropped by more than ``fail_threshold`` relative.
+
+    A bench present on only one side can't be gated — a brand-new bench
+    has no baseline, a retired one no current run — so it is skipped with
+    an explicit warning rather than silently ignored (a missing current
+    record would otherwise make a broken bench look green).
+    """
     baseline = load_records(baseline_dir)
     current = load_records(current_dir)
     regressions = []
-    for bench in sorted(set(baseline) & set(current)):
+    for bench in sorted(set(baseline) | set(current)):
+        if bench not in baseline:
+            print(f"  ! [{bench}] no baseline record - not gated")
+            continue
+        if bench not in current:
+            print(f"  ! [{bench}] no current record - not gated")
+            continue
         for row in compare(baseline[bench], current[bench]):
             change = row.get("relative_change")
             if change is None or not _is_ratio_field(row["field"]):

@@ -27,6 +27,7 @@ from repro.backend.base import (
     execute_jobs_serially,
     inject_warm_start,
     train_job,
+    shared_optimums,
     trained_params,
 )
 from repro.backend.batched import BatchedStatevectorBackend
@@ -108,5 +109,6 @@ __all__ = [
     "resolve_backend",
     "set_default_backend",
     "train_job",
+    "shared_optimums",
     "trained_params",
 ]

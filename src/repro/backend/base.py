@@ -15,10 +15,10 @@ that is what makes ``SerialBackend`` and ``ProcessPoolBackend`` produce
 bit-identical results from the same solver seed.
 
 Dependency contract: a job whose ``spec.warm_start_from`` (optimizer
-seeding) or ``spec.params_from`` (dedup adoption) names a sibling must be
-trained *after* that sibling, with the sibling's trained ``(gammas,
-betas)`` injected beforehand (see :func:`dependency_levels` and
-:func:`inject_warm_start`). Injection is a pure function of the source
+seeding), ``spec.params_from`` (dedup adoption), or ``spec.proxy_from``
+(proxy-optimum adoption) names a sibling must be trained *after* that
+sibling, with the sibling's shared optimums injected beforehand (see
+:func:`dependency_levels` and :func:`inject_warm_start`). Injection is a pure function of the source
 job's result, so the level schedule keeps backends deterministic and
 order-independent within each level.
 """
@@ -82,6 +82,18 @@ class JobSpec:
             inject its parameters as ``params`` — the duplicate skips
             optimization but still samples on its own seed stream. A
             missing source degrades to fresh training.
+        proxy: This job's :class:`~repro.reduction.ProxySpec`, selecting
+            the proxy-landscape training path (train on the sparsified
+            canonical-frame proxy, transfer, refine short). ``None`` runs
+            the direct path.
+        proxy_from: job_id of the sibling that trains the *identical*
+            proxy (same canonical identity, same warm source) — this job
+            adopts that sibling's proxy optimum instead of re-deriving it,
+            then runs its own full-instance refinement. Backends execute
+            the source first and inject its ``proxy_params`` into this
+            job's ``proxy``; a missing source degrades to training the
+            proxy locally (bit-identical outcome — proxy training is
+            deterministic — just slower).
     """
 
     job_id: str
@@ -95,11 +107,17 @@ class JobSpec:
     initial_params: "tuple[tuple[float, ...], tuple[float, ...]] | None" = None
     warm_start_from: "str | None" = None
     params_from: "str | None" = None
+    proxy: "object | None" = None
+    proxy_from: "str | None" = None
 
     @property
     def depends_on(self) -> "str | None":
         """The sibling (if any) whose result this job needs before training."""
-        return self.params_from if self.params_from is not None else self.warm_start_from
+        if self.params_from is not None:
+            return self.params_from
+        if self.proxy_from is not None:
+            return self.proxy_from
+        return self.warm_start_from
 
 
 @dataclass
@@ -138,6 +156,7 @@ def train_job(spec: JobSpec) -> TrainedInstance:
         context=context,
         params=spec.params,
         initial_params=spec.initial_params,
+        proxy=spec.proxy,
     )
 
 
@@ -193,10 +212,21 @@ def dependency_levels(jobs: Sequence[JobSpec]) -> list[list[int]]:
     return levels
 
 
-def trained_params(result: JobResult) -> tuple[tuple[float, ...], tuple[float, ...]]:
-    """The ``(gammas, betas)`` a finished job settled on."""
-    opt = result.run.optimization
-    return (opt.gammas, opt.betas)
+def shared_optimums(optimization) -> tuple:
+    """The injectable outcomes of one training: ``(full, proxy)``.
+
+    ``full`` is the ``(gammas, betas)`` the job settled on — what
+    ``params_from`` adoption and ``warm_start_from`` seeding consume.
+    ``proxy`` is the proxy-trained optimum (``None`` off the proxy path) —
+    what ``proxy_from`` adoption consumes. One entry shape serves all
+    three dependency kinds, so ``params_by_id`` stays a single dict.
+    """
+    return ((optimization.gammas, optimization.betas), optimization.proxy_params)
+
+
+def trained_params(result: JobResult) -> tuple:
+    """A finished job's injectable optimums (see :func:`shared_optimums`)."""
+    return shared_optimums(result.run.optimization)
 
 
 def execute_jobs_serially(jobs: Sequence[JobSpec]) -> list[JobResult]:
@@ -227,31 +257,44 @@ def execute_jobs_serially(jobs: Sequence[JobSpec]) -> list[JobResult]:
 
 def inject_warm_start(
     spec: JobSpec,
-    params_by_id: "dict[str, tuple[tuple[float, ...], tuple[float, ...]]]",
+    params_by_id: "dict[str, tuple]",
 ) -> JobSpec:
     """Resolve a dependent job's source parameters into the spec.
 
-    ``params_from`` adopts the source's trained optimum outright (the
-    structural-dedup path: the duplicate skips optimization);
-    ``warm_start_from`` seeds the optimizer via ``initial_params``. Jobs
-    that already carry pre-trained ``params`` or an explicit
-    ``initial_params`` are returned unchanged, as are jobs whose source is
-    missing from ``params_by_id`` (they simply train fresh — a degraded
-    but correct outcome).
+    ``params_by_id`` maps finished job_ids to :func:`shared_optimums`
+    entries. ``params_from`` adopts the source's full-instance optimum
+    outright (the structural-dedup path: the duplicate skips
+    optimization); ``proxy_from`` adopts the source's *proxy* optimum
+    (this job skips the proxy stage but still refines on its own full
+    instance); ``warm_start_from`` seeds the optimizer via
+    ``initial_params``. Jobs that already carry pre-trained ``params`` or
+    an explicit ``initial_params`` are returned unchanged, as are jobs
+    whose source is missing from ``params_by_id`` (they simply train
+    fresh — a degraded but correct outcome).
     """
     if spec.params is not None:
         return spec
     if spec.params_from is not None:
-        params = params_by_id.get(spec.params_from)
-        if params is None:
+        entry = params_by_id.get(spec.params_from)
+        if entry is None:
             return spec
-        return replace(spec, params=params)
+        return replace(spec, params=entry[0])
+    if spec.proxy_from is not None:
+        entry = params_by_id.get(spec.proxy_from)
+        if (
+            entry is None
+            or entry[1] is None
+            or spec.proxy is None
+            or spec.proxy.params is not None
+        ):
+            return spec
+        return replace(spec, proxy=replace(spec.proxy, params=entry[1]))
     if spec.warm_start_from is None or spec.initial_params is not None:
         return spec
-    params = params_by_id.get(spec.warm_start_from)
-    if params is None:
+    entry = params_by_id.get(spec.warm_start_from)
+    if entry is None:
         return spec
-    return replace(spec, initial_params=params)
+    return replace(spec, initial_params=entry[0])
 
 
 class ExecutionBackend(ABC):

@@ -39,6 +39,7 @@ from repro.backend.base import (
     dependency_levels,
     finish_qaoa_instance,
     inject_warm_start,
+    shared_optimums,
     train_job,
 )
 from repro.cache.memo import cached_anneal_many
@@ -88,9 +89,8 @@ class BatchedStatevectorBackend(ExecutionBackend):
                 )
                 trained[index] = instance
                 elapsed[index] = time.perf_counter() - t0
-                params_by_id[jobs[index].job_id] = (
-                    instance.optimization.gammas,
-                    instance.optimization.betas,
+                params_by_id[jobs[index].job_id] = shared_optimums(
+                    instance.optimization
                 )
 
         # Group the jobs that need a simulation and run one stacked pass

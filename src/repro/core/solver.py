@@ -132,6 +132,24 @@ class SolverConfig:
             pinned, training always uses Nelder-Mead. The two refiners
             settle on (equally valid) last-float-different optima, so
             flipping this flag changes trained parameters.
+        proxy_training: Train each sub-problem on a Red-QAOA-style
+            sparsified *proxy* instance (MST-guarded edge sampling +
+            low-impact node contraction, see :mod:`repro.reduction`) and
+            transfer the trained parameters to the full instance for a
+            short refinement — the full-instance optimizer budget
+            collapses from ``maxiter`` to ``proxy_refine_maxiter``.
+            Default ``False``: the proxy path changes trained parameters
+            (a different, equally valid optimum), so today's behaviour is
+            pinned bit-identically behind the flag. Proxy trainings are
+            canonical-frame and cached/deduplicated across equivalent
+            siblings, sweeps, and mirror pairs.
+        proxy_ratio: Fraction of edges and nodes the sparsifier keeps, in
+            (0, 1] (MST-connectivity always guarded). Smaller = cheaper
+            proxy, coarser landscape. The 0.7 default keeps the
+            transferred optimum close enough that the short refinement
+            matches full training on the benchmark sweeps.
+        proxy_refine_maxiter: Optimizer budget of the full-instance
+            refinement stage that follows a parameter transfer.
     """
 
     num_layers: int = 1
@@ -144,6 +162,9 @@ class SolverConfig:
     vectorized_evaluation: bool = True
     vectorized_annealer: bool = True
     analytic_gradients: bool = True
+    proxy_training: bool = False
+    proxy_ratio: float = 0.7
+    proxy_refine_maxiter: int = 30
 
     @property
     def gradient_training(self) -> bool:
@@ -214,6 +235,136 @@ class TrainedInstance:
     needs_sampling: bool = False
 
 
+def _scalar_objective(
+    context: EvaluationContext, cfg: SolverConfig, noisy: bool
+):
+    """The per-point objective of one training run (engine-selected)."""
+    objective = evaluate_noisy if noisy else evaluate_ideal
+    if context.vectorized and cfg.num_layers == 1:
+        # Nelder-Mead's sequential proposals are the one stage a batch
+        # kernel cannot absorb; bind the precomputed term structure
+        # and combination weights directly so each proposal costs a
+        # handful of ufunc calls.
+        structure = context.analytic_structure()
+        weights = context.analytic_weights(noisy)
+        return lambda gammas, betas: (
+            structure.expectation_point(
+                float(gammas[0]), float(betas[0]), weights
+            )
+        )
+    return lambda gammas, betas: objective(context, gammas, betas)
+
+
+def _optimize_on(
+    context: EvaluationContext,
+    cfg: SolverConfig,
+    seed,
+    initial_params,
+    maxiter: int,
+    noisy: bool,
+    hybrid_seeding: bool = False,
+) -> OptimizationResult:
+    """One :func:`optimize_qaoa` call wired to a context's engine stack."""
+    return optimize_qaoa(
+        _scalar_objective(context, cfg, noisy),
+        num_layers=cfg.num_layers,
+        grid_resolution=cfg.grid_resolution,
+        maxiter=maxiter,
+        seed=seed,
+        initial_point=initial_params,
+        hybrid_seeding=hybrid_seeding,
+        # Grid seeds and warm-start acceptance tests evaluate whole
+        # point batches in one kernel call (None = scalar context).
+        evaluate_batch=batch_objective(context, noisy=noisy),
+        # With analytic gradients on (and the vectorized engine
+        # active), refinement runs L-BFGS-B on exact derivatives —
+        # closed form at p=1, adjoint backprop at p>=2 (None = the
+        # pinned legacy Nelder-Mead refiner).
+        value_and_grad=(
+            value_and_grad_objective(context, noisy=noisy)
+            if cfg.analytic_gradients
+            else None
+        ),
+    )
+
+
+def _train_with_proxy(
+    context: EvaluationContext,
+    cfg: SolverConfig,
+    rng: np.random.Generator,
+    proxy,
+    initial_params,
+) -> OptimizationResult:
+    """Proxy-landscape training: train small, transfer, refine short.
+
+    Stage 1 trains on the canonical-frame proxy instance (skipped when the
+    proxy optimum arrived pre-trained from cache or a sibling) — seeded by
+    the spec's own digest-derived seed, so the job's ``rng`` stream is
+    untouched regardless of whether stage 1 runs. A sibling warm start
+    (``initial_params``) seeds the *proxy* optimizer. Stage 2 transfers
+    the proxy optimum to the full instance as the refinement's initial
+    point under *hybrid seeding*: the transfer competes against the
+    fresh-start candidates in one batched evaluation and refinement
+    descends from the winner — so even a poor-basin transfer never
+    displaces a better cold start.
+
+    Accounting: full-instance evaluations stay in ``num_evaluations``;
+    proxy evaluations are counted separately (the bench gate measures the
+    former).
+    """
+    transfer = proxy.params
+    proxy_evals = 0
+    proxy_grad_evals = 0
+    warm_started = False
+    warm_start_rejected = False
+    if transfer is None:
+        proxy_context = make_context(
+            proxy.hamiltonian,
+            num_layers=cfg.num_layers,
+            vectorized=cfg.vectorized_evaluation,
+        )
+        proxy_opt = _optimize_on(
+            proxy_context,
+            cfg,
+            proxy.seed,
+            initial_params,
+            cfg.maxiter,
+            noisy=False,
+        )
+        transfer = (proxy_opt.gammas, proxy_opt.betas)
+        proxy_evals = proxy_opt.num_evaluations
+        proxy_grad_evals = proxy_opt.num_gradient_evaluations
+        warm_started = proxy_opt.warm_started
+        warm_start_rejected = proxy_opt.warm_start_rejected
+    refined = _optimize_on(
+        context,
+        cfg,
+        rng,
+        transfer,
+        cfg.proxy_refine_maxiter,
+        noisy=cfg.train_noisy,
+        hybrid_seeding=True,
+    )
+    return OptimizationResult(
+        gammas=refined.gammas,
+        betas=refined.betas,
+        value=refined.value,
+        num_evaluations=refined.num_evaluations,
+        num_gradient_evaluations=refined.num_gradient_evaluations,
+        history=refined.history,
+        warm_started=warm_started,
+        warm_start_rejected=warm_start_rejected,
+        num_proxy_evaluations=proxy_evals,
+        num_proxy_gradient_evaluations=proxy_grad_evals,
+        proxy_params=(
+            tuple(float(g) for g in transfer[0]),
+            tuple(float(b) for b in transfer[1]),
+        ),
+        proxy_transferred=refined.warm_started,
+        proxy_num_qubits=proxy.hamiltonian.num_qubits,
+    )
+
+
 def train_qaoa_instance(
     hamiltonian: IsingHamiltonian,
     device: "Device | None" = None,
@@ -222,6 +373,7 @@ def train_qaoa_instance(
     context: "EvaluationContext | None" = None,
     params: "tuple[tuple[float, ...], tuple[float, ...]] | None" = None,
     initial_params: "tuple[tuple[float, ...], tuple[float, ...]] | None" = None,
+    proxy=None,
 ) -> TrainedInstance:
     """Stage 1 of a QAOA run: build the context and train the parameters.
 
@@ -238,7 +390,12 @@ def train_qaoa_instance(
         initial_params: Transferred ``(gammas, betas)`` to seed the
             optimizer (the cross-sibling warm-start path); training still
             runs, but from this point instead of the seeding scan, with a
-            fresh-start fallback when the transfer evaluates poorly.
+            fresh-start fallback when the transfer evaluates poorly. On
+            the proxy path this seeds the *proxy* optimizer.
+        proxy: A :class:`~repro.reduction.ProxySpec` selecting the
+            proxy-landscape path: train on the sparsified proxy (or adopt
+            its pre-trained ``params``), then refine the transfer on the
+            full instance under ``config.proxy_refine_maxiter``.
     """
     cfg = config or SolverConfig()
     rng = ensure_rng(seed)
@@ -261,42 +418,13 @@ def train_qaoa_instance(
             num_evaluations=1,
             history=[value],
         )
+    elif proxy is not None:
+        optimization = _train_with_proxy(
+            context, cfg, rng, proxy, initial_params
+        )
     else:
-        if context.vectorized and cfg.num_layers == 1:
-            # Nelder-Mead's sequential proposals are the one stage a batch
-            # kernel cannot absorb; bind the precomputed term structure
-            # and combination weights directly so each proposal costs a
-            # handful of ufunc calls.
-            structure = context.analytic_structure()
-            weights = context.analytic_weights(cfg.train_noisy)
-            scalar_objective = lambda gammas, betas: (  # noqa: E731
-                structure.expectation_point(
-                    float(gammas[0]), float(betas[0]), weights
-                )
-            )
-        else:
-            scalar_objective = lambda gammas, betas: (  # noqa: E731
-                objective(context, gammas, betas)
-            )
-        optimization = optimize_qaoa(
-            scalar_objective,
-            num_layers=cfg.num_layers,
-            grid_resolution=cfg.grid_resolution,
-            maxiter=cfg.maxiter,
-            seed=rng,
-            initial_point=initial_params,
-            # Grid seeds and warm-start acceptance tests evaluate whole
-            # point batches in one kernel call (None = scalar context).
-            evaluate_batch=batch_objective(context, noisy=cfg.train_noisy),
-            # With analytic gradients on (and the vectorized engine
-            # active), refinement runs L-BFGS-B on exact derivatives —
-            # closed form at p=1, adjoint backprop at p>=2 (None = the
-            # pinned legacy Nelder-Mead refiner).
-            value_and_grad=(
-                value_and_grad_objective(context, noisy=cfg.train_noisy)
-                if cfg.analytic_gradients
-                else None
-            ),
+        optimization = _optimize_on(
+            context, cfg, rng, initial_params, cfg.maxiter, cfg.train_noisy
         )
     gammas, betas = optimization.gammas, optimization.betas
     ev_ideal = float(evaluate_ideal(context, gammas, betas))
@@ -550,6 +678,17 @@ class FrozenQubitsResult:
         num_deduplicated: Executed cells that adopted a structurally-
             identical sibling's trained parameters outright (the cache
             dedup path) instead of training.
+        num_proxy_evaluations: Total objective evaluations spent on
+            *proxy* instances (the Red-QAOA path) — separate from
+            ``num_optimizer_evaluations``, which stays full-instance-only
+            so the two are comparable across the direct and proxy paths.
+        num_proxy_gradient_evaluations: Gradient passes on proxy
+            instances, same convention.
+        num_proxy_trained: Executed cells that actually ran a proxy
+            optimization (cells that adopted a cached or sibling proxy
+            optimum don't count — they paid no proxy evaluations).
+        num_proxy_transferred: Executed cells whose full-instance
+            refinement accepted the transferred proxy optimum.
         cache_stats: Per-kind hit/miss/store counters this solve moved on
             its :class:`~repro.cache.SolveCache` (``None`` when caching
             was off; batch APIs attach the whole batch's delta).
@@ -572,6 +711,10 @@ class FrozenQubitsResult:
     num_warm_started: int = 0
     num_warm_start_rejected: int = 0
     num_deduplicated: int = 0
+    num_proxy_evaluations: int = 0
+    num_proxy_gradient_evaluations: int = 0
+    num_proxy_trained: int = 0
+    num_proxy_transferred: int = 0
     cache_stats: "dict[str, dict[str, int]] | None" = None
 
     @property
@@ -659,6 +802,10 @@ class PreparedSolve:
         params_keys: job_id -> trained-parameter cache key, for the jobs
             whose training outcome is cacheable (p = 1); finalize stores
             each freshly-trained result under its key.
+        proxy_keys: job_id -> proxy-training cache key, for the jobs whose
+            proxy optimum is cacheable (fresh-mode trainings: no warm
+            start, no sibling adoption); finalize stores each one so later
+            equivalent sub-problems — in any solve — skip the proxy stage.
     """
 
     hamiltonian: IsingHamiltonian
@@ -673,6 +820,7 @@ class PreparedSolve:
     plan: "FreezePlan | None" = None
     warm_start: bool = False
     params_keys: dict = field(default_factory=dict)
+    proxy_keys: dict = field(default_factory=dict)
 
 
 def _assert_own_coefficients(
@@ -928,9 +1076,37 @@ class FrozenQubitsSolver:
                 executed[0].hamiltonian, noise_signature, mode="fresh"
             )
 
+        # Proxy-landscape planning (the Red-QAOA path): build each executed
+        # cell's canonical-frame proxy up front and answer what can be
+        # answered from cache. The proxy optimizer's seed is derived from
+        # the canonical digest — never drawn from the solve stream — so
+        # planning here consumes no randomness and cache hits change no
+        # downstream bit.
+        proxy_plans: dict[int, object] = {}
+        if cfg.proxy_training:
+            from dataclasses import replace as dc_replace
+
+            from repro.reduction import plan_proxy
+
+            for sp in executed:
+                proxy_spec = plan_proxy(sp.hamiltonian, cfg)
+                if proxy_spec is None:
+                    continue
+                if self._cache is not None and proxy_spec.cache_key is not None:
+                    hit = self._cache.get(
+                        "proxy_params",
+                        proxy_spec.cache_key,
+                        rebuild=params_rebuild,
+                    )
+                    if hit is not None:
+                        proxy_spec = dc_replace(proxy_spec, params=hit)
+                proxy_plans[sp.index] = proxy_spec
+
         jobs: list[JobSpec] = []
         edited = 0
         trainer_by_key: dict[str, str] = {}
+        proxy_keys: dict[str, str] = {}
+        proxy_trainer_by_key: dict[tuple, str] = {}
         for sp in executed:
             job_template: "TranspiledCircuit | None" = None
             if template_compiled is not None:
@@ -986,6 +1162,35 @@ class FrozenQubitsSolver:
                         params_from = trainer
             if cached_params is not None or params_from is not None:
                 warm_source = None
+            proxy_spec = None
+            proxy_from = None
+            if cached_params is None and params_from is None:
+                proxy_spec = proxy_plans.get(sp.index)
+            if proxy_spec is not None:
+                if proxy_spec.params is not None:
+                    # The proxy optimum is already known (cache hit): the
+                    # transfer replaces the sibling warm start outright.
+                    warm_source = None
+                else:
+                    # Within-solve dedup: siblings whose proxy *and* warm
+                    # source coincide would train the identical proxy —
+                    # the first one trains, the rest adopt its optimum
+                    # (injected at the backend's dependency levels).
+                    adopt_key = (proxy_spec.cache_key, warm_source)
+                    trainer = proxy_trainer_by_key.get(adopt_key)
+                    if trainer is None:
+                        proxy_trainer_by_key[adopt_key] = job_id
+                        # Only fresh-mode (un-warm-started) trainings are
+                        # cacheable under the canonical key.
+                        if (
+                            warm_source is None
+                            and self._cache is not None
+                            and proxy_spec.cache_key is not None
+                        ):
+                            proxy_keys[job_id] = proxy_spec.cache_key
+                    else:
+                        proxy_from = trainer
+                        warm_source = None
             jobs.append(
                 JobSpec(
                     job_id=job_id,
@@ -998,6 +1203,8 @@ class FrozenQubitsSolver:
                     params=cached_params,
                     warm_start_from=warm_source,
                     params_from=params_from,
+                    proxy=proxy_spec,
+                    proxy_from=proxy_from,
                 )
             )
         return PreparedSolve(
@@ -1013,6 +1220,7 @@ class FrozenQubitsSolver:
             plan=plan,
             warm_start=warm,
             params_keys=params_keys,
+            proxy_keys=proxy_keys,
         )
 
     def _params_key(
@@ -1023,6 +1231,15 @@ class FrozenQubitsSolver:
     ) -> str:
         """Trained-parameter cache key of one sub-problem under this config."""
         cfg = self._config
+        if cfg.proxy_training:
+            # The proxy path settles on different (equally valid) floats;
+            # its p=1 outcomes must never answer a direct-path lookup (or
+            # vice versa), and they additionally depend on the reduction
+            # knobs. Flag-off keys keep the historical format.
+            mode = (
+                f"proxy[r={float(cfg.proxy_ratio).hex()},"
+                f"refine={cfg.proxy_refine_maxiter}]:{mode}"
+            )
         return params_key(
             ising_fingerprint(hamiltonian),
             num_layers=cfg.num_layers,
@@ -1122,6 +1339,25 @@ class FrozenQubitsSolver:
                 self._cache.put(
                     "params", key, trained, payload=params_payload(trained)
                 )
+        # Same for fresh proxy trainings: store each canonical-frame proxy
+        # optimum under its canonical-identity key so every equivalent
+        # sub-problem — in this sweep or any later one — skips the proxy
+        # stage entirely. Warm-started or adopted proxies store nothing
+        # (their keys were never recorded; see prepare_jobs).
+        if self._cache is not None and prepared.proxy_keys:
+            for job, job_result in zip(prepared.jobs, job_results):
+                key = prepared.proxy_keys.get(job.job_id)
+                if key is None:
+                    continue
+                proxy_trained = job_result.run.optimization.proxy_params
+                if proxy_trained is None:
+                    continue
+                self._cache.put(
+                    "proxy_params",
+                    key,
+                    proxy_trained,
+                    payload=params_payload(proxy_trained),
+                )
         # Budget-pruned cells: one batched fallback pass covers all of
         # them (siblings share a coupling graph, so the engine sweeps the
         # whole set as a single cells x replicas array program); the
@@ -1214,6 +1450,18 @@ class FrozenQubitsSolver:
             ),
             num_deduplicated=sum(
                 1 for job in prepared.jobs if job.params_from is not None
+            ),
+            num_proxy_evaluations=sum(
+                opt.num_proxy_evaluations for opt in optimizations
+            ),
+            num_proxy_gradient_evaluations=sum(
+                opt.num_proxy_gradient_evaluations for opt in optimizations
+            ),
+            num_proxy_trained=sum(
+                1 for opt in optimizations if opt.num_proxy_evaluations > 0
+            ),
+            num_proxy_transferred=sum(
+                1 for opt in optimizations if opt.proxy_transferred
             ),
         )
 

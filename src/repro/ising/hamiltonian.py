@@ -239,6 +239,12 @@ class IsingHamiltonian:
         cost-layer diagonal and the brute-force energy table, both of which
         hit it repeatedly in the training hot loop. The returned array is
         the shared read-only memo, not a copy.
+
+        Built by the bit-doubling recurrence rather than a ``|terms| x 2**n``
+        sign-matrix pass: adding qubit ``k`` doubles the table as
+        ``E = concat(E_half + c_k, E_half - c_k)`` where
+        ``c_k[b] = h_k + sum_{j<k} J_jk z_j(b)`` is itself built by the same
+        doubling — O(2**n) work and memory total, touching each energy once.
         """
         if self._landscape is not None:
             return self._landscape
@@ -247,12 +253,28 @@ class IsingHamiltonian:
                 f"energy_landscape is limited to 26 qubits, got {self._num_qubits}"
             )
         n = self._num_qubits
-        size = 1 << n
-        indices = np.arange(size, dtype=np.uint32)
-        # spins[b, i] = +1 if bit i of b is 0 else -1
-        bits = (indices[:, None] >> np.arange(n, dtype=np.uint32)[None, :]) & 1
-        spins = 1.0 - 2.0 * bits.astype(float)
-        landscape = self.evaluate_many(spins)
+        # Couplings grouped by their higher-indexed endpoint: qubit k's
+        # contribution depends only on the spins of qubits j < k.
+        lower: list[list[tuple[int, float]]] = [[] for _ in range(n)]
+        for (i, j), coupling in self._J.items():
+            lower[j].append((i, coupling))
+        landscape = np.full(1, self._offset)
+        for k in range(n):
+            # c[b] = h_k + sum_{j<k} J_jk z_j(b) over the 2**k settled bits,
+            # doubled bit-by-bit (bit j = 0 means z_j = +1).
+            contrib = np.full(1, self._h[k])
+            by_qubit = dict(lower[k])
+            for j in range(k):
+                coupling = by_qubit.get(j)
+                if coupling is None:
+                    contrib = np.concatenate([contrib, contrib])
+                else:
+                    contrib = np.concatenate(
+                        [contrib + coupling, contrib - coupling]
+                    )
+            landscape = np.concatenate(
+                [landscape + contrib, landscape - contrib]
+            )
         landscape.setflags(write=False)
         self._landscape = landscape
         return landscape

@@ -72,6 +72,27 @@ class OptimizationResult:
         warm_start_rejected: True when a transferred point was offered but
             evaluated no better than the untrained baseline, so the run
             fell back to fresh seeding.
+
+    Proxy-training bookkeeping (the Red-QAOA path — see
+    :mod:`repro.reduction`; all-default when proxy training is off, so
+    existing results are untouched):
+
+        num_proxy_evaluations: Objective calls spent on the *proxy*
+            instance, counted separately from ``num_evaluations`` (which
+            stays full-instance-only) so evaluation budgets compare
+            honestly across the direct and proxy paths. 0 when the proxy
+            optimum was adopted from cache or a sibling.
+        num_proxy_gradient_evaluations: Gradient passes on the proxy,
+            same convention.
+        proxy_params: The proxy-trained ``(gammas, betas)`` that seeded
+            the full-instance refinement (``None`` off the proxy path) —
+            canonical-frame trained, so siblings can adopt it directly.
+        proxy_transferred: True when the full-instance refinement
+            *accepted* the transferred proxy optimum (it beat the
+            untrained baseline); False when it was rejected and the
+            refinement fell back to fresh seeding.
+        proxy_num_qubits: Size of the proxy instance trained on (0 off
+            the proxy path).
     """
 
     gammas: tuple[float, ...]
@@ -82,6 +103,11 @@ class OptimizationResult:
     history: list[float] = field(default_factory=list)
     warm_started: bool = False
     warm_start_rejected: bool = False
+    num_proxy_evaluations: int = 0
+    num_proxy_gradient_evaluations: int = 0
+    proxy_params: "tuple[tuple[float, ...], tuple[float, ...]] | None" = None
+    proxy_transferred: bool = False
+    proxy_num_qubits: int = 0
 
 
 def optimize_qaoa(
@@ -96,6 +122,7 @@ def optimize_qaoa(
     initial_point: "tuple[Sequence[float], Sequence[float]] | None" = None,
     evaluate_batch: "BatchEvaluateFn | None" = None,
     value_and_grad: "ValueAndGradFn | None" = None,
+    hybrid_seeding: bool = False,
 ) -> OptimizationResult:
     """Minimise a QAOA expectation over its 2p parameters.
 
@@ -120,6 +147,15 @@ def optimize_qaoa(
             and the warm-start acceptance test run as single kernel calls
             over whole point batches; ``num_evaluations`` still counts
             every point.
+        hybrid_seeding: Only meaningful with ``initial_point``. ``False``
+            (the historical behaviour) accepts the transfer against the
+            untrained all-zeros baseline and, when accepted, skips the
+            seeding scan entirely. ``True`` keeps the seeding candidates
+            in play: the transfer joins the p=1 grid / p>1 multistart
+            batch (one batched kernel call) and refinement descends from
+            the overall best candidate — so a transfer that lands in a
+            poor basin can never displace a better fresh start (the
+            proxy-training refinement stage relies on this).
         value_and_grad: Optional gradient twin of ``evaluate``: one pass
             returning ``(value, grad)`` with ``grad`` the exact derivative
             w.r.t. the concatenated ``[gammas, betas]`` point (shape
@@ -181,6 +217,29 @@ def optimize_qaoa(
             record(point, float(value))
         return values
 
+    def seed_candidates() -> np.ndarray:
+        """The fresh-start candidate stack: p=1 grid, p>1 multistarts."""
+        if num_layers == 1:
+            gamma_axis = np.linspace(*gamma_range, grid_resolution)
+            beta_axis = np.linspace(*beta_range, grid_resolution)
+            return np.column_stack(
+                [
+                    np.repeat(gamma_axis, grid_resolution),
+                    np.tile(beta_axis, grid_resolution),
+                ]
+            )
+        return np.stack(
+            [
+                np.concatenate(
+                    [
+                        rng.uniform(*gamma_range, size=num_layers),
+                        rng.uniform(*beta_range, size=num_layers),
+                    ]
+                )
+                for __ in range(num_starts)
+            ]
+        )
+
     warm_started = False
     warm_start_rejected = False
     starts: list[np.ndarray] = []
@@ -192,35 +251,38 @@ def optimize_qaoa(
                 f"expected {num_layers} of each"
             )
         transferred = np.asarray([*gammas, *betas], dtype=float)
-        # Acceptance test: the transfer must beat the untrained baseline
-        # (all angles zero — the uniform superposition, whose expectation
-        # any useful training improves on). One batch of two points.
-        values = evaluate_points(
-            np.stack([np.zeros(2 * num_layers), transferred])
-        )
-        if values[1] < values[0]:
-            warm_started = True
-            starts.append(transferred)
+        if hybrid_seeding:
+            # The transfer competes against the full fresh-start
+            # candidate set in one batched evaluation; refinement
+            # descends from the overall winner, so a poor-basin transfer
+            # can never displace a better cold start.
+            batch = np.vstack([seed_candidates(), transferred[np.newaxis]])
+            values = evaluate_points(batch)
+            best = int(np.argmin(values))
+            warm_started = best == len(batch) - 1
+            warm_start_rejected = not warm_started
+            starts.append(batch[best].copy())
         else:
-            warm_start_rejected = True
+            # Acceptance test: the transfer must beat the untrained
+            # baseline (all angles zero — the uniform superposition,
+            # whose expectation any useful training improves on). One
+            # batch of two points.
+            values = evaluate_points(
+                np.stack([np.zeros(2 * num_layers), transferred])
+            )
+            if values[1] < values[0]:
+                warm_started = True
+                starts.append(transferred)
+            else:
+                warm_start_rejected = True
 
     if not starts:
+        candidates = seed_candidates()
         if num_layers == 1:
-            gamma_axis = np.linspace(*gamma_range, grid_resolution)
-            beta_axis = np.linspace(*beta_range, grid_resolution)
-            points = np.column_stack(
-                [
-                    np.repeat(gamma_axis, grid_resolution),
-                    np.tile(beta_axis, grid_resolution),
-                ]
-            )
-            values = evaluate_points(points)
-            starts.append(points[int(np.argmin(values))].copy())
+            values = evaluate_points(candidates)
+            starts.append(candidates[int(np.argmin(values))].copy())
         else:
-            for __ in range(num_starts):
-                gammas = rng.uniform(*gamma_range, size=num_layers)
-                betas = rng.uniform(*beta_range, size=num_layers)
-                starts.append(np.concatenate([gammas, betas]))
+            starts.extend(candidates)
 
     if value_and_grad is not None:
 

@@ -1,0 +1,38 @@
+"""Graph-sparsification proxy training (Red-QAOA-style circuit reduction).
+
+Train QAOA parameters on a reduced-node/reduced-edge proxy of each
+sub-problem, then transfer them to the full instance for a short
+refinement — the landscape is preserved well enough that the expensive
+full-instance optimizer collapses to a handful of refinement steps. See
+:mod:`repro.reduction.sparsify` for the reduction itself and
+:mod:`repro.reduction.proxy` for the canonical-frame transfer plans the
+solve path consumes.
+"""
+
+from repro.reduction.proxy import (
+    PROXY_MIN_QUBITS,
+    PROXY_MIN_TERMS,
+    ProxySpec,
+    canonical_instance,
+    plan_proxy,
+    proxy_seed,
+)
+from repro.reduction.sparsify import (
+    MIN_PROXY_NODES,
+    ReducedIsing,
+    ReductionReport,
+    reduce_ising,
+)
+
+__all__ = [
+    "MIN_PROXY_NODES",
+    "PROXY_MIN_QUBITS",
+    "PROXY_MIN_TERMS",
+    "ProxySpec",
+    "ReducedIsing",
+    "ReductionReport",
+    "canonical_instance",
+    "plan_proxy",
+    "proxy_seed",
+    "reduce_ising",
+]

@@ -1,0 +1,298 @@
+"""Red-QAOA-style graph sparsification of Ising instances.
+
+QAOA energy landscapes are largely shaped by a graph's coarse structure —
+its connectivity backbone and degree profile — not by every individual
+edge (Red-QAOA, PAPERS.md). :func:`reduce_ising` exploits that: it builds
+a smaller *proxy* instance whose landscape approximates the original's
+well enough to train ``(gammas, betas)`` on, in two seeded, deterministic
+stages:
+
+1. **MST-guarded edge sampling.** A maximum-``|J|`` spanning forest is
+   always kept (the guard: sparsification never disconnects a connected
+   component, and the strongest couplings — the landscape's dominant
+   terms — survive). The remaining edges are sampled without replacement
+   with probability proportional to ``|J|`` until ``ceil(ratio * |J|)``
+   edges remain.
+2. **Low-impact node contraction.** Nodes of degree <= 1 in the kept
+   graph are contracted in increasing order of impact
+   (``|h_u| + sum |J_uv|``) until ``ceil(ratio * n)`` nodes remain: a
+   leaf ``u`` is folded into its neighbor ``v`` with the locally-optimal
+   alignment ``z_u = -sign(J_uv) * z_v`` (its ``h`` folds into ``h_v``,
+   the coupling into the offset); an isolated node contributes its
+   independent optimum ``-|h_u|`` to the offset. Contracting only leaves
+   keeps the MST guard intact — connectivity of the remaining nodes is
+   untouched.
+
+Both stages consume randomness exclusively from ``numpy``'s
+``default_rng(seed)`` with sorted, index-tie-broken orderings, so the
+proxy is a pure function of ``(instance, ratio, seed)`` — which is what
+makes proxy trainings cacheable and bit-identical across backends.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.ising.hamiltonian import IsingHamiltonian
+
+#: Never contract below this many nodes — a 1-spin proxy has no couplings
+#: left to shape a landscape with.
+MIN_PROXY_NODES = 2
+
+#: Spectral-similarity score guard: eigendecomposition is O(n^3).
+MAX_SPECTRAL_NODES = 128
+
+
+@dataclass(frozen=True)
+class ReductionReport:
+    """How a proxy relates to its original instance.
+
+    Attributes:
+        num_qubits: Original node count.
+        num_proxy_qubits: Proxy node count after contraction.
+        num_terms: Original coupling count.
+        num_proxy_terms: Proxy coupling count.
+        num_edges_dropped: Couplings removed by the sampling stage.
+        num_contracted: Nodes folded away by the contraction stage.
+        degree_similarity: ``1 - TV(degree histogram, proxy degree
+            histogram)`` in [0, 1]; 1.0 means the normalised degree
+            distributions match exactly.
+        spectral_similarity: ``1 - ||spec - spec'|| / ||spec||`` over the
+            (resampled, sorted) eigenvalues of the weighted coupling
+            matrices — the Red-QAOA landscape-preservation proxy. ``NaN``
+            above :data:`MAX_SPECTRAL_NODES` or for edgeless instances.
+    """
+
+    num_qubits: int
+    num_proxy_qubits: int
+    num_terms: int
+    num_proxy_terms: int
+    num_edges_dropped: int
+    num_contracted: int
+    degree_similarity: float
+    spectral_similarity: float
+
+
+@dataclass(frozen=True)
+class ReducedIsing:
+    """A proxy instance plus the report tying it to its original."""
+
+    proxy: IsingHamiltonian
+    report: ReductionReport
+
+
+class _UnionFind:
+    def __init__(self, n: int) -> None:
+        self._parent = list(range(n))
+
+    def find(self, x: int) -> int:
+        root = x
+        while self._parent[root] != root:
+            root = self._parent[root]
+        while self._parent[x] != root:
+            self._parent[x], x = root, self._parent[x]
+        return root
+
+    def union(self, a: int, b: int) -> bool:
+        ra, rb = self.find(a), self.find(b)
+        if ra == rb:
+            return False
+        self._parent[rb] = ra
+        return True
+
+
+def _spanning_forest(
+    num_qubits: int, edges: list[tuple[tuple[int, int], float]]
+) -> set[tuple[int, int]]:
+    """Kruskal maximum-``|J|`` spanning forest (deterministic tie-breaks)."""
+    uf = _UnionFind(num_qubits)
+    forest: set[tuple[int, int]] = set()
+    for (i, j), coupling in sorted(
+        edges, key=lambda item: (-abs(item[1]), item[0])
+    ):
+        if uf.union(i, j):
+            forest.add((i, j))
+    return forest
+
+
+def _sample_extra_edges(
+    extras: list[tuple[tuple[int, int], float]],
+    count: int,
+    rng: np.random.Generator,
+) -> set[tuple[int, int]]:
+    """``count`` non-forest edges, weighted by ``|J|``, without replacement.
+
+    Efraimidis–Spirakis keys (``u**(1/w)``, keep the largest) give an
+    exact weighted sample from one vectorized uniform draw — the draw
+    happens in sorted-edge order, so the choice is seed-deterministic.
+    """
+    if count <= 0 or not extras:
+        return set()
+    if count >= len(extras):
+        return {pair for pair, _ in extras}
+    weights = np.asarray([abs(coupling) for _, coupling in extras])
+    weights = np.maximum(weights, 1e-300)
+    keys = rng.random(len(extras)) ** (1.0 / weights)
+    order = sorted(range(len(extras)), key=lambda idx: (-keys[idx], idx))
+    return {extras[idx][0] for idx in order[:count]}
+
+
+def _degree_similarity(
+    original: IsingHamiltonian, proxy: IsingHamiltonian
+) -> float:
+    """1 - total-variation distance of the normalised degree histograms."""
+    def histogram(h: IsingHamiltonian) -> np.ndarray:
+        degrees = np.zeros(h.num_qubits, dtype=int)
+        for i, j in h.quadratic:
+            degrees[i] += 1
+            degrees[j] += 1
+        counts = np.bincount(degrees)
+        return counts / max(1, h.num_qubits)
+
+    a, b = histogram(original), histogram(proxy)
+    size = max(len(a), len(b))
+    a = np.pad(a, (0, size - len(a)))
+    b = np.pad(b, (0, size - len(b)))
+    return float(1.0 - 0.5 * np.abs(a - b).sum())
+
+
+def _coupling_spectrum(hamiltonian: IsingHamiltonian) -> np.ndarray:
+    matrix = np.zeros((hamiltonian.num_qubits, hamiltonian.num_qubits))
+    for (i, j), coupling in hamiltonian.quadratic.items():
+        matrix[i, j] = matrix[j, i] = coupling
+    return np.sort(np.linalg.eigvalsh(matrix))
+
+
+def _spectral_similarity(
+    original: IsingHamiltonian, proxy: IsingHamiltonian
+) -> float:
+    """Relative closeness of the (resampled) coupling-matrix spectra."""
+    if (
+        original.num_qubits > MAX_SPECTRAL_NODES
+        or original.num_terms == 0
+        or proxy.num_qubits == 0
+    ):
+        return float("nan")
+    spec_full = _coupling_spectrum(original)
+    spec_proxy = _coupling_spectrum(proxy)
+    # Resample the proxy's sorted spectrum onto the original's length so
+    # the comparison is shape-to-shape, not size-to-size.
+    grid_full = np.linspace(0.0, 1.0, len(spec_full))
+    grid_proxy = np.linspace(0.0, 1.0, max(2, len(spec_proxy)))
+    if len(spec_proxy) == 1:
+        spec_proxy = np.repeat(spec_proxy, 2)
+    resampled = np.interp(grid_full, grid_proxy, spec_proxy)
+    norm = float(np.linalg.norm(spec_full))
+    if norm == 0.0:
+        return float("nan")
+    return float(1.0 - np.linalg.norm(spec_full - resampled) / norm)
+
+
+def reduce_ising(
+    hamiltonian: IsingHamiltonian,
+    ratio: float = 0.5,
+    seed: int = 0,
+) -> ReducedIsing:
+    """Build a reduced-node/reduced-edge proxy of an Ising instance.
+
+    Args:
+        hamiltonian: The instance to sparsify.
+        ratio: Target fraction of edges *and* nodes to keep, in (0, 1];
+            the MST guard and :data:`MIN_PROXY_NODES` floor both override
+            it upward. ``ratio >= 1`` is the identity reduction.
+        seed: Seed for the weighted edge sampling — the only stochastic
+            stage; everything else is sorted and tie-broken by index.
+
+    Returns:
+        The proxy instance (compactly relabeled to ``0..n'-1``, preserving
+        relative node order) and its :class:`ReductionReport`.
+    """
+    n = hamiltonian.num_qubits
+    edges = sorted(hamiltonian.quadratic.items())
+    if ratio >= 1.0 or n <= MIN_PROXY_NODES:
+        report = ReductionReport(
+            num_qubits=n,
+            num_proxy_qubits=n,
+            num_terms=len(edges),
+            num_proxy_terms=len(edges),
+            num_edges_dropped=0,
+            num_contracted=0,
+            degree_similarity=1.0,
+            spectral_similarity=1.0 if edges else float("nan"),
+        )
+        return ReducedIsing(proxy=hamiltonian, report=report)
+
+    rng = np.random.default_rng(seed)
+
+    # Stage 1: MST guard + weighted edge sampling down to the ratio.
+    forest = _spanning_forest(n, edges)
+    target_edges = max(len(forest), math.ceil(ratio * len(edges)))
+    extras = [(pair, coupling) for pair, coupling in edges if pair not in forest]
+    sampled = _sample_extra_edges(extras, target_edges - len(forest), rng)
+    kept_pairs = forest | sampled
+    kept = {pair: coupling for pair, coupling in edges if pair in kept_pairs}
+
+    # Stage 2: contract low-impact leaves until the node target.
+    h = {i: float(v) for i, v in enumerate(hamiltonian.linear)}
+    offset = hamiltonian.offset
+    adjacency: dict[int, set[int]] = {i: set() for i in range(n)}
+    for i, j in kept:
+        adjacency[i].add(j)
+        adjacency[j].add(i)
+    alive = set(range(n))
+    target_nodes = max(MIN_PROXY_NODES, math.ceil(ratio * n))
+
+    def impact(u: int) -> float:
+        coupled = sum(
+            abs(kept[(min(u, v), max(u, v))]) for v in adjacency[u]
+        )
+        return abs(h[u]) + coupled
+
+    contracted = 0
+    while len(alive) > target_nodes:
+        candidates = [u for u in alive if len(adjacency[u]) <= 1]
+        if not candidates:
+            break
+        u = min(candidates, key=lambda node: (impact(node), node))
+        if adjacency[u]:
+            v = next(iter(adjacency[u]))
+            pair = (min(u, v), max(u, v))
+            coupling = kept.pop(pair)
+            # Locally-optimal alignment: z_u = -sign(J_uv) * z_v minimises
+            # the coupling term; u's field rides along on v.
+            sign = -1.0 if coupling > 0 else 1.0
+            h[v] += sign * h[u]
+            offset += sign * coupling
+            adjacency[v].discard(u)
+        else:
+            # Isolated node: its independent optimum is -|h_u|.
+            offset -= abs(h[u])
+        alive.discard(u)
+        del adjacency[u], h[u]
+        contracted += 1
+
+    # Compact relabeling, preserving relative node order.
+    rank = {node: idx for idx, node in enumerate(sorted(alive))}
+    proxy = IsingHamiltonian(
+        len(alive),
+        {rank[node]: value for node, value in h.items()},
+        {
+            (rank[i], rank[j]): coupling
+            for (i, j), coupling in kept.items()
+        },
+        offset=offset,
+    )
+    report = ReductionReport(
+        num_qubits=n,
+        num_proxy_qubits=proxy.num_qubits,
+        num_terms=len(edges),
+        num_proxy_terms=proxy.num_terms,
+        num_edges_dropped=len(edges) - len(kept_pairs),
+        num_contracted=contracted,
+        degree_similarity=_degree_similarity(hamiltonian, proxy),
+        spectral_similarity=_spectral_similarity(hamiltonian, proxy),
+    )
+    return ReducedIsing(proxy=proxy, report=report)

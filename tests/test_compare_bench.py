@@ -74,6 +74,26 @@ class TestFindRegressions:
         )
         assert find_regressions(str(baseline), str(current), 0.25) == []
 
+    def test_baseline_only_record_warns_and_skips(self, dirs, capsys):
+        """A retired/missing bench can't be gated — warn, don't pass silently."""
+        baseline, current = dirs
+        _write(current, {"bench": "other", "speedup": 1.0})
+        assert find_regressions(str(baseline), str(current), 0.25) == []
+        out = capsys.readouterr().out
+        assert "! [opt] no current record" in out
+        assert "! [other] no baseline record" in out
+
+    def test_current_only_record_is_not_gated(self, dirs, capsys):
+        """A brand-new bench has no baseline to regress against."""
+        baseline, current = dirs
+        _write(
+            current,
+            {"bench": "opt", "speedup": 4.0, "evaluation_ratio": 8.0},
+        )
+        _write(current, {"bench": "new", "speedup": 0.01})
+        assert find_regressions(str(baseline), str(current), 0.25) == []
+        assert "! [new] no baseline record" in capsys.readouterr().out
+
 
 class TestMainExitCode:
     def test_regression_exits_nonzero(self, dirs, capsys):

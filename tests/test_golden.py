@@ -186,3 +186,32 @@ def test_golden_gradient_trained_p2_solve(update_golden):
     result = solver.solve(problem, get_backend("montreal"))
     assert result.num_gradient_evaluations > 0
     check_golden("gradient_trained_p2_m2", result, update_golden)
+
+
+def test_golden_proxy_trained_p2_solve(update_golden):
+    """Scenario 5: p=2 device-mode solve on the proxy-landscape engine.
+
+    ``proxy_training=True`` on a dense instance whose sub-problems clear
+    the proxy-size floor: canonical-frame sparsified training, parameter
+    transfer, and the hybrid-seeded refinement, pinned end to end. The
+    dense BA(m=3) problem is required — freezing a BA tree leaves
+    near-edgeless siblings and the proxy planner would opt out of every
+    cell, silently degrading this fixture to the direct path.
+    """
+    graph = barabasi_albert_graph(12, attachment=3, seed=25)
+    problem = IsingHamiltonian.from_graph(graph, weights="random_pm1", seed=26)
+    solver = FrozenQubitsSolver(
+        num_frozen=2,
+        config=SolverConfig(
+            num_layers=2,
+            grid_resolution=4,
+            maxiter=30,
+            shots=512,
+            proxy_training=True,
+        ),
+        seed=2025,
+    )
+    result = solver.solve(problem, get_backend("montreal"))
+    assert result.num_proxy_trained > 0
+    assert result.num_proxy_evaluations > 0
+    check_golden("proxy_trained_p2_m2", result, update_golden)

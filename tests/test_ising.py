@@ -91,6 +91,47 @@ class TestHamiltonianConstruction:
         with pytest.raises(HamiltonianError):
             h.energy_landscape()
 
+    @pytest.mark.parametrize("trial", range(5))
+    def test_energy_landscape_matches_reference_sign_matrix(self, trial):
+        """The O(2^n) bit-doubling recurrence agrees with the per-term
+        sign-matrix sum it replaced, to 1e-12 on random coefficients."""
+        rng = np.random.default_rng(200 + trial)
+        n = int(rng.integers(2, 11))
+        pairs = [(i, j) for i in range(n) for j in range(i + 1, n)]
+        keep = rng.random(len(pairs)) < 0.5
+        quadratic = {
+            pair: float(rng.normal())
+            for pair, kept in zip(pairs, keep)
+            if kept
+        }
+        h = IsingHamiltonian(
+            n,
+            linear=rng.normal(size=n),
+            quadratic=quadratic,
+            offset=float(rng.normal()),
+        )
+        landscape = h.energy_landscape()
+        # Reference: evaluate every basis state directly.
+        states = np.arange(2**n)
+        spins = 1.0 - 2.0 * (
+            (states[:, None] >> np.arange(n)[None, :]) & 1
+        )
+        reference = h.evaluate_many(spins)
+        np.testing.assert_allclose(landscape, reference, atol=1e-12, rtol=0)
+
+    def test_energy_landscape_exact_on_integer_coefficients(self):
+        """Integer-coefficient instances (the benchmarks) stay bit-exact."""
+        h = IsingHamiltonian(
+            6,
+            linear=[1, -2, 0, 3, -1, 2],
+            quadratic={(0, 1): 1.0, (1, 3): -2.0, (2, 5): 1.0, (4, 5): 3.0},
+            offset=2.0,
+        )
+        landscape = h.energy_landscape()
+        states = np.arange(2**6)
+        spins = 1.0 - 2.0 * ((states[:, None] >> np.arange(6)[None, :]) & 1)
+        assert (landscape == h.evaluate_many(spins)).all()
+
     def test_from_graph_uses_weights(self):
         graph = star_graph(4)
         h = IsingHamiltonian.from_graph(graph)

@@ -1,0 +1,328 @@
+"""Tests for repro.reduction: Red-QAOA sparsification + proxy training.
+
+The load-bearing invariants: the MST guard never disconnects a connected
+instance, the proxy's degree profile stays close to the original's, the
+whole reduction is a pure function of (instance, ratio, seed), canonical
+framing shares one proxy across relabeled/flipped equivalents, and the
+transfer-plus-refine path never lands on a worse optimum than a cold
+start given the same full-instance budget.
+"""
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.cache import cache_from_dir, ising_fingerprint
+from repro.core import FrozenQubitsSolver, SolverConfig
+from repro.core.solver import train_qaoa_instance
+from repro.devices import get_backend
+from repro.graphs.generators import barabasi_albert_graph
+from repro.ising import IsingHamiltonian
+from repro.reduction import (
+    MIN_PROXY_NODES,
+    PROXY_MIN_QUBITS,
+    PROXY_MIN_TERMS,
+    canonical_instance,
+    plan_proxy,
+    proxy_seed,
+    reduce_ising,
+)
+
+
+def _problem(num_qubits=16, attachment=3, seed=17):
+    graph = barabasi_albert_graph(num_qubits, attachment=attachment, seed=seed)
+    return IsingHamiltonian.from_graph(
+        graph, weights="random_pm1", seed=seed + 1
+    )
+
+
+def _components(hamiltonian):
+    """Connected components of an instance's coupling graph."""
+    parent = list(range(hamiltonian.num_qubits))
+
+    def find(x):
+        while parent[x] != x:
+            parent[x] = parent[parent[x]]
+            x = parent[x]
+        return x
+
+    for i, j in hamiltonian.quadratic:
+        parent[find(i)] = find(j)
+    return len({find(i) for i in range(hamiltonian.num_qubits)})
+
+
+class TestReduceIsing:
+    @pytest.mark.parametrize("seed", [0, 1, 7])
+    @pytest.mark.parametrize("attachment", [1, 2, 3])
+    def test_mst_guard_preserves_connectivity(self, seed, attachment):
+        """Sparsification never disconnects a connected instance."""
+        problem = _problem(18, attachment, seed=10 + seed)
+        assert _components(problem) == 1
+        reduced = reduce_ising(problem, ratio=0.5, seed=seed)
+        assert _components(reduced.proxy) == 1
+
+    @pytest.mark.parametrize("seed", [0, 3])
+    def test_degree_distribution_approximately_preserved(self, seed):
+        problem = _problem(24, 3, seed=20 + seed)
+        reduced = reduce_ising(problem, ratio=0.7, seed=seed)
+        assert reduced.report.degree_similarity >= 0.5
+        # The spectral score exists and is meaningfully positive on a
+        # dense-enough instance (Red-QAOA's landscape-preservation proxy).
+        assert reduced.report.spectral_similarity > 0.0
+
+    @pytest.mark.parametrize("seed", [0, 5, 11])
+    def test_same_seed_same_proxy(self, seed):
+        problem = _problem(20, 2, seed=30)
+        first = reduce_ising(problem, ratio=0.5, seed=seed)
+        second = reduce_ising(problem, ratio=0.5, seed=seed)
+        assert ising_fingerprint(first.proxy) == ising_fingerprint(
+            second.proxy
+        )
+        assert first.report == second.report
+
+    def test_different_seed_may_differ_but_stays_valid(self):
+        problem = _problem(20, 3, seed=31)
+        proxies = {
+            ising_fingerprint(reduce_ising(problem, ratio=0.5, seed=s).proxy)
+            for s in range(6)
+        }
+        # Not asserting inequality for every pair — just that each draw
+        # still satisfies the structural contract.
+        for s in range(6):
+            reduced = reduce_ising(problem, ratio=0.5, seed=s)
+            assert reduced.proxy.num_qubits < problem.num_qubits
+            assert _components(reduced.proxy) == 1
+        assert len(proxies) >= 1
+
+    def test_ratio_one_is_identity(self):
+        problem = _problem(12, 2, seed=40)
+        reduced = reduce_ising(problem, ratio=1.0, seed=0)
+        assert reduced.proxy is problem
+        assert reduced.report.num_edges_dropped == 0
+        assert reduced.report.num_contracted == 0
+        assert reduced.report.degree_similarity == 1.0
+
+    def test_report_counts_are_consistent(self):
+        problem = _problem(18, 3, seed=41)
+        reduced = reduce_ising(problem, ratio=0.5, seed=2)
+        report = reduced.report
+        assert report.num_qubits == problem.num_qubits
+        assert report.num_terms == problem.num_terms
+        assert report.num_proxy_qubits == reduced.proxy.num_qubits
+        assert report.num_proxy_terms == reduced.proxy.num_terms
+        assert (
+            report.num_proxy_qubits + report.num_contracted
+            == report.num_qubits
+        )
+        assert report.num_proxy_qubits >= MIN_PROXY_NODES
+
+    def test_tiny_instance_untouched(self):
+        tiny = IsingHamiltonian(2, {0: 1.0}, {(0, 1): -1.0})
+        reduced = reduce_ising(tiny, ratio=0.3, seed=0)
+        assert reduced.proxy is tiny
+
+
+class TestCanonicalFrame:
+    def test_relabeled_instances_share_one_canonical_frame(self):
+        problem = _problem(10, 2, seed=50)
+        rng = np.random.default_rng(51)
+        perm = rng.permutation(problem.num_qubits)
+        relabeled = IsingHamiltonian(
+            problem.num_qubits,
+            {int(perm[i]): float(v) for i, v in enumerate(problem.linear)},
+            {
+                (min(perm[i], perm[j]), max(perm[i], perm[j])): c
+                for (i, j), c in problem.quadratic.items()
+            },
+            offset=problem.offset,
+        )
+        canon_a, key_a = canonical_instance(problem)
+        canon_b, key_b = canonical_instance(relabeled)
+        assert key_a.complete and key_b.complete
+        assert key_a.digest == key_b.digest
+        assert ising_fingerprint(canon_a) == ising_fingerprint(canon_b)
+
+    def test_mirror_pair_shares_one_canonical_frame(self):
+        problem = _problem(10, 2, seed=52)
+        mirrored = IsingHamiltonian(
+            problem.num_qubits,
+            {i: -float(v) for i, v in enumerate(problem.linear)},
+            dict(problem.quadratic),
+            offset=problem.offset,
+        )
+        _, key_a = canonical_instance(problem)
+        _, key_b = canonical_instance(mirrored)
+        assert key_a.digest == key_b.digest
+
+    def test_proxy_seed_is_a_pure_function_of_identity(self):
+        assert proxy_seed("ab" * 32) == proxy_seed("ab" * 32)
+        assert 0 <= proxy_seed("ff" * 32) < 2**31 - 1
+
+
+class TestPlanProxy:
+    def test_small_instances_opt_out(self):
+        config = SolverConfig(proxy_training=True)
+        small = _problem(PROXY_MIN_QUBITS - 1, 1, seed=60)
+        assert plan_proxy(small, config) is None
+        sparse = IsingHamiltonian(
+            8, {i: 1.0 for i in range(8)}, {(0, 1): 1.0, (2, 3): -1.0}
+        )
+        assert sparse.num_terms < PROXY_MIN_TERMS
+        assert plan_proxy(sparse, config) is None
+
+    def test_equivalent_instances_share_cache_key(self):
+        config = SolverConfig(proxy_training=True, num_layers=2)
+        problem = _problem(12, 2, seed=61)
+        mirrored = IsingHamiltonian(
+            problem.num_qubits,
+            {i: -float(v) for i, v in enumerate(problem.linear)},
+            dict(problem.quadratic),
+            offset=problem.offset,
+        )
+        spec_a = plan_proxy(problem, config)
+        spec_b = plan_proxy(mirrored, config)
+        assert spec_a is not None and spec_b is not None
+        assert spec_a.cache_key == spec_b.cache_key
+        assert spec_a.seed == spec_b.seed
+        assert ising_fingerprint(spec_a.hamiltonian) == ising_fingerprint(
+            spec_b.hamiltonian
+        )
+
+    def test_ratio_changes_cache_key(self):
+        problem = _problem(12, 3, seed=62)
+        key_a = plan_proxy(
+            problem, SolverConfig(proxy_training=True, proxy_ratio=0.5)
+        ).cache_key
+        key_b = plan_proxy(
+            problem, SolverConfig(proxy_training=True, proxy_ratio=0.8)
+        ).cache_key
+        assert key_a != key_b
+
+    def test_plan_is_deterministic(self):
+        config = SolverConfig(proxy_training=True)
+        problem = _problem(14, 3, seed=63)
+        spec_a = plan_proxy(problem, config)
+        spec_b = plan_proxy(problem, config)
+        assert spec_a.cache_key == spec_b.cache_key
+        assert spec_a.report == spec_b.report
+        assert ising_fingerprint(spec_a.hamiltonian) == ising_fingerprint(
+            spec_b.hamiltonian
+        )
+
+
+class TestProxyTraining:
+    CONFIG = SolverConfig(
+        num_layers=2,
+        grid_resolution=6,
+        maxiter=60,
+        shots=256,
+        proxy_training=True,
+    )
+
+    def test_transfer_refine_beats_cold_start_at_same_budget(self):
+        """At matched (here: ~3x larger for cold) full-instance evaluation
+        budgets, the proxy-transferred solve must reach an equal-or-better
+        EV than cold training — the Red-QAOA claim the engine rests on."""
+        problem = _problem(14, 3, seed=72)
+        device = get_backend("montreal")
+        warm = FrozenQubitsSolver(
+            num_frozen=3, prune_symmetric=False, config=self.CONFIG, seed=13
+        ).solve(problem, device)
+        cold_config = dataclasses.replace(
+            self.CONFIG, proxy_training=False, maxiter=8
+        )
+        cold = FrozenQubitsSolver(
+            num_frozen=3, prune_symmetric=False, config=cold_config, seed=13
+        ).solve(problem, device)
+        # Cold gets strictly more full-instance evaluations than the
+        # proxy path spent — and still must not beat it.
+        assert cold.num_optimizer_evaluations >= warm.num_optimizer_evaluations
+        assert warm.ev_ideal <= cold.ev_ideal + 1e-9
+        assert warm.num_proxy_evaluations > 0
+
+    def test_refine_accounting_separates_proxy_from_full(self):
+        problem = _problem(12, 3, seed=70)
+        proxy = plan_proxy(problem, self.CONFIG)
+        assert proxy is not None
+        warm = train_qaoa_instance(
+            problem, config=self.CONFIG, seed=7, proxy=proxy
+        )
+        cold_config = dataclasses.replace(
+            self.CONFIG,
+            proxy_training=False,
+            maxiter=self.CONFIG.proxy_refine_maxiter,
+        )
+        cold = train_qaoa_instance(problem, config=cold_config, seed=7)
+        # One hybrid-seeded descent instead of a 4-start multistart:
+        # far fewer full-instance evaluations, with the proxy's own
+        # evaluations accounted separately.
+        assert (
+            warm.optimization.num_evaluations
+            < cold.optimization.num_evaluations
+        )
+        assert warm.optimization.num_proxy_evaluations > 0
+        assert warm.optimization.proxy_params is not None
+        assert cold.optimization.num_proxy_evaluations == 0
+
+    def test_pretrained_proxy_params_skip_proxy_stage(self):
+        problem = _problem(12, 3, seed=71)
+        proxy = plan_proxy(problem, self.CONFIG)
+        trained = train_qaoa_instance(
+            problem, config=self.CONFIG, seed=9, proxy=proxy
+        )
+        adopted_spec = dataclasses.replace(
+            proxy, params=trained.optimization.proxy_params
+        )
+        adopted = train_qaoa_instance(
+            problem, config=self.CONFIG, seed=9, proxy=adopted_spec
+        )
+        assert adopted.optimization.num_proxy_evaluations == 0
+        assert adopted.optimization.gammas == trained.optimization.gammas
+        assert adopted.optimization.betas == trained.optimization.betas
+        assert adopted.optimization.value == trained.optimization.value
+
+    def test_solve_backends_bit_identical_with_proxy_on(self):
+        problem = _problem(14, 3, seed=72)
+        device = get_backend("montreal")
+        results = []
+        for backend in ("serial", "process", "batched"):
+            solver = FrozenQubitsSolver(
+                num_frozen=3,
+                prune_symmetric=False,
+                config=self.CONFIG,
+                seed=13,
+            )
+            results.append(solver.solve(problem, device, backend=backend))
+        first = results[0]
+        assert first.num_proxy_evaluations > 0
+        assert first.num_proxy_trained > 0
+        for other in results[1:]:
+            assert other.best_spins == first.best_spins
+            assert other.best_value == first.best_value
+            assert other.ev_ideal == first.ev_ideal
+            assert other.num_proxy_evaluations == first.num_proxy_evaluations
+            assert other.num_proxy_trained == first.num_proxy_trained
+
+    def test_cache_hit_skips_proxy_training_bit_identically(self, tmp_path):
+        problem = _problem(14, 3, seed=73)
+        device = get_backend("montreal")
+        cache = cache_from_dir(tmp_path)
+        solver = FrozenQubitsSolver(
+            num_frozen=3,
+            prune_symmetric=False,
+            config=self.CONFIG,
+            seed=13,
+            cache=cache,
+        )
+        first = solver.solve(problem, device)
+        second = solver.solve(problem, device)
+        assert first.num_proxy_trained > 0
+        assert second.num_proxy_trained == 0
+        assert second.num_proxy_evaluations == 0
+        assert second.ev_ideal == first.ev_ideal
+        assert second.best_value == first.best_value
+        assert second.best_spins == first.best_spins
+
+    def test_flag_off_is_the_default(self):
+        assert SolverConfig().proxy_training is False
