@@ -65,6 +65,13 @@ from repro.planning import (
     plan_freeze,
     set_default_planning,
 )
+from repro.recursive import (
+    FreezeTree,
+    RecursiveConfig,
+    RecursiveResult,
+    plan_tree,
+    solve_recursive,
+)
 from repro.qaoa import (
     approximation_ratio,
     approximation_ratio_gap,
@@ -84,6 +91,7 @@ __all__ = [
     "ExecutionBudget",
     "FreezePlan",
     "FreezePlanner",
+    "FreezeTree",
     "FrozenQubitsResult",
     "FrozenQubitsSolver",
     "IsingHamiltonian",
@@ -91,6 +99,8 @@ __all__ = [
     "ProblemGraph",
     "ProcessPoolBackend",
     "QuantumCircuit",
+    "RecursiveConfig",
+    "RecursiveResult",
     "SerialBackend",
     "SolveCache",
     "SolverConfig",
@@ -108,6 +118,7 @@ __all__ = [
     "grid_device",
     "list_backends",
     "plan_freeze",
+    "plan_tree",
     "qaoa1_expectation",
     "recommend_num_frozen",
     "select_hotspots",
@@ -118,6 +129,7 @@ __all__ = [
     "simulated_annealing",
     "sk_graph",
     "solve_many",
+    "solve_recursive",
     "three_regular_graph",
     "transpile",
 ]

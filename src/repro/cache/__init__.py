@@ -37,6 +37,7 @@ from repro.cache.keys import (
     anneal_key,
     bruteforce_key,
     canonical_ising_key,
+    canonicalize_spins,
     circuit_fingerprint,
     coupling_fingerprint,
     device_fingerprint,
@@ -120,6 +121,7 @@ __all__ = [
     "cached_simulated_annealing",
     "cached_transpile",
     "canonical_ising_key",
+    "canonicalize_spins",
     "circuit_fingerprint",
     "coupling_fingerprint",
     "device_fingerprint",

@@ -494,3 +494,25 @@ def rehydrate_spins(
     """
     sign = -1 if key.flipped else 1
     return tuple(sign * spins[key.permutation[i]] for i in range(len(spins)))
+
+
+def canonicalize_spins(
+    spins: "tuple[int, ...]", key: CanonicalKey
+) -> tuple[int, ...]:
+    """Map an instance-frame assignment into the canonical frame.
+
+    The inverse of :func:`rehydrate_spins`: a solution found on one
+    instance canonicalizes here and rehydrates into *any* equivalent
+    instance's frame — the transfer the recursive solver's cross-tree
+    leaf dedup uses (deep sub-problems frequently coincide up to
+    relabeling/flip, independent of where in the tree they sit).
+
+    Args:
+        spins: Assignment in the instance's own variable order.
+        key: The instance's canonical key (carries permutation + flip).
+    """
+    sign = -1 if key.flipped else 1
+    canonical = [0] * len(spins)
+    for original, rank in enumerate(key.permutation):
+        canonical[rank] = sign * spins[original]
+    return tuple(canonical)

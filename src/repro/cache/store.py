@@ -14,8 +14,12 @@ into memory), then miss. Every get/put is tallied per kind in
 per-run hit/miss report surfaced on ``FrozenQubitsResult``.
 
 Disk reads are defensive: a corrupt or half-written payload is treated as a
-miss (and the entry ignored), never as an error — a cache must degrade to
-recomputation, not take the solve down with it.
+miss, never as an error — a cache must degrade to recomputation, not take
+the solve down with it. Corruption is *accounted and evicted*, though: each
+bad artifact bumps the ``"corrupt"`` stats column and its files are
+unlinked, so the next read of the key is a clean miss (one re-parse-and-
+fail per bad artifact, not one per lookup) and the store heals itself by
+re-recording the recomputed value.
 """
 
 from __future__ import annotations
@@ -30,6 +34,10 @@ from typing import Any
 import numpy as np
 
 from repro.exceptions import CacheError
+
+#: Sentinel distinguishing "artifact exists but is unreadable" from a
+#: plain absent entry on the disk-read path.
+_CORRUPT = object()
 
 
 class SolveCache:
@@ -81,7 +89,7 @@ class SolveCache:
         bucket = self._stats.setdefault(
             kind,
             {"memory_hits": 0, "disk_hits": 0, "misses": 0, "stores": 0,
-             "evictions": 0},
+             "evictions": 0, "corrupt": 0},
         )
         bucket[event] += 1
 
@@ -109,7 +117,11 @@ class SolveCache:
             key: Content-addressed key within the family.
             rebuild: Turns a disk payload dict back into the live object;
                 when omitted, the disk tier is skipped for this lookup.
-                A rebuild that raises marks the entry corrupt => miss.
+                A rebuild that raises (or returns ``None``) marks the
+                entry corrupt: the read degrades to a miss, the
+                ``"corrupt"`` counter is bumped, and the artifact's files
+                are unlinked so later reads miss cleanly instead of
+                re-parsing and re-failing.
         """
         slot = (kind, key)
         if slot in self._memory:
@@ -118,7 +130,9 @@ class SolveCache:
             return self._memory[slot]
         if self._cache_dir is not None and rebuild is not None:
             payload = self._read_payload(kind, key)
-            if payload is not None:
+            if payload is _CORRUPT:
+                self._discard_corrupt(kind, key)
+            elif payload is not None:
                 try:
                     value = rebuild(payload)
                 except Exception:
@@ -127,6 +141,9 @@ class SolveCache:
                     self._tally(kind, "disk_hits")
                     self._insert(slot, value)
                     return value
+                # The payload decoded but cannot become a live object:
+                # corrupt in a deeper layer, same treatment.
+                self._discard_corrupt(kind, key)
         self._tally(kind, "misses")
         return None
 
@@ -170,24 +187,49 @@ class SolveCache:
         stem = os.path.join(self._cache_dir, kind, key[:2], key)
         return stem + ".json", stem + ".npz"
 
-    def _read_payload(self, kind: str, key: str) -> "dict | None":
+    def _read_payload(self, kind: str, key: str) -> "dict | None | object":
+        """One artifact's payload: a dict, ``None`` (absent), or ``_CORRUPT``.
+
+        Absent means the json file does not exist — a plain miss. Anything
+        else that fails (unparsable json, a non-dict payload, a torn or
+        missing ``.npz`` sibling the json promised) is corruption: the
+        artifact exists but can never be read, so the caller should
+        discard it rather than re-fail on every lookup.
+        """
         json_path, npz_path = self._paths(kind, key)
         try:
             with open(json_path, encoding="utf-8") as handle:
                 payload = json.load(handle)
+        except FileNotFoundError:
+            return None
         except (OSError, ValueError):
-            return None
+            return _CORRUPT
         if not isinstance(payload, dict):
-            return None
+            return _CORRUPT
         if payload.pop("__has_arrays__", False):
             try:
                 with np.load(npz_path) as bundle:
                     payload["arrays"] = {
                         name: bundle[name] for name in bundle.files
                     }
-            except (OSError, ValueError):
-                return None
+            except Exception:
+                # np.load raises zipfile.BadZipFile on a torn archive (and
+                # OSError/ValueError on other damage) — all corruption here.
+                return _CORRUPT
         return payload
+
+    def _discard_corrupt(self, kind: str, key: str) -> None:
+        """Tally and unlink a corrupt artifact (both the json and the npz).
+
+        Unlink failures are swallowed: another process may have already
+        healed or removed the entry, and a cache never raises for rot.
+        """
+        self._tally(kind, "corrupt")
+        for path in self._paths(kind, key):
+            try:
+                os.unlink(path)
+            except OSError:
+                pass
 
     def _write_payload(self, kind: str, key: str, payload: dict) -> None:
         json_path, npz_path = self._paths(kind, key)

@@ -74,13 +74,13 @@ def partition_problem(
         )
     assignments = frozen_assignments(m)
     symmetric = prune_symmetric and has_spin_flip_symmetry(hamiltonian)
-    assignment_index = {a: i for i, a in enumerate(assignments)}
     subproblems: list[SubProblem] = []
     for index, assignment in enumerate(assignments):
         mirror_of: "int | None" = None
         if symmetric and m > 0:
-            twin = tuple(-v for v in assignment)
-            twin_index = assignment_index[twin]
+            # Negating every frozen value flips every assignment bit, so
+            # the twin sits at the bit complement — no 2**m index table.
+            twin_index = (1 << m) - 1 - index
             # Canonical representative: the lexicographically earlier
             # assignment (the one whose first frozen value is +1).
             if twin_index < index:

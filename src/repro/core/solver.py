@@ -89,6 +89,7 @@ if TYPE_CHECKING:
     from repro.planning.budget import ExecutionBudget
     from repro.planning.planner import FreezePlan
     from repro.planning.pruning import AssignmentRank
+    from repro.recursive.tree import RecursiveConfig
 
 
 @dataclass(frozen=True)
@@ -143,6 +144,14 @@ class SolverConfig:
             pinned bit-identically behind the flag. Proxy trainings are
             canonical-frame and cached/deduplicated across equivalent
             siblings, sweeps, and mirror pairs.
+        recursive: Route :meth:`FrozenQubitsSolver.solve` through the
+            recursive multi-level freeze tree
+            (:func:`repro.recursive.solve_recursive`) instead of the
+            single-level fan-out — freeze, split components, freeze again
+            until every sub-space fits the budget. Scales to instances two
+            to three orders of magnitude beyond the single-level path.
+            Default ``False`` pins today's single-level behaviour
+            bit-identically.
         proxy_ratio: Fraction of edges and nodes the sparsifier keeps, in
             (0, 1] (MST-connectivity always guarded). Smaller = cheaper
             proxy, coarser landscape. The 0.7 default keeps the
@@ -165,6 +174,7 @@ class SolverConfig:
     proxy_training: bool = False
     proxy_ratio: float = 0.7
     proxy_refine_maxiter: int = 30
+    recursive: bool = False
 
     @property
     def gradient_training(self) -> bool:
@@ -888,6 +898,10 @@ class FrozenQubitsSolver:
             session default cache instead (install one with
             :func:`repro.cache.set_default_cache`); caching there is a
             speed concern only, results are identical either way.
+        recursive_config: Planner knobs for the recursive path
+            (:class:`~repro.recursive.RecursiveConfig`); only consulted
+            when ``config.recursive`` routes :meth:`solve` through
+            :func:`repro.recursive.solve_recursive`.
     """
 
     def __init__(
@@ -901,6 +915,7 @@ class FrozenQubitsSolver:
         budget: "ExecutionBudget | None" = None,
         warm_start: "bool | None" = None,
         cache: "SolveCache | bool | None" = None,
+        recursive_config: "RecursiveConfig | None" = None,
     ) -> None:
         from repro.planning.session import get_default_planning
 
@@ -920,6 +935,7 @@ class FrozenQubitsSolver:
         self._warm_start = bool(warm_start)
         self._adaptive = plan is None and defaults.adaptive
         self._cache = resolve_cache(cache)
+        self._recursive_config = recursive_config
 
     @property
     def cache(self) -> "SolveCache | None":
@@ -1483,10 +1499,26 @@ class FrozenQubitsSolver:
                 :func:`repro.backend.set_default_backend`).
 
         Returns:
-            A :class:`FrozenQubitsResult`.
+            A :class:`FrozenQubitsResult` — or, when ``config.recursive``
+            is set, a :class:`~repro.recursive.RecursiveResult` from the
+            multi-level freeze tree (same ``best_spins`` / ``best_value``
+            / ``ev_*`` surface, plus the executed tree).
         """
         from repro.backend import resolve_backend
 
+        if self._config.recursive:
+            from repro.recursive.solve import solve_recursive
+
+            return solve_recursive(
+                hamiltonian,
+                device=device,
+                backend=backend,
+                config=self._config,
+                recursive_config=self._recursive_config,
+                budget=self._budget,
+                seed=self._seed,
+                cache=self._cache if self._cache is not None else False,
+            )
         before = (
             self._cache.stats_snapshot() if self._cache is not None else None
         )

@@ -52,6 +52,10 @@ class SolverError(ReproError):
     """FrozenQubits solver orchestration failure."""
 
 
+class RecursiveError(SolverError):
+    """Invalid recursive freeze tree (bad config, broken partition, ...)."""
+
+
 class CutError(ReproError):
     """Circuit-cutting (CutQC comparator) failure."""
 

@@ -18,11 +18,16 @@ without re-deriving index maps.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from itertools import product
+from functools import cached_property
 from collections.abc import Sequence
 
 from repro.exceptions import FreezeError
 from repro.ising.hamiltonian import IsingHamiltonian
+
+#: Refuse to freeze more qubits than this in one transform: ``2**m``
+#: sub-spaces beyond it cannot be enumerated (let alone covered), so a
+#: larger ``m`` is always a planning bug, not a workload.
+MAX_FROZEN_QUBITS = 60
 
 
 @dataclass(frozen=True)
@@ -50,6 +55,15 @@ class FrozenSpec:
         """Sub-problem qubit count, ``N - m``."""
         return len(self.kept_qubits)
 
+    @cached_property
+    def _sub_index_by_original(self) -> dict[int, int]:
+        # O(1) lookups for the freeze hot path: freeze_qubits calls
+        # sub_index once per quadratic term, so a linear tuple.index scan
+        # here made freezing O(E*N) — ruinous on power-law instances with
+        # thousands of nodes. (cached_property writes through __dict__, so
+        # it coexists with the frozen dataclass.)
+        return {original: pos for pos, original in enumerate(self.kept_qubits)}
+
     def sub_index(self, original_qubit: int) -> int:
         """Sub-problem index of an original (kept) qubit.
 
@@ -57,8 +71,8 @@ class FrozenSpec:
             FreezeError: If the qubit was frozen or is out of range.
         """
         try:
-            return self.kept_qubits.index(original_qubit)
-        except ValueError as exc:
+            return self._sub_index_by_original[original_qubit]
+        except KeyError as exc:
             raise FreezeError(
                 f"original qubit {original_qubit} is frozen or out of range"
             ) from exc
@@ -157,16 +171,90 @@ def freeze_qubits(
     return sub, spec
 
 
-def frozen_assignments(num_frozen: int) -> list[tuple[int, ...]]:
+class FrozenAssignments(Sequence):
+    """The ``2**m`` substitution tuples over {-1, +1}, lazily indexable.
+
+    A drop-in for the list :func:`frozen_assignments` historically
+    returned — same ordering, same tuples — but O(1) memory: each tuple is
+    synthesized from its index on demand, so recursive freeze plans with
+    large *cumulative* ``m`` can hold assignment sequences for many levels
+    without ever materializing ``2**m`` tuples. Iteration still visits
+    every assignment; callers that genuinely need the full enumeration pay
+    for it explicitly (``list(...)``) instead of implicitly at
+    construction.
+    """
+
+    __slots__ = ("_num_frozen",)
+
+    def __init__(self, num_frozen: int) -> None:
+        if num_frozen < 0:
+            raise FreezeError(
+                f"num_frozen must be non-negative, got {num_frozen}"
+            )
+        if num_frozen > MAX_FROZEN_QUBITS:
+            raise FreezeError(
+                f"refusing to enumerate 2**{num_frozen} frozen assignments "
+                f"(guard: m <= {MAX_FROZEN_QUBITS}); recursive plans must "
+                "freeze fewer qubits per level"
+            )
+        self._num_frozen = num_frozen
+
+    @property
+    def num_frozen(self) -> int:
+        """How many qubits the assignments substitute (the paper's ``m``)."""
+        return self._num_frozen
+
+    def __len__(self) -> int:
+        return 1 << self._num_frozen
+
+    def __getitem__(self, index: int) -> tuple[int, ...]:
+        if isinstance(index, slice):
+            return [self[i] for i in range(*index.indices(len(self)))]
+        size = len(self)
+        if index < 0:
+            index += size
+        if not 0 <= index < size:
+            raise IndexError(
+                f"assignment index {index} out of range for m={self._num_frozen}"
+            )
+        m = self._num_frozen
+        # Tuple position t maps to bit (m - 1 - t): the historical
+        # product((1, -1), repeat=m) order varies the *last* position
+        # fastest, and a 0 bit means +1 (so index 0 is all +1).
+        return tuple(
+            1 if not (index >> (m - 1 - t)) & 1 else -1 for t in range(m)
+        )
+
+    def index_of(self, assignment: Sequence[int]) -> int:
+        """Position of a ±1 assignment tuple in the canonical ordering."""
+        if len(assignment) != self._num_frozen:
+            raise FreezeError(
+                f"assignment length {len(assignment)} != m={self._num_frozen}"
+            )
+        position = 0
+        for value in assignment:
+            if value not in (-1, 1):
+                raise FreezeError(
+                    f"frozen value must be +1 or -1, got {value}"
+                )
+            position = (position << 1) | (1 if value == -1 else 0)
+        return position
+
+    def __repr__(self) -> str:
+        return f"FrozenAssignments(num_frozen={self._num_frozen})"
+
+
+def frozen_assignments(num_frozen: int) -> FrozenAssignments:
     """All ``2**m`` substitution tuples over {-1, +1}, in lexicographic order.
 
-    Ordered so that index ``b`` has qubit ``t`` frozen to ``+1`` when bit
-    ``t`` of ``b`` is 0 (matching the bit convention of the rest of the
-    library), i.e. the first tuple is all ``+1``.
+    Ordered so that the first tuple is all ``+1`` and the last all ``-1``,
+    matching ``itertools.product((1, -1), repeat=m)``. Returns a lazy
+    :class:`FrozenAssignments` sequence (len/index/iterate like the list it
+    replaces) so large ``m`` cannot silently exhaust memory; ``m`` beyond
+    :data:`MAX_FROZEN_QUBITS` raises :class:`~repro.exceptions.FreezeError`
+    outright.
     """
-    if num_frozen < 0:
-        raise FreezeError(f"num_frozen must be non-negative, got {num_frozen}")
-    return [tuple(values) for values in product((1, -1), repeat=num_frozen)]
+    return FrozenAssignments(num_frozen)
 
 
 def decode_spins(

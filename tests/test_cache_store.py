@@ -146,6 +146,79 @@ def test_corrupt_disk_payload_is_a_miss(tmp_path):
     assert fresh.get("params", "cafe", rebuild=params_rebuild) is None
 
 
+def test_truncated_json_is_counted_corrupt_and_unlinked(tmp_path):
+    cache = SolveCache(cache_dir=str(tmp_path))
+    params = ((0.5,), (0.25,))
+    cache.put("params", "cafe", params, payload=params_payload(params))
+    json_path = os.path.join(str(tmp_path), "params", "ca", "cafe.json")
+    with open(json_path, encoding="utf-8") as handle:
+        text = handle.read()
+    with open(json_path, "w", encoding="utf-8") as handle:
+        handle.write(text[: len(text) // 2])  # torn mid-write
+    fresh = SolveCache(cache_dir=str(tmp_path))
+    assert fresh.get("params", "cafe", rebuild=params_rebuild) is None
+    stats = fresh.stats_snapshot()["params"]
+    assert stats["corrupt"] == 1
+    assert stats["misses"] == 1
+    # The bad artifact was evicted, so the next read is a clean miss that
+    # does not re-parse and re-fail.
+    assert not os.path.exists(json_path)
+    assert fresh.get("params", "cafe", rebuild=params_rebuild) is None
+    stats = fresh.stats_snapshot()["params"]
+    assert stats["corrupt"] == 1
+    assert stats["misses"] == 2
+
+
+def test_torn_npz_sidecar_is_counted_corrupt_and_unlinked(tmp_path, problem):
+    cache = SolveCache(cache_dir=str(tmp_path))
+    cached_brute_force(problem, cache=cache)
+    stem = os.path.join(str(tmp_path), "bruteforce")
+    npz_paths = [
+        os.path.join(root, name)
+        for root, _, files in os.walk(stem)
+        for name in files
+        if name.endswith(".npz")
+    ]
+    assert len(npz_paths) == 1
+    npz_path = npz_paths[0]
+    json_path = npz_path[: -len(".npz")] + ".json"
+    with open(npz_path, "rb") as handle:
+        blob = handle.read()
+    with open(npz_path, "wb") as handle:
+        handle.write(blob[: len(blob) // 2])  # torn mid-write
+    fresh = SolveCache(cache_dir=str(tmp_path))
+    assert cached_brute_force(problem, cache=fresh) == brute_force_minimum(
+        problem
+    )
+    stats = fresh.stats_snapshot()["bruteforce"]
+    assert stats["corrupt"] == 1
+    # Both halves of the artifact are gone; recomputation re-recorded it.
+    # (cached_brute_force re-put the value, rewriting both files.)
+    assert stats["stores"] == 1
+    assert os.path.exists(json_path) and os.path.exists(npz_path)
+    another = SolveCache(cache_dir=str(tmp_path))
+    assert cached_brute_force(problem, cache=another) == brute_force_minimum(
+        problem
+    )
+    assert another.stats_snapshot()["bruteforce"]["disk_hits"] == 1
+
+
+def test_missing_npz_sidecar_is_corrupt(tmp_path, problem):
+    cache = SolveCache(cache_dir=str(tmp_path))
+    cached_brute_force(problem, cache=cache)
+    stem = os.path.join(str(tmp_path), "bruteforce")
+    for root, _, files in os.walk(stem):
+        for name in files:
+            if name.endswith(".npz"):
+                os.unlink(os.path.join(root, name))
+    fresh = SolveCache(cache_dir=str(tmp_path))
+    assert cached_brute_force(problem, cache=fresh) == brute_force_minimum(
+        problem
+    )
+    stats = fresh.stats_snapshot()["bruteforce"]
+    assert stats["corrupt"] == 1
+
+
 def test_npz_array_payload_round_trip(tmp_path, problem):
     cache = SolveCache(cache_dir=str(tmp_path))
     expected = brute_force_minimum(problem)

@@ -62,3 +62,36 @@ class TestCli:
     def test_budget_must_be_positive(self, capsys):
         with pytest.raises(SystemExit):
             main(["--only", "fig18", "--budget", "0"])
+
+
+class TestRecursiveCli:
+    def test_small_recursive_solve_prints_summary(self, capsys):
+        from repro.recursive.__main__ import main as recursive_main
+
+        assert recursive_main([
+            "--nodes", "60", "--seed", "3", "--max-circuits", "8",
+            "--shots", "128", "--max-leaf-qubits", "8",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "instance: 60 nodes" in out
+        assert "best value:" in out
+        assert "budget cap 8" in out
+
+    def test_show_tree_renders_plan(self, capsys):
+        from repro.recursive.__main__ import main as recursive_main
+
+        assert recursive_main([
+            "--nodes", "40", "--seed", "3", "--shots", "128",
+            "--max-leaf-qubits", "8", "--show-tree",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "@r" in out  # the tree rendering
+        assert "tree:" in out
+
+    def test_invalid_flags_rejected(self):
+        from repro.recursive.__main__ import main as recursive_main
+
+        with pytest.raises(SystemExit):
+            recursive_main(["--nodes", "1"])
+        with pytest.raises(SystemExit):
+            recursive_main(["--max-circuits", "0"])

@@ -210,11 +210,44 @@ class TestFreezing:
 
     def test_frozen_assignments_order(self):
         assignments = frozen_assignments(2)
-        assert assignments == [(1, 1), (1, -1), (-1, 1), (-1, -1)]
+        assert list(assignments) == [(1, 1), (1, -1), (-1, 1), (-1, -1)]
 
     def test_frozen_assignments_negative_rejected(self):
         with pytest.raises(FreezeError):
             frozen_assignments(-1)
+
+    def test_frozen_assignments_lazy_indexing(self):
+        # The sequence is O(1) memory: len/indexing work far beyond any
+        # materializable enumeration.
+        assignments = frozen_assignments(50)
+        assert len(assignments) == 2**50
+        assert assignments[0] == (1,) * 50
+        assert assignments[-1] == (-1,) * 50
+        assert assignments[1] == (1,) * 49 + (-1,)
+        assert assignments.index_of(assignments[3_000_000_007]) == 3_000_000_007
+        with pytest.raises(IndexError):
+            assignments[2**50]
+
+    def test_frozen_assignments_guard_threshold(self):
+        from repro.ising.freeze import MAX_FROZEN_QUBITS
+
+        frozen_assignments(MAX_FROZEN_QUBITS)  # at the guard: fine
+        with pytest.raises(FreezeError):
+            frozen_assignments(MAX_FROZEN_QUBITS + 1)
+
+    def test_sub_index_matches_linear_scan(self):
+        # Regression pin for the O(1) sub-index map: identical answers to
+        # the historical tuple.index scan, including the error cases.
+        h = IsingHamiltonian(97, quadratic={(0, 96): 1.0})
+        __, spec = freeze_qubits(h, [5, 41, 90], [1, -1, 1])
+        for original in range(97):
+            if original in (5, 41, 90):
+                with pytest.raises(FreezeError):
+                    spec.sub_index(original)
+            else:
+                assert spec.sub_index(original) == spec.kept_qubits.index(original)
+        with pytest.raises(FreezeError):
+            spec.sub_index(97)
 
     def test_decode_roundtrip(self):
         h = IsingHamiltonian(5, quadratic={(0, 4): 1.0, (1, 3): 1.0})
