@@ -1,0 +1,172 @@
+"""Overhead gate for the fault-tolerant execution layer.
+
+Installing a :class:`~repro.backend.FaultPolicy` wraps every job in the
+retry/timeout/budget machinery even when nothing ever fails.  That wrapper
+must be effectively free: the paper-scale experiments run thousands of
+fault-free jobs, and a resilience layer that taxes the happy path would
+never be left on by default.
+
+This bench interleaves single solves of the 16-sibling device sweep (m=4,
+pruning off, montreal noise model), plain ``SerialBackend()`` vs
+``SerialBackend(fault_policy=FaultPolicy())``, takes each mode's *median*
+per-solve wall-clock over ``solves`` samples, and gates:
+
+* hardened wall-clock within **2%** of the plain one, and
+* the scientific output bit-identical between the two modes (the policy
+  may only absorb failures, never change a result).
+
+The emitted ``speedup`` field (plain / hardened, ~1.0) feeds
+``compare_bench.py`` so CI catches any future happy-path tax.
+"""
+
+import statistics
+import time
+
+from benchmarks.conftest import emit_bench_json, scale
+from repro.backend import FaultPolicy, SerialBackend
+from repro.core import FrozenQubitsSolver, SolverConfig
+from repro.devices import get_backend
+from repro.experiments import render_table
+from repro.graphs.generators import barabasi_albert_graph
+from repro.ising.hamiltonian import IsingHamiltonian
+
+NUM_SIBLINGS = 16  # m=4, symmetry pruning off => 2**4 executed cells
+
+#: Happy-path overhead budget for the resilience wrapper.
+MAX_OVERHEAD = 0.02
+
+
+def _problem(num_qubits):
+    graph = barabasi_albert_graph(num_qubits, 1, seed=7)
+    return IsingHamiltonian.from_graph(graph, weights="random_pm1", seed=8)
+
+
+def _solve(problem, device, config, backend):
+    solver = FrozenQubitsSolver(
+        num_frozen=4, prune_symmetric=False, config=config, seed=13
+    )
+    return solver.solve(problem, device, backend=backend)
+
+
+def _signature(result):
+    """Every scientific field, bitwise (see tests/test_determinism.py)."""
+    return (
+        tuple(result.frozen_qubits),
+        result.best_spins,
+        result.best_value,
+        result.ev_ideal,
+        result.ev_noisy,
+        result.num_circuits_executed,
+        tuple(
+            (
+                o.subproblem.index,
+                o.source,
+                o.best_spins,
+                o.best_value,
+                o.ev_ideal,
+                o.ev_noisy,
+                tuple(sorted(o.decoded_counts.items()))
+                if o.decoded_counts is not None
+                else None,
+            )
+            for o in result.outcomes
+        ),
+    )
+
+
+def _median_wall_clocks(problem, device, config, backends, solves):
+    """Median per-solve wall-clock per mode, with single solves interleaved.
+
+    Interleaving at solve granularity (plain, hardened, plain, ...) keeps
+    machine drift — thermal throttling, background load, a noisy
+    neighbour in the container — from being billed to one mode.  The
+    median (not the min) is the comparator: per-solve times here have a
+    heavy upper tail and a sharp lower edge, so the minimum is decided by
+    one lucky scheduler slot while the median is stable to well under 1%
+    at ~45 ms/solve.
+    """
+    timings = [[] for _ in backends]
+    results = [None] * len(backends)
+    for _ in range(solves):
+        for mode, backend in enumerate(backends):
+            started = time.perf_counter()
+            results[mode] = _solve(problem, device, config, backend)
+            timings[mode].append(time.perf_counter() - started)
+    return [statistics.median(t) for t in timings], results
+
+
+def test_fault_policy_happy_path_overhead(benchmark):
+    num_qubits = scale(12, 16)
+    solves = scale(20, 30)
+    config = SolverConfig(
+        grid_resolution=scale(12, 12), maxiter=scale(25, 30), shots=1024
+    )
+    device = get_backend("montreal")
+    problem = _problem(num_qubits)
+
+    # Warm the interpreter/JIT-ish costs once so neither mode pays them.
+    _solve(problem, device, config, SerialBackend())
+
+    (plain_s, hardened_s), (plain, hardened) = _median_wall_clocks(
+        problem,
+        device,
+        config,
+        [SerialBackend(), SerialBackend(fault_policy=FaultPolicy())],
+        solves,
+    )
+
+    overhead = hardened_s / plain_s - 1.0
+    speedup = plain_s / hardened_s
+    rows = [
+        {
+            "mode": "plain",
+            "solves": solves,
+            "siblings": NUM_SIBLINGS,
+            "median_solve_ms": plain_s * 1000.0,
+        },
+        {
+            "mode": "fault-policy",
+            "solves": solves,
+            "siblings": NUM_SIBLINGS,
+            "median_solve_ms": hardened_s * 1000.0,
+        },
+    ]
+    # Anchor the pytest-benchmark record to one hardened solve.
+    benchmark.pedantic(
+        lambda: _solve(
+            problem,
+            device,
+            config,
+            SerialBackend(fault_policy=FaultPolicy()),
+        ),
+        rounds=3,
+        iterations=1,
+    )
+    print()
+    print(render_table(rows, title="Fault-free 16-sibling sweep wall-clock"))
+    emit_bench_json(
+        "resilience",
+        {
+            "num_qubits": num_qubits,
+            "solves": solves,
+            "siblings": NUM_SIBLINGS,
+            "speedup": speedup,
+            "overhead_fraction": overhead,
+            "plain_median_solve_seconds": plain_s,
+            "hardened_median_solve_seconds": hardened_s,
+        },
+    )
+    print(
+        f"happy-path overhead: {overhead * 100.0:+.2f}% "
+        f"(speedup field: {speedup:.4f}x)"
+    )
+
+    # The policy may only absorb failures, never change a result.
+    assert _signature(plain) == _signature(hardened)
+    assert hardened.num_failed_jobs == 0
+    assert hardened.num_job_retries == 0
+    # The acceptance bar: the wrapper costs <= 2% on the happy path.
+    assert overhead <= MAX_OVERHEAD, (
+        f"fault-policy overhead {overhead * 100.0:.2f}% > "
+        f"{MAX_OVERHEAD * 100.0:.0f}%"
+    )

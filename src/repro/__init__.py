@@ -24,10 +24,12 @@ paper-vs-measured record.
 from repro.backend import (
     BatchedStatevectorBackend,
     ExecutionBackend,
+    FaultPolicy,
     ProcessPoolBackend,
     SerialBackend,
     set_default_backend,
 )
+from repro.faults import FaultInjection, InjectedFault
 from repro.baselines import BaselineQAOA
 from repro.cache import (
     SolveCache,
@@ -89,11 +91,14 @@ __all__ = [
     "Device",
     "ExecutionBackend",
     "ExecutionBudget",
+    "FaultInjection",
+    "FaultPolicy",
     "FreezePlan",
     "FreezePlanner",
     "FreezeTree",
     "FrozenQubitsResult",
     "FrozenQubitsSolver",
+    "InjectedFault",
     "IsingHamiltonian",
     "Parameter",
     "ProblemGraph",

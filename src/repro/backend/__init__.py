@@ -14,6 +14,12 @@ Pick one per call (``solver.solve(h, backend=...)``, ``solve_many(...,
 backend=...)``) or set a session-wide default with
 :func:`set_default_backend` — the CLI's ``--backend`` flag does exactly
 that.
+
+Every backend accepts an optional :class:`FaultPolicy` that turns the
+historical fail-fast semantics into per-job fault containment: bounded
+seeded retries for transient errors, cooperative timeouts, pool-crash
+recovery (process backend), and a submission-level failure budget. See
+:mod:`repro.backend.policy` and :mod:`repro.faults`.
 """
 
 from __future__ import annotations
@@ -24,12 +30,15 @@ from repro.backend.base import (
     JobSpec,
     dependency_levels,
     execute_job,
+    execute_job_with_policy,
     execute_jobs_serially,
+    failed_job_result,
     inject_warm_start,
     train_job,
     shared_optimums,
     trained_params,
 )
+from repro.backend.policy import FaultPolicy, classify_error
 from repro.backend.batched import BatchedStatevectorBackend
 from repro.backend.process_pool import ProcessPoolBackend
 from repro.backend.serial import SerialBackend
@@ -97,13 +106,17 @@ __all__ = [
     "BACKEND_REGISTRY",
     "BatchedStatevectorBackend",
     "ExecutionBackend",
+    "FaultPolicy",
     "JobResult",
     "JobSpec",
     "ProcessPoolBackend",
     "SerialBackend",
+    "classify_error",
     "dependency_levels",
     "execute_job",
+    "execute_job_with_policy",
     "execute_jobs_serially",
+    "failed_job_result",
     "get_default_backend",
     "inject_warm_start",
     "resolve_backend",

@@ -21,6 +21,18 @@ sibling, with the sibling's shared optimums injected beforehand (see
 :func:`dependency_levels` and :func:`inject_warm_start`). Injection is a pure function of the source
 job's result, so the level schedule keeps backends deterministic and
 order-independent within each level.
+
+Fault contract: with a :class:`~repro.backend.policy.FaultPolicy`
+installed, a backend must never let one job's exception abort the
+submission — the failure is contained in that job's :class:`JobResult`
+(``run=None`` plus a chained :class:`~repro.exceptions.JobError`),
+transient errors are retried on the *same spec* (same seed, so a
+successful retry is bit-identical to an unfailed first attempt), and a
+failed job simply contributes nothing to ``params_by_id`` — its
+dependents degrade to fresh training exactly like any missing source.
+Without a policy, backends keep the historical fail-fast behaviour, but
+raise :class:`~repro.exceptions.JobError` (with the original exception
+chained) instead of the bare worker exception.
 """
 
 from __future__ import annotations
@@ -29,6 +41,7 @@ import time
 from abc import ABC, abstractmethod
 from dataclasses import dataclass, replace
 from collections.abc import Sequence
+from typing import TYPE_CHECKING
 
 from repro.core.solver import (
     QAOARunResult,
@@ -38,9 +51,14 @@ from repro.core.solver import (
     train_qaoa_instance,
 )
 from repro.devices.device import Device
+from repro.exceptions import BackendError, JobError, JobTimeout
+from repro.faults import active_fault_injection
 from repro.ising.hamiltonian import IsingHamiltonian
 from repro.qaoa.executor import NoiseProfile, make_context
 from repro.transpile.compiler import TranspiledCircuit
+
+if TYPE_CHECKING:
+    from repro.backend.policy import FaultPolicy
 
 
 @dataclass
@@ -122,19 +140,36 @@ class JobSpec:
 
 @dataclass
 class JobResult:
-    """One executed job: the run plus scheduling bookkeeping.
+    """One executed (or failed) job: the run plus scheduling bookkeeping.
 
     Attributes:
         job_id: Echo of the spec's id.
-        run: The trained-and-sampled QAOA outcome.
-        elapsed_seconds: Wall-clock spent on this job (in whatever worker
-            ran it; overlapping jobs can sum to more than the submission's
-            wall-clock).
+        run: The trained-and-sampled QAOA outcome — ``None`` when the job
+            ultimately failed (see ``error``).
+        elapsed_seconds: Total wall-clock spent on this job across *all*
+            attempts (in whatever worker ran them; overlapping jobs can
+            sum to more than the submission's wall-clock).
+        attempts: Attempts executed (1 = no retries were needed).
+        attempt_seconds: Per-attempt wall-clock, oldest first; sums to
+            ``elapsed_seconds``. For stage-split backends the successful
+            attempt's entry includes that job's share of the batched
+            simulation and finish stages.
+        error: The terminal :class:`~repro.exceptions.JobError` of a job
+            that exhausted its retries (the original exception rides its
+            ``__cause__`` chain); ``None`` for successful jobs.
     """
 
     job_id: str
-    run: QAOARunResult
+    run: "QAOARunResult | None"
     elapsed_seconds: float
+    attempts: int = 1
+    attempt_seconds: tuple[float, ...] = ()
+    error: "JobError | None" = None
+
+    @property
+    def failed(self) -> bool:
+        """Whether the job exhausted its attempts without a result."""
+        return self.error is not None
 
 
 def train_job(spec: JobSpec) -> TrainedInstance:
@@ -160,15 +195,148 @@ def train_job(spec: JobSpec) -> TrainedInstance:
     )
 
 
-def execute_job(spec: JobSpec) -> JobResult:
-    """Run one job start to finish (module-level, so workers can pickle it)."""
+def fire_fault_injection(spec: JobSpec, attempt: int = 0) -> None:
+    """Apply any armed fault plan to this job attempt (see :mod:`repro.faults`).
+
+    A no-op (one attribute probe + one env lookup) when no plan is armed,
+    so the hot path pays nothing for the capability.
+    """
+    injection = active_fault_injection(spec.config)
+    if injection is not None:
+        injection.fire(spec.job_id, attempt)
+
+
+def execute_job(spec: JobSpec, attempt: int = 0) -> JobResult:
+    """Run one attempt of a job start to finish (module-level, so workers
+    can pickle it).
+
+    ``attempt`` indexes retries under a
+    :class:`~repro.backend.policy.FaultPolicy` (0 = first run); it feeds
+    the fault-injection harness only — the job's own stochastic behaviour
+    is governed entirely by ``spec.seed``, which is what keeps a
+    successful retry bit-identical to a successful first attempt.
+    """
     started = time.perf_counter()
+    fire_fault_injection(spec, attempt)
     run = finish_qaoa_instance(train_job(spec))
+    elapsed = time.perf_counter() - started
     return JobResult(
         job_id=spec.job_id,
         run=run,
-        elapsed_seconds=time.perf_counter() - started,
+        elapsed_seconds=elapsed,
+        attempts=1,
+        attempt_seconds=(elapsed,),
     )
+
+
+def failed_job_result(
+    job_id: str,
+    attempt_seconds: Sequence[float],
+    exc: BaseException,
+) -> JobResult:
+    """The failure record of a job that exhausted its attempts.
+
+    The terminal :class:`~repro.exceptions.JobError` chains the last
+    attempt's exception via ``__cause__``, so tracebacks and error
+    reports keep the root cause.
+    """
+    attempt_seconds = tuple(attempt_seconds)
+    error = JobError(
+        f"job {job_id!r} failed after {len(attempt_seconds)} attempt(s): "
+        f"{exc}",
+        job_id=job_id,
+        attempts=len(attempt_seconds),
+    )
+    error.__cause__ = exc
+    return JobResult(
+        job_id=job_id,
+        run=None,
+        elapsed_seconds=float(sum(attempt_seconds)),
+        attempts=len(attempt_seconds),
+        attempt_seconds=attempt_seconds,
+        error=error,
+    )
+
+
+def execute_job_with_policy(spec: JobSpec, policy: "FaultPolicy") -> JobResult:
+    """Run one job under a fault policy: bounded seeded retries, cooperative
+    timeout, and failure containment.
+
+    Never raises for a job-level error — the terminal failure comes back
+    as a :class:`JobResult` with ``run=None`` and the ``error`` record,
+    so the caller decides between degradation and the submission-level
+    failure budget.
+    """
+    attempt_seconds: list[float] = []
+    for attempt in range(policy.max_attempts):
+        started = time.perf_counter()
+        try:
+            result = execute_job(spec, attempt)
+        except Exception as exc:  # noqa: BLE001 — isolation is the point
+            attempt_seconds.append(time.perf_counter() - started)
+            if (
+                policy.classify(exc) == "permanent"
+                or attempt + 1 >= policy.max_attempts
+            ):
+                return failed_job_result(spec.job_id, attempt_seconds, exc)
+            _backoff_sleep(policy, spec.job_id, attempt)
+            continue
+        attempt_seconds.append(result.elapsed_seconds)
+        if policy.exceeds_timeout(result.elapsed_seconds):
+            timeout_error = JobTimeout(
+                f"job {spec.job_id!r} attempt {attempt} took "
+                f"{result.elapsed_seconds:.3f}s "
+                f"(timeout {policy.job_timeout_seconds}s)"
+            )
+            if attempt + 1 >= policy.max_attempts:
+                return failed_job_result(
+                    spec.job_id, attempt_seconds, timeout_error
+                )
+            _backoff_sleep(policy, spec.job_id, attempt)
+            continue
+        return JobResult(
+            job_id=result.job_id,
+            run=result.run,
+            elapsed_seconds=float(sum(attempt_seconds)),
+            attempts=len(attempt_seconds),
+            attempt_seconds=tuple(attempt_seconds),
+        )
+    raise BackendError(
+        f"unreachable: job {spec.job_id!r} left the retry loop"
+    )  # pragma: no cover — the loop always returns
+
+
+def _backoff_sleep(policy: "FaultPolicy", job_id: str, attempt: int) -> None:
+    """Sleep the policy's deterministic backoff before a retry (0 = none)."""
+    delay = policy.backoff_for(job_id, attempt)
+    if delay > 0.0:
+        time.sleep(delay)
+
+
+class FailureBudget:
+    """Submission-level failure accounting shared by the three backends.
+
+    Counts terminally-failed jobs and raises
+    :class:`~repro.exceptions.BackendError` the moment the policy's
+    budget is exceeded — the submission is presumed beyond saving, and
+    failing loudly beats silently degrading most of a batch.
+    """
+
+    def __init__(self, policy: "FaultPolicy | None", num_jobs: int) -> None:
+        self._allowed = (
+            policy.allowed_failures(num_jobs) if policy is not None else None
+        )
+        self.failures = 0
+
+    def record(self, result: JobResult) -> None:
+        """Count one terminal failure; raise when the budget is blown."""
+        self.failures += 1
+        if self._allowed is not None and self.failures > self._allowed:
+            raise BackendError(
+                f"submission failure budget exhausted: {self.failures} "
+                f"job(s) failed (allowed {self._allowed}); last failure: "
+                f"{result.error}"
+            ) from result.error
 
 
 def dependency_levels(jobs: Sequence[JobSpec]) -> list[list[int]]:
@@ -229,7 +397,10 @@ def trained_params(result: JobResult) -> tuple:
     return shared_optimums(result.run.optimization)
 
 
-def execute_jobs_serially(jobs: Sequence[JobSpec]) -> list[JobResult]:
+def execute_jobs_serially(
+    jobs: Sequence[JobSpec],
+    policy: "FaultPolicy | None" = None,
+) -> list[JobResult]:
     """Run a submission in-process, honouring the dependency contract.
 
     The reference schedule: dependency levels in order, submission order
@@ -237,10 +408,17 @@ def execute_jobs_serially(jobs: Sequence[JobSpec]) -> list[JobResult]:
     so later levels can inject them. ``SerialBackend`` *is* this function;
     pooled backends reuse it for their no-pool shortcut so the schedule
     lives in exactly one place.
+
+    Without a ``policy``, the first job exception aborts the submission
+    (wrapped as :class:`~repro.exceptions.JobError`). With one, failures
+    are contained per the module docstring's fault contract: retried,
+    then recorded in the job's own :class:`JobResult`; failed jobs add
+    nothing to ``params_by_id``, so dependents degrade to fresh training.
     """
     jobs = list(jobs)
     results: dict[int, JobResult] = {}
     params_by_id: dict = {}
+    budget = FailureBudget(policy, len(jobs))
     for level in dependency_levels(jobs):
         # Inject from a snapshot of the *previous* levels only: inside a
         # level, jobs must not see each other's results — that is what
@@ -249,9 +427,22 @@ def execute_jobs_serially(jobs: Sequence[JobSpec]) -> list[JobResult]:
         # degenerate cycle-fallback levels).
         snapshot = dict(params_by_id)
         for index in level:
-            result = execute_job(inject_warm_start(jobs[index], snapshot))
+            spec = inject_warm_start(jobs[index], snapshot)
+            if policy is None:
+                try:
+                    result = execute_job(spec)
+                except Exception as exc:
+                    raise JobError(
+                        f"job {spec.job_id!r} failed: {exc}",
+                        job_id=spec.job_id,
+                    ) from exc
+            else:
+                result = execute_job_with_policy(spec, policy)
+                if result.failed:
+                    budget.record(result)
             results[index] = result
-            params_by_id[result.job_id] = trained_params(result)
+            if not result.failed:
+                params_by_id[result.job_id] = trained_params(result)
     return [results[index] for index in range(len(jobs))]
 
 

@@ -32,21 +32,71 @@ from collections.abc import Sequence
 
 import numpy as np
 
+from typing import TYPE_CHECKING
+
 from repro.backend.base import (
     ExecutionBackend,
+    FailureBudget,
     JobResult,
     JobSpec,
+    _backoff_sleep,
     dependency_levels,
+    failed_job_result,
     finish_qaoa_instance,
+    fire_fault_injection,
     inject_warm_start,
     shared_optimums,
     train_job,
 )
 from repro.cache.memo import cached_anneal_many
-from repro.exceptions import SolverError
+from repro.exceptions import JobError, JobTimeout, SolverError
 from repro.ising.annealer import AnnealResult
 from repro.sim.batched import batched_probabilities, group_by_signature
 from repro.sim.qaoa_kernel import qaoa_probabilities_fanout
+
+if TYPE_CHECKING:
+    from repro.backend.policy import FaultPolicy
+
+
+def _train_with_policy(
+    spec: JobSpec, policy: "FaultPolicy"
+) -> "tuple[object | None, tuple[float, ...], BaseException | None]":
+    """Train one job under the fault policy's retry/timeout rules.
+
+    The batched backend's policy covers the per-job *training* stage (the
+    only stage where a failure is attributable to a single job — the
+    stacked simulation passes are shared). Returns ``(instance,
+    attempt_seconds, terminal_exception)`` where a ``None`` instance means
+    the job exhausted its attempts.
+    """
+    secs: list[float] = []
+    for attempt in range(policy.max_attempts):
+        t0 = time.perf_counter()
+        try:
+            fire_fault_injection(spec, attempt)
+            instance = train_job(spec)
+        except Exception as exc:  # noqa: BLE001 — isolation is the point
+            secs.append(time.perf_counter() - t0)
+            if (
+                policy.classify(exc) == "permanent"
+                or attempt + 1 >= policy.max_attempts
+            ):
+                return None, tuple(secs), exc
+            _backoff_sleep(policy, spec.job_id, attempt)
+            continue
+        dt = time.perf_counter() - t0
+        secs.append(dt)
+        if policy.exceeds_timeout(dt):
+            timeout = JobTimeout(
+                f"job {spec.job_id!r} attempt {attempt} took {dt:.3f}s "
+                f"(timeout {policy.job_timeout_seconds}s)"
+            )
+            if attempt + 1 >= policy.max_attempts:
+                return None, tuple(secs), timeout
+            _backoff_sleep(policy, spec.job_id, attempt)
+            continue
+        return instance, tuple(secs), None
+    raise AssertionError("unreachable")  # pragma: no cover
 
 
 class BatchedStatevectorBackend(ExecutionBackend):
@@ -55,16 +105,33 @@ class BatchedStatevectorBackend(ExecutionBackend):
     Args:
         max_batch_size: Largest circuit group simulated in one pass; bounds
             peak memory at ``max_batch_size * 2**n`` amplitudes.
+        fault_policy: Optional :class:`~repro.backend.FaultPolicy`; when
+            given, *training-stage* failures are retried/contained per the
+            fault contract (timeouts are measured on the training stage
+            only — the stacked simulation is shared across jobs, so its
+            wall-clock is not attributable to one of them). Failed jobs
+            drop out of the stacked passes and come back as failure
+            records.
     """
 
     name = "batched"
 
-    def __init__(self, max_batch_size: int = 64) -> None:
+    def __init__(
+        self,
+        max_batch_size: int = 64,
+        fault_policy: "FaultPolicy | None" = None,
+    ) -> None:
         if max_batch_size < 1:
             raise SolverError(
                 f"max_batch_size must be >= 1, got {max_batch_size}"
             )
         self._max_batch_size = max_batch_size
+        self._fault_policy = fault_policy
+
+    @property
+    def fault_policy(self) -> "FaultPolicy | None":
+        """The installed fault policy (``None`` = historical fail-fast)."""
+        return self._fault_policy
 
     def run(self, jobs: Sequence[JobSpec]) -> list[JobResult]:
         """Train sequentially, simulate stacked, finish in job order.
@@ -75,21 +142,42 @@ class BatchedStatevectorBackend(ExecutionBackend):
         by the re-ordering because each job's RNG stream is its own.
         """
         jobs = list(jobs)
+        policy = self._fault_policy
         elapsed = [0.0] * len(jobs)
+        attempt_secs: "list[tuple[float, ...]]" = [()] * len(jobs)
         trained: list = [None] * len(jobs)
+        failures: "dict[int, JobResult]" = {}
         params_by_id: dict = {}
+        budget = FailureBudget(policy, len(jobs))
         for level in dependency_levels(jobs):
             # Snapshot injection (previous levels only) — matches the
             # serial reference semantics; see execute_jobs_serially.
             snapshot = dict(params_by_id)
             for index in level:
-                t0 = time.perf_counter()
-                instance = train_job(
-                    inject_warm_start(jobs[index], snapshot)
-                )
+                spec = inject_warm_start(jobs[index], snapshot)
+                if policy is not None:
+                    instance, secs, exc = _train_with_policy(spec, policy)
+                    attempt_secs[index] = secs
+                    elapsed[index] = float(sum(secs))
+                    if instance is None:
+                        failure = failed_job_result(spec.job_id, secs, exc)
+                        failures[index] = failure
+                        budget.record(failure)
+                        continue
+                else:
+                    t0 = time.perf_counter()
+                    try:
+                        fire_fault_injection(spec)
+                        instance = train_job(spec)
+                    except Exception as exc:
+                        raise JobError(
+                            f"job {spec.job_id!r} failed: {exc}",
+                            job_id=spec.job_id,
+                        ) from exc
+                    elapsed[index] = time.perf_counter() - t0
+                    attempt_secs[index] = (elapsed[index],)
                 trained[index] = instance
-                elapsed[index] = time.perf_counter() - t0
-                params_by_id[jobs[index].job_id] = shared_optimums(
+                params_by_id[spec.job_id] = shared_optimums(
                     instance.optimization
                 )
 
@@ -103,6 +191,8 @@ class BatchedStatevectorBackend(ExecutionBackend):
         fused_groups: dict[tuple, list[int]] = {}
         circuit_indices: list[int] = []
         for index, instance in enumerate(trained):
+            if instance is None:
+                continue  # terminally failed in training; no simulation
             if instance.sampling_circuit is not None:
                 circuit_indices.append(index)
             elif instance.needs_sampling:
@@ -156,7 +246,8 @@ class BatchedStatevectorBackend(ExecutionBackend):
         fallback_indices = [
             index
             for index, instance in enumerate(trained)
-            if not instance.needs_sampling
+            if instance is not None
+            and not instance.needs_sampling
             and instance.sampling_circuit is None
             and instance.config.vectorized_annealer
         ]
@@ -180,21 +271,48 @@ class BatchedStatevectorBackend(ExecutionBackend):
 
         results = []
         for index, spec in enumerate(jobs):
+            if trained[index] is None:
+                results.append(failures[index])
+                continue
             t0 = time.perf_counter()
-            run = finish_qaoa_instance(
-                trained[index],
-                ideal_probs=probs_for_job.get(index),
-                fallback_anneal=fallback_for_job.get(index),
-            )
+            try:
+                run = finish_qaoa_instance(
+                    trained[index],
+                    ideal_probs=probs_for_job.get(index),
+                    fallback_anneal=fallback_for_job.get(index),
+                )
+            except Exception as exc:
+                raise JobError(
+                    f"job {spec.job_id!r} failed: {exc}",
+                    job_id=spec.job_id,
+                ) from exc
             elapsed[index] += time.perf_counter() - t0
+            # The successful attempt's entry absorbs this job's share of
+            # the stacked simulation and finish stages, keeping the
+            # invariant sum(attempt_seconds) == elapsed_seconds.
+            secs = attempt_secs[index]
+            secs = secs[:-1] + (
+                secs[-1] + (elapsed[index] - float(sum(secs))),
+            )
             results.append(
                 JobResult(
                     job_id=spec.job_id,
                     run=run,
                     elapsed_seconds=elapsed[index],
+                    attempts=len(secs),
+                    attempt_seconds=secs,
                 )
             )
         return results
 
     def __repr__(self) -> str:
-        return f"BatchedStatevectorBackend(max_batch_size={self._max_batch_size})"
+        if self._fault_policy is None:
+            return (
+                f"BatchedStatevectorBackend("
+                f"max_batch_size={self._max_batch_size})"
+            )
+        return (
+            f"BatchedStatevectorBackend("
+            f"max_batch_size={self._max_batch_size}, "
+            f"fault_policy={self._fault_policy!r})"
+        )

@@ -5,25 +5,43 @@ process. Because a job's randomness is fully determined by its own child
 seed (spawned via ``utils.rng.spawn_seeds`` at prepare time), scheduling
 order is irrelevant: results are bit-identical to ``SerialBackend`` for the
 same solver seed, whatever the worker count.
+
+With a :class:`~repro.backend.FaultPolicy` installed, this backend also
+survives the pool itself dying (``BrokenProcessPool`` — a worker OOM-killed,
+segfaulted, or hard-exited): completed results of the current level are
+kept, the pool is respawned, and only the jobs that were in flight when it
+died are re-submitted, each charged one (transient) retry. Because retries
+re-run the *same spec* — same child seed — and ``params_by_id`` entries of
+completed sources survive the respawn, a recovered run is bit-identical to
+one that never crashed.
 """
 
 from __future__ import annotations
 
 import os
-from concurrent.futures import ProcessPoolExecutor
+import time
+from concurrent.futures import CancelledError, ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
 from collections.abc import Sequence
+from typing import TYPE_CHECKING
 
 from repro.backend.base import (
     ExecutionBackend,
+    FailureBudget,
     JobResult,
     JobSpec,
+    _backoff_sleep,
     dependency_levels,
     execute_job,
     execute_jobs_serially,
+    failed_job_result,
     inject_warm_start,
     trained_params,
 )
-from repro.exceptions import SolverError
+from repro.exceptions import BackendError, JobError, JobTimeout, SolverError
+
+if TYPE_CHECKING:
+    from repro.backend.policy import FaultPolicy
 
 
 class ProcessPoolBackend(ExecutionBackend):
@@ -32,13 +50,22 @@ class ProcessPoolBackend(ExecutionBackend):
     Args:
         max_workers: Pool size; defaults to the machine's CPU count.
         chunksize: Jobs handed to a worker per dispatch; raise it for many
-            small jobs to amortise pickling overhead.
+            small jobs to amortise pickling overhead. Only used on the
+            policy-free fast path — the resilient path needs one future
+            per job to attribute failures.
+        fault_policy: Optional :class:`~repro.backend.FaultPolicy`; when
+            given, job failures are retried/contained per the fault
+            contract and a dead pool is respawned instead of aborting the
+            submission.
     """
 
     name = "process"
 
     def __init__(
-        self, max_workers: "int | None" = None, chunksize: int = 1
+        self,
+        max_workers: "int | None" = None,
+        chunksize: int = 1,
+        fault_policy: "FaultPolicy | None" = None,
     ) -> None:
         if max_workers is not None and max_workers < 1:
             raise SolverError(f"max_workers must be >= 1, got {max_workers}")
@@ -46,11 +73,17 @@ class ProcessPoolBackend(ExecutionBackend):
             raise SolverError(f"chunksize must be >= 1, got {chunksize}")
         self._max_workers = max_workers or os.cpu_count() or 1
         self._chunksize = chunksize
+        self._fault_policy = fault_policy
 
     @property
     def max_workers(self) -> int:
         """Configured pool size."""
         return self._max_workers
+
+    @property
+    def fault_policy(self) -> "FaultPolicy | None":
+        """The installed fault policy (``None`` = historical fail-fast)."""
+        return self._fault_policy
 
     def run(self, jobs: Sequence[JobSpec]) -> list[JobResult]:
         """Execute every job across the pool; results come back in job order.
@@ -66,26 +99,209 @@ class ProcessPoolBackend(ExecutionBackend):
         # A single worker (or a single job) gains nothing from a pool;
         # skip the fork + pickle round-trip entirely.
         if self._max_workers == 1 or len(jobs) == 1:
-            return execute_jobs_serially(jobs)
+            return execute_jobs_serially(jobs, policy=self._fault_policy)
+        workers = min(self._max_workers, len(jobs))
+        if self._fault_policy is None:
+            return self._run_fail_fast(jobs, workers)
+        return self._run_resilient(jobs, workers, self._fault_policy)
+
+    def _run_fail_fast(
+        self, jobs: "list[JobSpec]", workers: int
+    ) -> list[JobResult]:
+        """The historical semantics: first failure aborts the submission.
+
+        The only change from the pre-policy behaviour is attribution: a
+        worker exception surfaces as :class:`~repro.exceptions.JobError`
+        naming the failing job (original exception chained), and a dead
+        pool as :class:`~repro.exceptions.BackendError`.
+        """
         results: dict[int, JobResult] = {}
         params_by_id: dict = {}
-        workers = min(self._max_workers, len(jobs))
         with ProcessPoolExecutor(max_workers=workers) as pool:
             for level in dependency_levels(jobs):
-                level_results = list(
-                    pool.map(
-                        execute_job,
-                        [
-                            inject_warm_start(jobs[i], params_by_id)
-                            for i in level
-                        ],
-                        chunksize=self._chunksize,
-                    )
+                level_specs = [
+                    inject_warm_start(jobs[i], params_by_id) for i in level
+                ]
+                # pool.map yields results (and re-raises exceptions) in
+                # submission order, so the spec walking alongside the
+                # iterator is the one that failed.
+                iterator = pool.map(
+                    execute_job, level_specs, chunksize=self._chunksize
                 )
-                results.update(zip(level, level_results))
-                for result in level_results:
+                for index, spec in zip(level, level_specs):
+                    try:
+                        result = next(iterator)
+                    except BrokenProcessPool as exc:
+                        raise BackendError(
+                            f"worker pool died while executing job "
+                            f"{spec.job_id!r} (install a FaultPolicy to "
+                            f"recover instead of aborting)"
+                        ) from exc
+                    except JobError:
+                        raise
+                    except Exception as exc:
+                        raise JobError(
+                            f"job {spec.job_id!r} failed: {exc}",
+                            job_id=spec.job_id,
+                        ) from exc
+                    results[index] = result
                     params_by_id[result.job_id] = trained_params(result)
         return [results[index] for index in range(len(jobs))]
 
+    def _run_resilient(
+        self,
+        jobs: "list[JobSpec]",
+        workers: int,
+        policy: "FaultPolicy",
+    ) -> list[JobResult]:
+        """Policy-governed execution: per-job containment + pool respawn.
+
+        Each dependency level runs as submit-all / collect-all rounds over
+        the level's still-pending jobs. A job exception consumes one
+        attempt (classified transient or permanent); a
+        ``BrokenProcessPool`` keeps every result completed before the
+        crash, respawns the pool, and charges one transient attempt to
+        every job that was unfinished — jobs with attempts left simply
+        ride the next round on the fresh pool.
+        """
+        results: dict[int, JobResult] = {}
+        params_by_id: dict = {}
+        budget = FailureBudget(policy, len(jobs))
+        pool = ProcessPoolExecutor(max_workers=workers)
+        try:
+            for level in dependency_levels(jobs):
+                # Within-level jobs never depend on each other, so every
+                # retry round injects from the same previous-level snapshot.
+                snapshot = dict(params_by_id)
+                # job index -> (next attempt number, spent attempt seconds)
+                pending: "dict[int, tuple[int, tuple[float, ...]]]" = {
+                    i: (0, ()) for i in level
+                }
+                while pending:
+                    submitted = []
+                    for i in sorted(pending):
+                        attempt, _ = pending[i]
+                        spec = inject_warm_start(jobs[i], snapshot)
+                        submitted.append(
+                            (
+                                i,
+                                spec,
+                                time.perf_counter(),
+                                pool.submit(execute_job, spec, attempt),
+                            )
+                        )
+                    crashed = False
+                    unfinished = []
+                    for i, spec, submit_time, future in submitted:
+                        try:
+                            result = future.result()
+                        except (BrokenProcessPool, CancelledError):
+                            crashed = True
+                            unfinished.append((i, spec, submit_time))
+                            continue
+                        except Exception as exc:
+                            self._consume_attempt(
+                                i,
+                                spec,
+                                exc,
+                                time.perf_counter() - submit_time,
+                                policy,
+                                pending,
+                                results,
+                                budget,
+                            )
+                            continue
+                        attempt, secs = pending[i]
+                        if policy.exceeds_timeout(result.elapsed_seconds):
+                            timeout = JobTimeout(
+                                f"job {spec.job_id!r} attempt {attempt} "
+                                f"took {result.elapsed_seconds:.3f}s "
+                                f"(timeout {policy.job_timeout_seconds}s)"
+                            )
+                            self._consume_attempt(
+                                i,
+                                spec,
+                                timeout,
+                                result.elapsed_seconds,
+                                policy,
+                                pending,
+                                results,
+                                budget,
+                            )
+                            continue
+                        secs = secs + (result.elapsed_seconds,)
+                        results[i] = JobResult(
+                            job_id=result.job_id,
+                            run=result.run,
+                            elapsed_seconds=float(sum(secs)),
+                            attempts=len(secs),
+                            attempt_seconds=secs,
+                        )
+                        del pending[i]
+                        params_by_id[result.job_id] = trained_params(result)
+                    if crashed:
+                        # Completed results above are already banked; only
+                        # the in-flight jobs re-run, on a fresh pool.
+                        pool.shutdown(wait=False, cancel_futures=True)
+                        pool = ProcessPoolExecutor(max_workers=workers)
+                        for i, spec, submit_time in unfinished:
+                            attempt, _ = pending[i]
+                            crash = BackendError(
+                                f"worker pool died while job "
+                                f"{spec.job_id!r} attempt {attempt} was "
+                                f"in flight"
+                            )
+                            crash.transient = True
+                            self._consume_attempt(
+                                i,
+                                spec,
+                                crash,
+                                time.perf_counter() - submit_time,
+                                policy,
+                                pending,
+                                results,
+                                budget,
+                                backoff=False,
+                            )
+        finally:
+            pool.shutdown(wait=False, cancel_futures=True)
+        return [results[index] for index in range(len(jobs))]
+
+    @staticmethod
+    def _consume_attempt(
+        index: int,
+        spec: JobSpec,
+        exc: BaseException,
+        elapsed: float,
+        policy: "FaultPolicy",
+        pending: "dict[int, tuple[int, tuple[float, ...]]]",
+        results: "dict[int, JobResult]",
+        budget: FailureBudget,
+        backoff: bool = True,
+    ) -> None:
+        """Charge one failed attempt to a pending job.
+
+        Either leaves the job in ``pending`` with the attempt counter
+        bumped (transient, attempts left) or moves its terminal failure
+        record into ``results`` and debits the submission budget.
+        """
+        attempt, secs = pending[index]
+        secs = secs + (elapsed,)
+        permanent = policy.classify(exc) == "permanent"
+        if permanent or attempt + 1 >= policy.max_attempts:
+            failure = failed_job_result(spec.job_id, secs, exc)
+            results[index] = failure
+            del pending[index]
+            budget.record(failure)
+            return
+        if backoff:
+            _backoff_sleep(policy, spec.job_id, attempt)
+        pending[index] = (attempt + 1, secs)
+
     def __repr__(self) -> str:
-        return f"ProcessPoolBackend(max_workers={self._max_workers})"
+        if self._fault_policy is None:
+            return f"ProcessPoolBackend(max_workers={self._max_workers})"
+        return (
+            f"ProcessPoolBackend(max_workers={self._max_workers}, "
+            f"fault_policy={self._fault_policy!r})"
+        )

@@ -8,6 +8,7 @@ up to floating-point reassociation in the stacked simulator.
 from __future__ import annotations
 
 from collections.abc import Sequence
+from typing import TYPE_CHECKING
 
 from repro.backend.base import (
     ExecutionBackend,
@@ -16,12 +17,34 @@ from repro.backend.base import (
     execute_jobs_serially,
 )
 
+if TYPE_CHECKING:
+    from repro.backend.policy import FaultPolicy
+
 
 class SerialBackend(ExecutionBackend):
-    """Execute jobs sequentially in the calling process."""
+    """Execute jobs sequentially in the calling process.
+
+    Args:
+        fault_policy: Optional :class:`~repro.backend.FaultPolicy`; when
+            given, job failures are retried/contained per the fault
+            contract instead of aborting the submission.
+    """
 
     name = "serial"
 
+    def __init__(self, fault_policy: "FaultPolicy | None" = None) -> None:
+        self._fault_policy = fault_policy
+
+    @property
+    def fault_policy(self) -> "FaultPolicy | None":
+        """The installed fault policy (``None`` = historical fail-fast)."""
+        return self._fault_policy
+
     def run(self, jobs: Sequence[JobSpec]) -> list[JobResult]:
         """Execute every job, warm-start sources before their dependents."""
-        return execute_jobs_serially(jobs)
+        return execute_jobs_serially(jobs, policy=self._fault_policy)
+
+    def __repr__(self) -> str:
+        if self._fault_policy is None:
+            return "SerialBackend()"
+        return f"SerialBackend(fault_policy={self._fault_policy!r})"

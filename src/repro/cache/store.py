@@ -20,6 +20,13 @@ bad artifact bumps the ``"corrupt"`` stats column and its files are
 unlinked, so the next read of the key is a clean miss (one re-parse-and-
 fail per bad artifact, not one per lookup) and the store heals itself by
 re-recording the recomputed value.
+
+Disk *writes* are defensive too: an ``OSError`` mid-persist (a full disk, a
+permission flip, a yanked mount) bumps the failing kind's ``"write_error"``
+counter, emits one ``RuntimeWarning``, and drops the cache to memory-only
+for the rest of its life — subsequent payloads tally ``"write_error"``
+without retouching the sick filesystem. A failed write never raises into a
+solve: losing persistence costs future warm-starts, not the current run.
 """
 
 from __future__ import annotations
@@ -27,6 +34,7 @@ from __future__ import annotations
 import json
 import os
 import tempfile
+import warnings
 from collections import OrderedDict
 from collections.abc import Callable
 from typing import Any
@@ -48,9 +56,19 @@ class SolveCache:
             are evicted first. Eviction never touches the disk tier.
         cache_dir: Artifact directory for the persistent tier; ``None``
             keeps the cache memory-only. Created on first write.
+        fault_injection: Optional :class:`~repro.faults.FaultInjection`
+            whose cache-side faults (``cache_write_error_kinds``,
+            ``torn_cache_kinds``) this store honours on its disk writes —
+            the test harness of the degrade-to-memory-only and
+            torn-artifact paths.
     """
 
-    def __init__(self, capacity: int = 4096, cache_dir: "str | None" = None):
+    def __init__(
+        self,
+        capacity: int = 4096,
+        cache_dir: "str | None" = None,
+        fault_injection: "object | None" = None,
+    ):
         if capacity < 1:
             raise CacheError(f"capacity must be >= 1, got {capacity}")
         self._capacity = capacity
@@ -59,6 +77,8 @@ class SolveCache:
         )
         self._memory: "OrderedDict[tuple[str, str], Any]" = OrderedDict()
         self._stats: dict[str, dict[str, int]] = {}
+        self._fault_injection = fault_injection
+        self._disk_write_disabled = False
 
     # ------------------------------------------------------------------
     # Introspection
@@ -89,7 +109,7 @@ class SolveCache:
         bucket = self._stats.setdefault(
             kind,
             {"memory_hits": 0, "disk_hits": 0, "misses": 0, "stores": 0,
-             "evictions": 0, "corrupt": 0},
+             "evictions": 0, "corrupt": 0, "write_error": 0},
         )
         bucket[event] += 1
 
@@ -167,7 +187,23 @@ class SolveCache:
         self._tally(kind, "stores")
         self._insert((kind, key), value)
         if payload is not None and self._cache_dir is not None:
-            self._write_payload(kind, key, payload)
+            if self._disk_write_disabled:
+                # The disk tier already failed once; keep accounting the
+                # writes we are skipping, but leave the filesystem alone.
+                self._tally(kind, "write_error")
+                return
+            try:
+                self._write_payload(kind, key, payload)
+            except OSError as exc:
+                self._tally(kind, "write_error")
+                self._disk_write_disabled = True
+                warnings.warn(
+                    f"solve-cache disk write failed ({exc!r}); degrading "
+                    f"to memory-only for the rest of this cache's life — "
+                    f"results are unaffected, persistence is lost",
+                    RuntimeWarning,
+                    stacklevel=2,
+                )
 
     def clear(self) -> None:
         """Drop every in-memory entry (the disk tier is left alone)."""
@@ -232,22 +268,62 @@ class SolveCache:
                 pass
 
     def _write_payload(self, kind: str, key: str, payload: dict) -> None:
+        injection = self._fault_injection
+        if injection is not None and injection.should_fail_cache_write(kind):
+            raise OSError(
+                28, f"injected cache write failure (kind {kind!r})"
+            )
         json_path, npz_path = self._paths(kind, key)
         os.makedirs(os.path.dirname(json_path), exist_ok=True)
         payload = dict(payload)
         arrays = payload.pop("arrays", None)
         payload["__has_arrays__"] = bool(arrays)
-        # Write-then-rename so concurrent readers never see a torn file.
+        # Write-then-rename so concurrent readers never see a torn file;
+        # a failed write cleans up its temp file before propagating.
         directory = os.path.dirname(json_path)
-        if arrays:
-            fd, tmp = tempfile.mkstemp(dir=directory, suffix=".npz.tmp")
+
+        def write_npz(fd: int) -> None:
             with os.fdopen(fd, "wb") as handle:
                 np.savez(handle, **arrays)
-            os.replace(tmp, npz_path)
-        fd, tmp = tempfile.mkstemp(dir=directory, suffix=".json.tmp")
-        with os.fdopen(fd, "w", encoding="utf-8") as handle:
-            json.dump(payload, handle)
-        os.replace(tmp, json_path)
+
+        def write_json(fd: int) -> None:
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                json.dump(payload, handle)
+
+        if arrays:
+            self._atomic_write(directory, ".npz.tmp", npz_path, write_npz)
+        self._atomic_write(directory, ".json.tmp", json_path, write_json)
+        if injection is not None and injection.should_tear_cache_write(kind):
+            # Simulate a torn write after the fact: leave half the JSON
+            # on disk, as a crash between write and rename would.
+            with open(json_path, "rb") as handle:
+                data = handle.read()
+            with open(json_path, "wb") as handle:
+                handle.write(data[: max(1, len(data) // 2)])
+
+    @staticmethod
+    def _atomic_write(
+        directory: str,
+        suffix: str,
+        final_path: str,
+        write: "Callable[[int], None]",
+    ) -> None:
+        """mkstemp + write + rename; unlinks the temp file on failure.
+
+        ``write`` receives the open file descriptor and must close it
+        (wrapping it in ``os.fdopen`` + a context manager or a completed
+        ``json.dump``/``np.savez`` call does).
+        """
+        fd, tmp = tempfile.mkstemp(dir=directory, suffix=suffix)
+        try:
+            write(fd)
+            os.replace(tmp, final_path)
+        except OSError:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
 
 
 def stats_delta(

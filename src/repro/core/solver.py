@@ -31,6 +31,7 @@ optimizer with its ``(gamma, beta)``.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING
 
@@ -159,6 +160,12 @@ class SolverConfig:
             matches full training on the benchmark sweeps.
         proxy_refine_maxiter: Optimizer budget of the full-instance
             refinement stage that follows a parameter transfer.
+        fault_injection: Optional :class:`~repro.faults.FaultInjection`
+            chaos plan. Rides the job specs into worker processes, where
+            the backends fire it at the start of every job attempt — the
+            deterministic test harness of the resilience layer (see
+            :mod:`repro.faults`). ``None`` (the default) injects nothing;
+            the field never influences cache keys or trained results.
     """
 
     num_layers: int = 1
@@ -175,6 +182,7 @@ class SolverConfig:
     proxy_ratio: float = 0.7
     proxy_refine_maxiter: int = 30
     recursive: bool = False
+    fault_injection: "object | None" = None
 
     @property
     def gradient_training(self) -> bool:
@@ -629,15 +637,21 @@ class SubProblemOutcome:
             fallbacks — no circuit means no expectation.
         ev_noisy: Noisy expectation, same convention.
         source: How the cell was covered: ``"quantum"`` (a circuit ran),
-            ``"mirror"`` (bit-flipped from a twin, Sec. 3.7.2), or
-            ``"classical"`` (budget-pruned; simulated-annealing fallback).
+            ``"mirror"`` (bit-flipped from a twin, Sec. 3.7.2),
+            ``"classical"`` (budget-pruned; simulated-annealing fallback),
+            or ``"failed"`` (the cell's job exhausted its
+            :class:`~repro.backend.FaultPolicy` retries and was covered by
+            the same annealing fallback, seeded with the job's own child
+            seed).
         fallback: The budget-fallback annealing run of a ``"classical"``
-            cell (``None`` otherwise) — carries the replica provenance
-            (``num_replicas``, per-restart best energies) without touching
-            the golden counts/spins fields. The cell's reported
-            spins/value are the better of this run and the prepare-time
-            probe, so ``best_value`` can beat ``fallback.value`` (the
-            probe floor).
+            or ``"failed"`` cell (``None`` otherwise) — carries the
+            replica provenance (``num_replicas``, per-restart best
+            energies) without touching the golden counts/spins fields.
+            The cell's reported spins/value are the better of this run
+            and the prepare-time probe, so ``best_value`` can beat
+            ``fallback.value`` (the probe floor).
+        error: The terminal :class:`~repro.exceptions.JobError` of a
+            ``"failed"`` cell (``None`` otherwise).
     """
 
     subproblem: SubProblem
@@ -649,6 +663,7 @@ class SubProblemOutcome:
     ev_noisy: float
     source: str = "quantum"
     fallback: "AnnealResult | None" = None
+    error: "Exception | None" = None
 
 
 @dataclass
@@ -702,6 +717,12 @@ class FrozenQubitsResult:
         cache_stats: Per-kind hit/miss/store counters this solve moved on
             its :class:`~repro.cache.SolveCache` (``None`` when caching
             was off; batch APIs attach the whole batch's delta).
+        num_failed_jobs: Executed cells whose job exhausted its
+            :class:`~repro.backend.FaultPolicy` retries — each covered
+            classically (``source="failed"``), never silently dropped.
+            Always 0 without a policy (failures raise instead).
+        num_job_retries: Total retry attempts spent across the
+            submission's jobs (0 = every job succeeded first try).
     """
 
     hamiltonian: IsingHamiltonian
@@ -726,6 +747,8 @@ class FrozenQubitsResult:
     num_proxy_trained: int = 0
     num_proxy_transferred: int = 0
     cache_stats: "dict[str, dict[str, int]] | None" = None
+    num_failed_jobs: int = 0
+    num_job_retries: int = 0
 
     @property
     def combined_counts(self) -> "Counts | None":
@@ -765,6 +788,27 @@ class FrozenQubitsResult:
             }
             record.update(outcome.fallback.restart_stats)
             provenance[outcome.subproblem.index] = record
+        return provenance
+
+    @property
+    def failure_provenance(self) -> dict[int, dict[str, object]]:
+        """What happened to every ``"failed"`` cell.
+
+        Maps partition index -> ``attempts`` spent before the job gave
+        up, the terminal ``error`` message, and the ``covered_value`` its
+        classical coverage actually reports — so degraded solves stay
+        auditable without digging through logs. Empty when every job
+        succeeded.
+        """
+        provenance: dict[int, dict[str, object]] = {}
+        for outcome in self.outcomes:
+            if outcome.source != "failed":
+                continue
+            provenance[outcome.subproblem.index] = {
+                "attempts": getattr(outcome.error, "attempts", 1),
+                "error": str(outcome.error),
+                "covered_value": float(outcome.best_value),
+            }
         return provenance
 
 
@@ -1317,6 +1361,11 @@ class FrozenQubitsSolver:
                 f"{len(prepared.jobs)} jobs"
             )
         outcomes: dict[int, SubProblemOutcome] = {}
+        # Jobs that exhausted their FaultPolicy retries come back as
+        # failure records (run=None); their cells are covered classically
+        # below, exactly like budget-pruned cells, so the returned
+        # outcomes still partition the full state-space.
+        failed: "list[tuple[SubProblem, object, object]]" = []
         for sp, job, job_result in zip(
             prepared.executed, prepared.jobs, job_results
         ):
@@ -1326,6 +1375,9 @@ class FrozenQubitsSolver:
                     f"got {job_result.job_id!r}"
                 )
             run = job_result.run
+            if run is None:
+                failed.append((sp, job, job_result))
+                continue
             decoded = self._decode_counts(sp, run.counts)
             full_spins = decode_spins(sp.spec, sp.assignment, run.best_spins)
             outcomes[sp.index] = SubProblemOutcome(
@@ -1347,6 +1399,8 @@ class FrozenQubitsSolver:
             for job, job_result in zip(prepared.jobs, job_results):
                 if job.params is not None or job.params_from is not None:
                     continue
+                if job_result.run is None:
+                    continue  # failed job: nothing trained to store
                 key = prepared.params_keys.get(job.job_id)
                 if key is None:
                     continue
@@ -1362,6 +1416,8 @@ class FrozenQubitsSolver:
         # (their keys were never recorded; see prepare_jobs).
         if self._cache is not None and prepared.proxy_keys:
             for job, job_result in zip(prepared.jobs, job_results):
+                if job_result.run is None:
+                    continue  # failed job: nothing trained to store
                 key = prepared.proxy_keys.get(job.job_id)
                 if key is None:
                     continue
@@ -1411,6 +1467,41 @@ class FrozenQubitsSolver:
                 source="classical",
                 fallback=anneal,
             )
+        # Failed jobs degrade the same way: an annealing fallback seeded
+        # with the job's own child seed covers the cell, so a degraded
+        # solve still reports a valid (if weaker) assignment for every
+        # partition cell and stays deterministic for a fixed fault plan.
+        if failed:
+            if self._config.vectorized_annealer:
+                failed_anneals = cached_anneal_many(
+                    [sp.hamiltonian for sp, _, _ in failed],
+                    seeds=[job.seed for _, job, _ in failed],
+                    cache=self._cache,
+                )
+            else:
+                failed_anneals = [
+                    cached_simulated_annealing(
+                        sp.hamiltonian,
+                        seed=job.seed,
+                        cache=self._cache,
+                        vectorized=False,
+                    )
+                    for sp, job, _ in failed
+                ]
+            for (sp, job, job_result), anneal in zip(failed, failed_anneals):
+                full_spins = decode_spins(sp.spec, sp.assignment, anneal.spins)
+                outcomes[sp.index] = SubProblemOutcome(
+                    subproblem=sp,
+                    run=None,
+                    decoded_counts=None,
+                    best_spins=full_spins,
+                    best_value=hamiltonian.evaluate(full_spins),
+                    ev_ideal=float("nan"),
+                    ev_noisy=float("nan"),
+                    source="failed",
+                    fallback=anneal,
+                    error=job_result.error,
+                )
         for sp in prepared.subproblems:
             if not sp.is_mirror:
                 continue
@@ -1435,17 +1526,23 @@ class FrozenQubitsSolver:
         ordered = [outcomes[sp.index] for sp in prepared.subproblems]
         best = min(ordered, key=lambda o: o.best_value)
         # Classical fallbacks carry NaN expectations (no circuit); the
-        # mixture averages over the sub-spaces that have one.
-        ev_ideal = float(np.nanmean([o.ev_ideal for o in ordered]))
-        ev_noisy = float(np.nanmean([o.ev_noisy for o in ordered]))
-        optimizations = [r.run.optimization for r in job_results]
+        # mixture averages over the sub-spaces that have one. When every
+        # cell degraded classically there is none, and the result-level
+        # expectation is honestly NaN (without numpy's empty-slice noise).
+        ideal_evs = [o.ev_ideal for o in ordered if not math.isnan(o.ev_ideal)]
+        noisy_evs = [o.ev_noisy for o in ordered if not math.isnan(o.ev_noisy)]
+        ev_ideal = float(np.mean(ideal_evs)) if ideal_evs else float("nan")
+        ev_noisy = float(np.mean(noisy_evs)) if noisy_evs else float("nan")
+        optimizations = [
+            r.run.optimization for r in job_results if r.run is not None
+        ]
         return FrozenQubitsResult(
             hamiltonian=hamiltonian,
             frozen_qubits=prepared.hotspots,
             outcomes=ordered,
             best_spins=best.best_spins,
             best_value=best.best_value,
-            num_circuits_executed=len(prepared.executed),
+            num_circuits_executed=len(prepared.executed) - len(failed),
             ev_ideal=ev_ideal,
             ev_noisy=ev_noisy,
             template=prepared.template,
@@ -1478,6 +1575,10 @@ class FrozenQubitsSolver:
             ),
             num_proxy_transferred=sum(
                 1 for opt in optimizations if opt.proxy_transferred
+            ),
+            num_failed_jobs=len(failed),
+            num_job_retries=sum(
+                max(0, getattr(r, "attempts", 1) - 1) for r in job_results
             ),
         )
 

@@ -56,6 +56,41 @@ class RecursiveError(SolverError):
     """Invalid recursive freeze tree (bad config, broken partition, ...)."""
 
 
+class BackendError(SolverError):
+    """Execution-backend failure: a crashed worker pool, an exhausted
+    submission failure budget, or an invalid backend configuration."""
+
+
+class JobError(BackendError):
+    """One job of a backend submission failed (after any retries).
+
+    Carries the scheduling context a caller needs to attribute the
+    failure: which job, how many attempts were spent, and — via the
+    standard exception chain (``__cause__``) — the original error raised
+    by the last attempt.
+
+    Attributes:
+        job_id: Id of the failed job within its submission.
+        attempts: Total attempts executed (1 = no retries).
+    """
+
+    def __init__(self, message: str, job_id: str = "", attempts: int = 1):
+        super().__init__(message)
+        self.job_id = job_id
+        self.attempts = attempts
+
+    def __reduce__(self):
+        # Keep the extra fields across pickling (process-pool boundaries).
+        return (type(self), (self.args[0], self.job_id, self.attempts))
+
+
+class JobTimeout(BackendError):
+    """A job's attempt exceeded its :class:`~repro.backend.FaultPolicy`
+    timeout. Always classified transient: the next attempt may be fast."""
+
+    transient = True
+
+
 class CutError(ReproError):
     """Circuit-cutting (CutQC comparator) failure."""
 

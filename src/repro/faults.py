@@ -1,0 +1,312 @@
+"""Deterministic, seed-driven fault injection for the execution layer.
+
+The resilience machinery (:class:`repro.backend.FaultPolicy`, the
+pool-crash recovery in :class:`repro.backend.ProcessPoolBackend`, the
+classical degradation path in :meth:`FrozenQubitsSolver.finalize`) only
+earns its keep if every behaviour is exercisable in CI — which needs
+faults that fire *on demand and reproducibly*, not whenever the
+infrastructure happens to misbehave. This module is that chaos harness:
+a :class:`FaultInjection` plan describes exactly which faults fire where,
+and every stochastic choice in it derives from ``(seed, job_id, attempt)``
+through a cryptographic hash, so a fault plan replays bit-identically
+across runs, backends, and worker processes.
+
+Fault kinds:
+
+* **raise-on-job-id** (``fail_jobs``) — named jobs raise
+  :class:`InjectedFault` for their first *k* attempts (``None`` = every
+  attempt, i.e. a permanently-failing job).
+* **raise-with-probability** (``fail_probability``) — each ``(job_id,
+  attempt)`` fails independently with probability *p*, decided by
+  :func:`deterministic_uniform` (transient: a retry redraws).
+* **worker-kill** (``kill_worker_jobs``) — the named job hard-kills its
+  host *worker process* (``os._exit``) on the named attempt, producing a
+  real ``BrokenProcessPool`` upstream. A no-op when the job runs in the
+  main process — there is no worker to kill.
+* **slow-job** (``slow_jobs``) — the named job sleeps before attempt 0,
+  driving it over a :class:`~repro.backend.FaultPolicy` timeout; the
+  retry runs at full speed.
+* **torn / failing cache artifact** (``cache_write_error_kinds``,
+  ``torn_cache_kinds``) — disk writes of the named artifact kinds raise
+  ``OSError`` (the ENOSPC/EACCES mid-solve scenario) or persist a
+  half-written payload (the torn-artifact scenario), exercising
+  :class:`~repro.cache.SolveCache`'s degrade and corruption-eviction
+  paths.
+
+Installation: pass a plan via ``SolverConfig(fault_injection=...)`` (it
+rides the job specs into worker processes), or export it process-wide as
+JSON in the ``REPRO_FAULTS`` environment variable — handy for chaos runs
+against an unmodified entry point. :class:`~repro.cache.SolveCache` takes
+its plan explicitly (``SolveCache(fault_injection=...)``).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import multiprocessing
+import os
+import time
+
+from dataclasses import dataclass, fields
+from typing import Any
+
+from repro.exceptions import ReproError
+
+#: Exit code used by the worker-kill fault, distinguishable from a normal
+#: interpreter death in pool post-mortems.
+KILL_EXIT_CODE = 113
+
+#: Environment variable holding a JSON-encoded process-wide fault plan.
+FAULTS_ENV_VAR = "REPRO_FAULTS"
+
+
+class InjectedFault(ReproError):
+    """An error raised on purpose by the fault-injection harness.
+
+    Attributes:
+        transient: Whether the fault is expected to clear on retry; the
+            :func:`~repro.backend.policy.classify_error` classifier honours
+            this attribute directly.
+    """
+
+    def __init__(self, message: str, transient: bool = True):
+        super().__init__(message)
+        self.transient = transient
+
+    def __reduce__(self):
+        # Survive pickling across process-pool boundaries with the flag.
+        return (type(self), (self.args[0], self.transient))
+
+
+def deterministic_uniform(seed: int, job_id: str, attempt: int) -> float:
+    """A uniform draw in ``[0, 1)`` fully determined by its arguments.
+
+    The backbone of every probabilistic decision in the fault layer (and
+    of :meth:`~repro.backend.FaultPolicy.backoff_for`'s jitter): the same
+    ``(seed, job_id, attempt)`` triple yields the same value in any
+    process, so fault plans and backoff schedules replay bit-identically.
+    """
+    digest = hashlib.sha256(
+        f"{seed}:{job_id}:{attempt}".encode("utf-8")
+    ).digest()
+    return int.from_bytes(digest[:8], "big") / 2.0**64
+
+
+def _normalize_mapping(value: Any) -> tuple:
+    """Canonicalize a dict (or pair iterable) into a sorted tuple of pairs
+    so :class:`FaultInjection` stays hashable, picklable, and eq-stable."""
+    if isinstance(value, dict):
+        items = value.items()
+    else:
+        items = tuple(tuple(pair) for pair in value)
+    return tuple(sorted((str(k), v) for k, v in items))
+
+
+@dataclass(frozen=True)
+class FaultInjection:
+    """A deterministic fault plan (see the module docstring for semantics).
+
+    Mapping-style fields accept plain dicts for convenience; they are
+    normalized to sorted tuples of pairs, so two plans built from equal
+    dicts compare (and hash, and pickle) identically.
+
+    Attributes:
+        seed: Stream seed of the probabilistic faults.
+        fail_jobs: ``job_id -> k``: attempts ``0..k-1`` raise a *transient*
+            :class:`InjectedFault`; ``None`` makes every attempt raise a
+            *permanent* one.
+        fail_probability: Per-``(job_id, attempt)`` transient failure
+            probability, decided by :func:`deterministic_uniform`.
+        kill_worker_jobs: ``job_id -> attempt``: that attempt hard-kills
+            its host worker process (no-op outside a worker).
+        slow_jobs: ``job_id -> seconds`` slept before attempt 0 only.
+        cache_write_error_kinds: Artifact kinds whose disk writes raise
+            ``OSError`` (``"*"`` = all kinds).
+        torn_cache_kinds: Artifact kinds whose disk writes persist only
+            half the JSON payload (``"*"`` = all kinds).
+    """
+
+    seed: int = 0
+    fail_jobs: tuple = ()
+    fail_probability: float = 0.0
+    kill_worker_jobs: tuple = ()
+    slow_jobs: tuple = ()
+    cache_write_error_kinds: tuple = ()
+    torn_cache_kinds: tuple = ()
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.fail_probability <= 1.0:
+            raise ValueError(
+                f"fail_probability must be in [0, 1], "
+                f"got {self.fail_probability}"
+            )
+        for name in ("fail_jobs", "kill_worker_jobs", "slow_jobs"):
+            object.__setattr__(
+                self, name, _normalize_mapping(getattr(self, name))
+            )
+        for name in ("cache_write_error_kinds", "torn_cache_kinds"):
+            value = getattr(self, name)
+            if isinstance(value, str):
+                value = (value,)
+            object.__setattr__(self, name, tuple(sorted(set(value))))
+
+    # ------------------------------------------------------------------
+    # Job-side faults
+    # ------------------------------------------------------------------
+    def fire(self, job_id: str, attempt: int) -> None:
+        """Apply every fault this plan schedules for ``(job_id, attempt)``.
+
+        Called by the backends at the start of each job attempt. May
+        sleep (slow-job), raise :class:`InjectedFault` (raise-on-job-id /
+        raise-with-probability), or terminate the host worker process
+        (worker-kill). Does nothing for jobs the plan does not name.
+        """
+        for jid, kill_attempt in self.kill_worker_jobs:
+            if jid == job_id and attempt == int(kill_attempt):
+                if multiprocessing.parent_process() is not None:
+                    os._exit(KILL_EXIT_CODE)
+                # Running in the main process: there is no worker to
+                # kill, and killing the caller would not simulate a pool
+                # fault — the kill degrades to a no-op.
+        for jid, seconds in self.slow_jobs:
+            if jid == job_id and attempt == 0:
+                time.sleep(float(seconds))
+        for jid, failing_attempts in self.fail_jobs:
+            if jid != job_id:
+                continue
+            permanent = failing_attempts is None
+            if permanent or attempt < int(failing_attempts):
+                raise InjectedFault(
+                    f"injected {'permanent' if permanent else 'transient'} "
+                    f"fault: job {job_id!r}, attempt {attempt}",
+                    transient=not permanent,
+                )
+        if self.fail_probability > 0.0:
+            draw = deterministic_uniform(self.seed, job_id, attempt)
+            if draw < self.fail_probability:
+                raise InjectedFault(
+                    f"injected probabilistic fault (p="
+                    f"{self.fail_probability}, draw={draw:.4f}): "
+                    f"job {job_id!r}, attempt {attempt}",
+                    transient=True,
+                )
+
+    # ------------------------------------------------------------------
+    # Cache-side faults
+    # ------------------------------------------------------------------
+    def should_fail_cache_write(self, kind: str) -> bool:
+        """Whether a disk write of this artifact kind raises ``OSError``."""
+        kinds = self.cache_write_error_kinds
+        return kind in kinds or "*" in kinds
+
+    def should_tear_cache_write(self, kind: str) -> bool:
+        """Whether a disk write of this kind persists a torn payload."""
+        kinds = self.torn_cache_kinds
+        return kind in kinds or "*" in kinds
+
+    # ------------------------------------------------------------------
+    # Serialization (the env hook)
+    # ------------------------------------------------------------------
+    def to_json(self) -> str:
+        """JSON form, suitable for the ``REPRO_FAULTS`` env variable."""
+        payload = {}
+        for spec in fields(self):
+            value = getattr(self, spec.name)
+            if isinstance(value, tuple):
+                value = [list(pair) if isinstance(pair, tuple) else pair
+                         for pair in value]
+            payload[spec.name] = value
+        return json.dumps(payload, sort_keys=True)
+
+    @classmethod
+    def from_json(cls, raw: str) -> "FaultInjection":
+        """Inverse of :meth:`to_json` (accepts any dict-shaped plan)."""
+        payload = json.loads(raw)
+        if not isinstance(payload, dict):
+            raise ValueError(
+                f"fault plan must be a JSON object, got {type(payload).__name__}"
+            )
+        known = {spec.name for spec in fields(cls)}
+        unknown = set(payload) - known
+        if unknown:
+            raise ValueError(
+                f"unknown fault plan fields: {sorted(unknown)}"
+            )
+        return cls(**payload)
+
+
+_env_plan_cache: "tuple[str, FaultInjection] | None" = None
+
+
+def injection_from_env() -> "FaultInjection | None":
+    """The process-wide fault plan from ``REPRO_FAULTS``, if any.
+
+    The parse is memoized per raw string, so the per-job overhead of an
+    armed environment is one env lookup plus a string compare.
+    """
+    global _env_plan_cache
+    raw = os.environ.get(FAULTS_ENV_VAR)
+    if not raw:
+        return None
+    if _env_plan_cache is not None and _env_plan_cache[0] == raw:
+        return _env_plan_cache[1]
+    plan = FaultInjection.from_json(raw)
+    _env_plan_cache = (raw, plan)
+    return plan
+
+
+def active_fault_injection(config) -> "FaultInjection | None":
+    """The fault plan governing a job: config-installed, else env-installed.
+
+    ``config`` is anything with an optional ``fault_injection`` attribute
+    (a :class:`~repro.core.SolverConfig` in practice). Returns ``None`` —
+    at the cost of one attribute probe and one env lookup — when no plan
+    is armed, which is what keeps the hardened execution path within
+    noise of the unhardened one.
+    """
+    injection = getattr(config, "fault_injection", None)
+    if injection is not None:
+        return injection
+    return injection_from_env()
+
+
+def tear_artifact(cache, kind: str, key: str, target: str = "json") -> str:
+    """Corrupt one on-disk artifact of a :class:`~repro.cache.SolveCache`.
+
+    Simulates a torn write after the fact: truncates the artifact's JSON
+    (or NPZ) file to half its length. The next read of the key must
+    degrade to a clean miss, bump the ``"corrupt"`` stat, and unlink the
+    remains — never raise.
+
+    Args:
+        cache: The cache whose disk tier holds the artifact.
+        kind: Artifact family.
+        key: Content-addressed key.
+        target: ``"json"`` or ``"npz"`` — which file to tear.
+
+    Returns:
+        The path of the torn file.
+
+    Raises:
+        FileNotFoundError: When the artifact does not exist on disk.
+    """
+    json_path, npz_path = cache._paths(kind, key)
+    path = json_path if target == "json" else npz_path
+    with open(path, "rb") as handle:
+        data = handle.read()
+    with open(path, "wb") as handle:
+        handle.write(data[: max(1, len(data) // 2)])
+    return path
+
+
+__all__ = [
+    "FAULTS_ENV_VAR",
+    "KILL_EXIT_CODE",
+    "FaultInjection",
+    "InjectedFault",
+    "active_fault_injection",
+    "deterministic_uniform",
+    "injection_from_env",
+    "tear_artifact",
+]

@@ -109,6 +109,12 @@ class RecursiveResult:
         dedup_sources: Adopting leaf path -> executed leaf path.
         cache_stats: Per-kind cache counter delta of this solve (``None``
             when caching was off).
+        num_failed_jobs: Leaf jobs (across every executed leaf) that
+            exhausted their :class:`~repro.backend.FaultPolicy` retries
+            and were covered classically — see
+            :attr:`FrozenQubitsResult.num_failed_jobs`. Always 0 without
+            a policy.
+        num_job_retries: Total retry attempts spent across all leaf jobs.
     """
 
     hamiltonian: "IsingHamiltonian"
@@ -125,6 +131,20 @@ class RecursiveResult:
     leaf_results: "dict[str, FrozenQubitsResult]" = field(default_factory=dict)
     dedup_sources: dict[str, str] = field(default_factory=dict)
     cache_stats: "dict[str, dict[str, int]] | None" = None
+    num_failed_jobs: int = 0
+    num_job_retries: int = 0
+
+    @property
+    def failure_provenance(self) -> "dict[str, dict[int, dict[str, object]]]":
+        """Per-leaf failure records: tree path -> partition index -> what
+        happened (see :attr:`FrozenQubitsResult.failure_provenance`).
+        Empty when every job succeeded."""
+        provenance = {}
+        for path, leaf_result in self.leaf_results.items():
+            leaf_provenance = leaf_result.failure_provenance
+            if leaf_provenance:
+                provenance[path] = leaf_provenance
+        return provenance
 
 
 def _nanmean(values: "list[float]") -> float:
@@ -400,12 +420,19 @@ def solve_recursive(
         ev_ideal=root.ev_ideal,
         ev_noisy=root.ev_noisy,
         num_leaves=len(leaves),
-        num_circuits_executed=len(all_jobs),
+        num_circuits_executed=len(all_jobs)
+        - sum(r.num_failed_jobs for r in leaf_results.values()),
         num_deduplicated_leaves=len(dedup_sources),
         num_closed_nodes=tree.stats.get("closed", 0),
         num_classical_nodes=tree.stats.get("classical", 0),
         leaf_results=leaf_results,
         dedup_sources=dedup_sources,
+        num_failed_jobs=sum(
+            r.num_failed_jobs for r in leaf_results.values()
+        ),
+        num_job_retries=sum(
+            r.num_job_retries for r in leaf_results.values()
+        ),
     )
     if cache is not None:
         from repro.cache.store import stats_delta
