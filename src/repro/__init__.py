@@ -81,6 +81,12 @@ from repro.qaoa import (
     build_qaoa_template,
     qaoa1_expectation,
 )
+from repro.service import (
+    ServiceConfig,
+    ServiceResult,
+    SolveRequest,
+    SolveService,
+)
 from repro.transpile import TranspileOptions, transpile
 
 __version__ = "1.0.0"
@@ -107,7 +113,11 @@ __all__ = [
     "RecursiveConfig",
     "RecursiveResult",
     "SerialBackend",
+    "ServiceConfig",
+    "ServiceResult",
     "SolveCache",
+    "SolveRequest",
+    "SolveService",
     "SolverConfig",
     "TranspileOptions",
     "approximation_ratio",

@@ -26,6 +26,7 @@ from __future__ import annotations
 
 from repro.backend.base import (
     ExecutionBackend,
+    ExecutionControl,
     JobResult,
     JobSpec,
     dependency_levels,
@@ -34,6 +35,8 @@ from repro.backend.base import (
     execute_jobs_serially,
     failed_job_result,
     inject_warm_start,
+    run_jobs,
+    set_backoff_sleeper,
     train_job,
     shared_optimums,
     trained_params,
@@ -106,6 +109,7 @@ __all__ = [
     "BACKEND_REGISTRY",
     "BatchedStatevectorBackend",
     "ExecutionBackend",
+    "ExecutionControl",
     "FaultPolicy",
     "JobResult",
     "JobSpec",
@@ -120,6 +124,8 @@ __all__ = [
     "get_default_backend",
     "inject_warm_start",
     "resolve_backend",
+    "run_jobs",
+    "set_backoff_sleeper",
     "set_default_backend",
     "train_job",
     "shared_optimums",

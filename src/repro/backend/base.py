@@ -37,10 +37,12 @@ chained) instead of the bare worker exception.
 
 from __future__ import annotations
 
+import threading
 import time
+import traceback
 from abc import ABC, abstractmethod
-from dataclasses import dataclass, replace
-from collections.abc import Sequence
+from dataclasses import dataclass, field, replace
+from collections.abc import Callable, Sequence
 from typing import TYPE_CHECKING
 
 from repro.core.solver import (
@@ -51,7 +53,13 @@ from repro.core.solver import (
     train_qaoa_instance,
 )
 from repro.devices.device import Device
-from repro.exceptions import BackendError, JobError, JobTimeout
+from repro.exceptions import (
+    BackendError,
+    DeadlineExceeded,
+    ExecutionCancelled,
+    JobError,
+    JobTimeout,
+)
 from repro.faults import active_fault_injection
 from repro.ising.hamiltonian import IsingHamiltonian
 from repro.qaoa.executor import NoiseProfile, make_context
@@ -136,6 +144,73 @@ class JobSpec:
         if self.proxy_from is not None:
             return self.proxy_from
         return self.warm_start_from
+
+
+@dataclass
+class ExecutionControl:
+    """Cooperative run-control handed to a backend alongside a submission.
+
+    The solve service (and any other long-running caller) needs three
+    things from a backend that a plain ``run(jobs)`` cannot give it: a
+    *deadline* after which the submission should stop instead of finishing
+    jobs nobody is waiting for, a *cancel switch* it can flip from another
+    thread, and a *progress callback* so per-sibling completion can stream
+    out while the submission is still running. All three are cooperative:
+    backends consult the control **between** jobs (and between retry
+    rounds), never mid-kernel, so a checkpoint costs one clock read.
+
+    Attributes:
+        deadline: Absolute deadline on ``clock``'s timeline (``None`` =
+            no deadline). Backends raise
+            :class:`~repro.exceptions.DeadlineExceeded` at the first
+            checkpoint past it.
+        cancel: Event another thread sets to abort the submission;
+            backends raise :class:`~repro.exceptions.ExecutionCancelled`
+            at the next checkpoint. Also wakes backoff sleeps early.
+        on_job_done: Called once per finished job — ``(job_id, failed)``
+            — from whatever thread ran the submission. Must be cheap and
+            must not raise; exceptions are swallowed so a broken observer
+            cannot take a solve down.
+        clock: Monotonic time source (injectable for tests).
+    """
+
+    deadline: "float | None" = None
+    cancel: "threading.Event | None" = None
+    on_job_done: "Callable[[str, bool], None] | None" = None
+    clock: "Callable[[], float]" = field(default=time.monotonic)
+
+    def remaining(self) -> "float | None":
+        """Seconds until the deadline (``None`` = unbounded)."""
+        if self.deadline is None:
+            return None
+        return self.deadline - self.clock()
+
+    def cancelled(self) -> bool:
+        """Whether the cancel switch has been flipped."""
+        return self.cancel is not None and self.cancel.is_set()
+
+    def checkpoint(self, where: str = "") -> None:
+        """Raise if the submission should stop (deadline passed or
+        cancelled); otherwise return immediately."""
+        if self.cancelled():
+            raise ExecutionCancelled(
+                f"submission cancelled{f' at {where}' if where else ''}"
+            )
+        remaining = self.remaining()
+        if remaining is not None and remaining <= 0.0:
+            raise DeadlineExceeded(
+                f"submission deadline exceeded by {-remaining:.3f}s"
+                f"{f' at {where}' if where else ''}"
+            )
+
+    def notify_job_done(self, job_id: str, failed: bool) -> None:
+        """Report one finished job to the observer (never raises)."""
+        if self.on_job_done is None:
+            return
+        try:
+            self.on_job_done(job_id, failed)
+        except Exception:  # noqa: BLE001 — observers must not kill solves
+            pass
 
 
 @dataclass
@@ -238,7 +313,10 @@ def failed_job_result(
 
     The terminal :class:`~repro.exceptions.JobError` chains the last
     attempt's exception via ``__cause__``, so tracebacks and error
-    reports keep the root cause.
+    reports keep the root cause — and carries the *formatted* root-cause
+    traceback as ``traceback_str``, because ``__cause__`` only survives
+    in memory: a provenance record written to a log must still name the
+    failing frame.
     """
     attempt_seconds = tuple(attempt_seconds)
     error = JobError(
@@ -246,6 +324,9 @@ def failed_job_result(
         f"{exc}",
         job_id=job_id,
         attempts=len(attempt_seconds),
+        traceback_str="".join(
+            traceback.format_exception(type(exc), exc, exc.__traceback__)
+        ),
     )
     error.__cause__ = exc
     return JobResult(
@@ -258,17 +339,25 @@ def failed_job_result(
     )
 
 
-def execute_job_with_policy(spec: JobSpec, policy: "FaultPolicy") -> JobResult:
+def execute_job_with_policy(
+    spec: JobSpec,
+    policy: "FaultPolicy",
+    control: "ExecutionControl | None" = None,
+) -> JobResult:
     """Run one job under a fault policy: bounded seeded retries, cooperative
     timeout, and failure containment.
 
     Never raises for a job-level error — the terminal failure comes back
     as a :class:`JobResult` with ``run=None`` and the ``error`` record,
     so the caller decides between degradation and the submission-level
-    failure budget.
+    failure budget. With a ``control``, retry checkpoints honour its
+    deadline/cancel state (those *do* raise — cancellation is not a job
+    failure) and backoff sleeps wake early on cancellation.
     """
     attempt_seconds: list[float] = []
     for attempt in range(policy.max_attempts):
+        if attempt > 0 and control is not None:
+            control.checkpoint(f"retry of job {spec.job_id!r}")
         started = time.perf_counter()
         try:
             result = execute_job(spec, attempt)
@@ -279,7 +368,7 @@ def execute_job_with_policy(spec: JobSpec, policy: "FaultPolicy") -> JobResult:
                 or attempt + 1 >= policy.max_attempts
             ):
                 return failed_job_result(spec.job_id, attempt_seconds, exc)
-            _backoff_sleep(policy, spec.job_id, attempt)
+            _backoff_sleep(policy, spec.job_id, attempt, control)
             continue
         attempt_seconds.append(result.elapsed_seconds)
         if policy.exceeds_timeout(result.elapsed_seconds):
@@ -292,7 +381,7 @@ def execute_job_with_policy(spec: JobSpec, policy: "FaultPolicy") -> JobResult:
                 return failed_job_result(
                     spec.job_id, attempt_seconds, timeout_error
                 )
-            _backoff_sleep(policy, spec.job_id, attempt)
+            _backoff_sleep(policy, spec.job_id, attempt, control)
             continue
         return JobResult(
             job_id=result.job_id,
@@ -306,11 +395,50 @@ def execute_job_with_policy(spec: JobSpec, policy: "FaultPolicy") -> JobResult:
     )  # pragma: no cover — the loop always returns
 
 
-def _backoff_sleep(policy: "FaultPolicy", job_id: str, attempt: int) -> None:
-    """Sleep the policy's deterministic backoff before a retry (0 = none)."""
+#: The function that actually sleeps a backoff delay. Injectable so test
+#: suites replaying fault schedules don't pay wall-clock sleeps and so an
+#: embedding event loop can substitute its own waiter; the asyncio solve
+#: service runs backends in worker threads where a real (interruptible)
+#: sleep is correct, but nothing may ever hard-code ``time.sleep`` here.
+_backoff_sleeper: "Callable[[float], None]" = time.sleep
+
+
+def set_backoff_sleeper(
+    sleeper: "Callable[[float], None] | None",
+) -> "Callable[[float], None]":
+    """Install the process-wide backoff sleeper; returns the previous one.
+
+    Args:
+        sleeper: Callable taking a delay in seconds (``None`` restores the
+            default ``time.sleep``). Affects every backend's retry backoff
+            in this process; callers should restore the previous sleeper
+            when done (tests: a ``try/finally``).
+    """
+    global _backoff_sleeper
+    previous = _backoff_sleeper
+    _backoff_sleeper = time.sleep if sleeper is None else sleeper
+    return previous
+
+
+def _backoff_sleep(
+    policy: "FaultPolicy",
+    job_id: str,
+    attempt: int,
+    control: "ExecutionControl | None" = None,
+) -> None:
+    """Wait the policy's deterministic backoff before a retry (0 = none).
+
+    With a cancellable :class:`ExecutionControl`, the wait rides the
+    cancel event (``Event.wait`` returns the moment it is set) so a
+    cancelled submission never sits out a multi-second backoff schedule.
+    """
     delay = policy.backoff_for(job_id, attempt)
-    if delay > 0.0:
-        time.sleep(delay)
+    if delay <= 0.0:
+        return
+    if control is not None and control.cancel is not None:
+        control.cancel.wait(delay)
+    else:
+        _backoff_sleeper(delay)
 
 
 class FailureBudget:
@@ -400,6 +528,7 @@ def trained_params(result: JobResult) -> tuple:
 def execute_jobs_serially(
     jobs: Sequence[JobSpec],
     policy: "FaultPolicy | None" = None,
+    control: "ExecutionControl | None" = None,
 ) -> list[JobResult]:
     """Run a submission in-process, honouring the dependency contract.
 
@@ -414,6 +543,13 @@ def execute_jobs_serially(
     are contained per the module docstring's fault contract: retried,
     then recorded in the job's own :class:`JobResult`; failed jobs add
     nothing to ``params_by_id``, so dependents degrade to fresh training.
+
+    A ``control`` adds the cooperative run-control layer: a checkpoint
+    before every job (deadline/cancel =>
+    :class:`~repro.exceptions.ExecutionCancelled` /
+    :class:`~repro.exceptions.DeadlineExceeded` out of the submission)
+    and an ``on_job_done`` ping after every job, which is how per-sibling
+    progress streams out of a running submission.
     """
     jobs = list(jobs)
     results: dict[int, JobResult] = {}
@@ -427,6 +563,8 @@ def execute_jobs_serially(
         # degenerate cycle-fallback levels).
         snapshot = dict(params_by_id)
         for index in level:
+            if control is not None:
+                control.checkpoint(f"job {jobs[index].job_id!r}")
             spec = inject_warm_start(jobs[index], snapshot)
             if policy is None:
                 try:
@@ -437,10 +575,12 @@ def execute_jobs_serially(
                         job_id=spec.job_id,
                     ) from exc
             else:
-                result = execute_job_with_policy(spec, policy)
+                result = execute_job_with_policy(spec, policy, control)
                 if result.failed:
                     budget.record(result)
             results[index] = result
+            if control is not None:
+                control.notify_job_done(result.job_id, result.failed)
             if not result.failed:
                 params_by_id[result.job_id] = trained_params(result)
     return [results[index] for index in range(len(jobs))]
@@ -500,8 +640,36 @@ class ExecutionBackend(ABC):
     name: str = "abstract"
 
     @abstractmethod
-    def run(self, jobs: Sequence[JobSpec]) -> list[JobResult]:
-        """Execute every job and return their results in job order."""
+    def run(
+        self,
+        jobs: Sequence[JobSpec],
+        control: "ExecutionControl | None" = None,
+    ) -> list[JobResult]:
+        """Execute every job and return their results in job order.
+
+        ``control`` is the optional cooperative run-control (deadline,
+        cancellation, per-job progress — see :class:`ExecutionControl`);
+        backends honour it at job boundaries. Call sites that have no
+        control pass nothing, so pre-control ``run(jobs)`` overrides in
+        downstream code keep working until they meet a controlled caller.
+        """
 
     def __repr__(self) -> str:
         return f"{type(self).__name__}()"
+
+
+def run_jobs(
+    backend: "ExecutionBackend",
+    jobs: Sequence[JobSpec],
+    control: "ExecutionControl | None" = None,
+) -> list[JobResult]:
+    """Dispatch a submission, passing ``control`` only when one exists.
+
+    The compatibility shim for third-party backends written against the
+    one-argument ``run(jobs)`` signature: an uncontrolled call reaches
+    them unchanged, and only a caller that actually supplies an
+    :class:`ExecutionControl` requires the two-argument form.
+    """
+    if control is None:
+        return backend.run(jobs)
+    return backend.run(jobs, control)

@@ -36,6 +36,7 @@ from typing import TYPE_CHECKING
 
 from repro.backend.base import (
     ExecutionBackend,
+    ExecutionControl,
     FailureBudget,
     JobResult,
     JobSpec,
@@ -133,13 +134,21 @@ class BatchedStatevectorBackend(ExecutionBackend):
         """The installed fault policy (``None`` = historical fail-fast)."""
         return self._fault_policy
 
-    def run(self, jobs: Sequence[JobSpec]) -> list[JobResult]:
+    def run(
+        self,
+        jobs: Sequence[JobSpec],
+        control: "ExecutionControl | None" = None,
+    ) -> list[JobResult]:
         """Train sequentially, simulate stacked, finish in job order.
 
         Training runs in dependency-level order (sources before their
         warm-start or dedup dependents, submission order within each
         level); the stacked simulation and the finish stage are unaffected
-        by the re-ordering because each job's RNG stream is its own.
+        by the re-ordering because each job's RNG stream is its own. A
+        ``control``'s deadline/cancel state is checked before every
+        training job and every stacked pass; per-job completion is
+        reported from the finish stage (the first point where a job's
+        outcome is final).
         """
         jobs = list(jobs)
         policy = self._fault_policy
@@ -154,6 +163,8 @@ class BatchedStatevectorBackend(ExecutionBackend):
             # serial reference semantics; see execute_jobs_serially.
             snapshot = dict(params_by_id)
             for index in level:
+                if control is not None:
+                    control.checkpoint(f"training {jobs[index].job_id!r}")
                 spec = inject_warm_start(jobs[index], snapshot)
                 if policy is not None:
                     instance, secs, exc = _train_with_policy(spec, policy)
@@ -203,6 +214,8 @@ class BatchedStatevectorBackend(ExecutionBackend):
                 fused_groups.setdefault(key, []).append(index)
         for members in fused_groups.values():
             for chunk_start in range(0, len(members), self._max_batch_size):
+                if control is not None:
+                    control.checkpoint("stacked simulation pass")
                 chunk = members[chunk_start : chunk_start + self._max_batch_size]
                 t0 = time.perf_counter()
                 rows = qaoa_probabilities_fanout(
@@ -273,6 +286,8 @@ class BatchedStatevectorBackend(ExecutionBackend):
         for index, spec in enumerate(jobs):
             if trained[index] is None:
                 results.append(failures[index])
+                if control is not None:
+                    control.notify_job_done(spec.job_id, True)
                 continue
             t0 = time.perf_counter()
             try:
@@ -303,6 +318,8 @@ class BatchedStatevectorBackend(ExecutionBackend):
                     attempt_seconds=secs,
                 )
             )
+            if control is not None:
+                control.notify_job_done(spec.job_id, False)
         return results
 
     def __repr__(self) -> str:

@@ -27,6 +27,7 @@ from typing import TYPE_CHECKING
 
 from repro.backend.base import (
     ExecutionBackend,
+    ExecutionControl,
     FailureBudget,
     JobResult,
     JobSpec,
@@ -85,13 +86,19 @@ class ProcessPoolBackend(ExecutionBackend):
         """The installed fault policy (``None`` = historical fail-fast)."""
         return self._fault_policy
 
-    def run(self, jobs: Sequence[JobSpec]) -> list[JobResult]:
+    def run(
+        self,
+        jobs: Sequence[JobSpec],
+        control: "ExecutionControl | None" = None,
+    ) -> list[JobResult]:
         """Execute every job across the pool; results come back in job order.
 
         Dependent jobs (warm-start seeds, dedup adoptions) are submitted
         level by level after their source jobs complete, with the trained
         parameters injected into the dependent specs before pickling —
-        workers never need to see another job's result.
+        workers never need to see another job's result. A ``control``'s
+        deadline/cancel state is honoured at submission boundaries (before
+        each level and each retry round — in-flight futures still finish).
         """
         jobs = list(jobs)
         if not jobs:
@@ -99,14 +106,19 @@ class ProcessPoolBackend(ExecutionBackend):
         # A single worker (or a single job) gains nothing from a pool;
         # skip the fork + pickle round-trip entirely.
         if self._max_workers == 1 or len(jobs) == 1:
-            return execute_jobs_serially(jobs, policy=self._fault_policy)
+            return execute_jobs_serially(
+                jobs, policy=self._fault_policy, control=control
+            )
         workers = min(self._max_workers, len(jobs))
         if self._fault_policy is None:
-            return self._run_fail_fast(jobs, workers)
-        return self._run_resilient(jobs, workers, self._fault_policy)
+            return self._run_fail_fast(jobs, workers, control)
+        return self._run_resilient(jobs, workers, self._fault_policy, control)
 
     def _run_fail_fast(
-        self, jobs: "list[JobSpec]", workers: int
+        self,
+        jobs: "list[JobSpec]",
+        workers: int,
+        control: "ExecutionControl | None" = None,
     ) -> list[JobResult]:
         """The historical semantics: first failure aborts the submission.
 
@@ -119,6 +131,8 @@ class ProcessPoolBackend(ExecutionBackend):
         params_by_id: dict = {}
         with ProcessPoolExecutor(max_workers=workers) as pool:
             for level in dependency_levels(jobs):
+                if control is not None:
+                    control.checkpoint("level submission")
                 level_specs = [
                     inject_warm_start(jobs[i], params_by_id) for i in level
                 ]
@@ -145,6 +159,8 @@ class ProcessPoolBackend(ExecutionBackend):
                             job_id=spec.job_id,
                         ) from exc
                     results[index] = result
+                    if control is not None:
+                        control.notify_job_done(result.job_id, False)
                     params_by_id[result.job_id] = trained_params(result)
         return [results[index] for index in range(len(jobs))]
 
@@ -153,6 +169,7 @@ class ProcessPoolBackend(ExecutionBackend):
         jobs: "list[JobSpec]",
         workers: int,
         policy: "FaultPolicy",
+        control: "ExecutionControl | None" = None,
     ) -> list[JobResult]:
         """Policy-governed execution: per-job containment + pool respawn.
 
@@ -178,6 +195,8 @@ class ProcessPoolBackend(ExecutionBackend):
                     i: (0, ()) for i in level
                 }
                 while pending:
+                    if control is not None:
+                        control.checkpoint("retry round submission")
                     submitted = []
                     for i in sorted(pending):
                         attempt, _ = pending[i]
@@ -227,6 +246,7 @@ class ProcessPoolBackend(ExecutionBackend):
                                 pending,
                                 results,
                                 budget,
+                                control=control,
                             )
                             continue
                         secs = secs + (result.elapsed_seconds,)
@@ -238,6 +258,8 @@ class ProcessPoolBackend(ExecutionBackend):
                             attempt_seconds=secs,
                         )
                         del pending[i]
+                        if control is not None:
+                            control.notify_job_done(result.job_id, False)
                         params_by_id[result.job_id] = trained_params(result)
                     if crashed:
                         # Completed results above are already banked; only
@@ -262,6 +284,7 @@ class ProcessPoolBackend(ExecutionBackend):
                                 results,
                                 budget,
                                 backoff=False,
+                                control=control,
                             )
         finally:
             pool.shutdown(wait=False, cancel_futures=True)
@@ -278,6 +301,7 @@ class ProcessPoolBackend(ExecutionBackend):
         results: "dict[int, JobResult]",
         budget: FailureBudget,
         backoff: bool = True,
+        control: "ExecutionControl | None" = None,
     ) -> None:
         """Charge one failed attempt to a pending job.
 
@@ -292,10 +316,12 @@ class ProcessPoolBackend(ExecutionBackend):
             failure = failed_job_result(spec.job_id, secs, exc)
             results[index] = failure
             del pending[index]
+            if control is not None:
+                control.notify_job_done(spec.job_id, True)
             budget.record(failure)
             return
         if backoff:
-            _backoff_sleep(policy, spec.job_id, attempt)
+            _backoff_sleep(policy, spec.job_id, attempt, control)
         pending[index] = (attempt + 1, secs)
 
     def __repr__(self) -> str:

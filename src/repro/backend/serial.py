@@ -12,6 +12,7 @@ from typing import TYPE_CHECKING
 
 from repro.backend.base import (
     ExecutionBackend,
+    ExecutionControl,
     JobResult,
     JobSpec,
     execute_jobs_serially,
@@ -40,9 +41,15 @@ class SerialBackend(ExecutionBackend):
         """The installed fault policy (``None`` = historical fail-fast)."""
         return self._fault_policy
 
-    def run(self, jobs: Sequence[JobSpec]) -> list[JobResult]:
+    def run(
+        self,
+        jobs: Sequence[JobSpec],
+        control: "ExecutionControl | None" = None,
+    ) -> list[JobResult]:
         """Execute every job, warm-start sources before their dependents."""
-        return execute_jobs_serially(jobs, policy=self._fault_policy)
+        return execute_jobs_serially(
+            jobs, policy=self._fault_policy, control=control
+        )
 
     def __repr__(self) -> str:
         if self._fault_policy is None:

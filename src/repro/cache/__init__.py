@@ -55,6 +55,7 @@ from repro.cache.memo import (
     memoized_spectrum,
 )
 from repro.cache.store import (
+    LAYOUT_FILE,
     SolveCache,
     stats_delta,
     summarize_stats,
@@ -104,14 +105,31 @@ def resolve_cache(cache: "SolveCache | bool | None") -> "SolveCache | None":
     )
 
 
-def cache_from_dir(cache_dir: "str | None") -> SolveCache:
-    """A disk-backed cache rooted at ``cache_dir``."""
-    return SolveCache(cache_dir=cache_dir)
+def cache_from_dir(
+    cache_dir: "str | None",
+    shard_depth: int = 1,
+    shard_width: int = 2,
+    ttl_seconds: "float | None" = None,
+    max_disk_bytes: "int | None" = None,
+) -> SolveCache:
+    """A disk-backed cache rooted at ``cache_dir``.
+
+    Sharding arguments are advisory: an existing ``cache_layout.json``
+    in the directory governs (see :class:`SolveCache`).
+    """
+    return SolveCache(
+        cache_dir=cache_dir,
+        shard_depth=shard_depth,
+        shard_width=shard_width,
+        ttl_seconds=ttl_seconds,
+        max_disk_bytes=max_disk_bytes,
+    )
 
 
 __all__ = [
     "CacheError",
     "CanonicalKey",
+    "LAYOUT_FILE",
     "SolveCache",
     "anneal_key",
     "bruteforce_key",

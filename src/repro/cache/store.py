@@ -27,6 +27,21 @@ counter, emits one ``RuntimeWarning``, and drops the cache to memory-only
 for the rest of its life — subsequent payloads tally ``"write_error"``
 without retouching the sick filesystem. A failed write never raises into a
 solve: losing persistence costs future warm-starts, not the current run.
+
+The disk tier is *sharded and shared*: keys fan out across
+``shard_depth`` directory levels of ``shard_width`` hex characters each
+(default ``1 x 2`` — the historical ``<kind>/<key[:2]>/<key>`` layout),
+so a busy shared cache never piles every artifact into one directory.
+The layout is pinned by an atomically-written ``cache_layout.json`` at
+the cache root: the first writer records its sharding, later opens adopt
+the recorded layout over their own constructor arguments — two processes
+pointed at one directory can never address the same key through
+different paths. Retention is bounded too: ``ttl_seconds`` expires
+artifacts by age at read time (an expired hit degrades to a counted
+``"expired"`` miss and is unlinked), and ``max_disk_bytes`` caps the
+tier's footprint — each write that overflows it evicts oldest-first
+(by artifact mtime) down to a 0.8 watermark, tallied per kind under
+``"disk_evictions"``.
 """
 
 from __future__ import annotations
@@ -34,6 +49,7 @@ from __future__ import annotations
 import json
 import os
 import tempfile
+import time
 import warnings
 from collections import OrderedDict
 from collections.abc import Callable
@@ -46,6 +62,16 @@ from repro.exceptions import CacheError
 #: Sentinel distinguishing "artifact exists but is unreadable" from a
 #: plain absent entry on the disk-read path.
 _CORRUPT = object()
+
+#: Sentinel for an artifact that exists but has outlived its TTL.
+_EXPIRED = object()
+
+#: Name of the layout-metadata file pinned at the cache root.
+LAYOUT_FILE = "cache_layout.json"
+
+#: Fraction of ``max_disk_bytes`` the eviction sweep drains down to, so
+#: one overflowing write does not trigger a sweep per subsequent write.
+_EVICTION_WATERMARK = 0.8
 
 
 class SolveCache:
@@ -61,6 +87,21 @@ class SolveCache:
             ``torn_cache_kinds``) this store honours on its disk writes —
             the test harness of the degrade-to-memory-only and
             torn-artifact paths.
+        shard_depth: Directory levels of key-prefix sharding under each
+            kind (0 = flat). An existing ``cache_layout.json`` at the
+            cache root overrides this argument — the recorded layout
+            governs, so every process sharing the directory addresses
+            keys identically.
+        shard_width: Key characters consumed per shard level.
+        ttl_seconds: Age bound for disk artifacts; a read older than this
+            degrades to a counted ``"expired"`` miss and unlinks the
+            artifact. ``None`` keeps artifacts forever. The memory tier
+            is unaffected (staleness is a cross-process, on-disk
+            concern).
+        max_disk_bytes: Footprint cap for the disk tier; a write that
+            overflows it evicts oldest-mtime artifacts down to
+            ``0.8 * max_disk_bytes``, tallied under ``"disk_evictions"``.
+            ``None`` leaves the tier unbounded.
     """
 
     def __init__(
@@ -68,9 +109,23 @@ class SolveCache:
         capacity: int = 4096,
         cache_dir: "str | None" = None,
         fault_injection: "object | None" = None,
+        shard_depth: int = 1,
+        shard_width: int = 2,
+        ttl_seconds: "float | None" = None,
+        max_disk_bytes: "int | None" = None,
     ):
         if capacity < 1:
             raise CacheError(f"capacity must be >= 1, got {capacity}")
+        if shard_depth < 0:
+            raise CacheError(f"shard_depth must be >= 0, got {shard_depth}")
+        if shard_width < 1:
+            raise CacheError(f"shard_width must be >= 1, got {shard_width}")
+        if ttl_seconds is not None and ttl_seconds <= 0:
+            raise CacheError(f"ttl_seconds must be > 0, got {ttl_seconds}")
+        if max_disk_bytes is not None and max_disk_bytes < 1:
+            raise CacheError(
+                f"max_disk_bytes must be >= 1, got {max_disk_bytes}"
+            )
         self._capacity = capacity
         self._cache_dir = (
             os.path.expanduser(cache_dir) if cache_dir is not None else None
@@ -79,6 +134,13 @@ class SolveCache:
         self._stats: dict[str, dict[str, int]] = {}
         self._fault_injection = fault_injection
         self._disk_write_disabled = False
+        self._shard_depth = shard_depth
+        self._shard_width = shard_width
+        self._ttl_seconds = ttl_seconds
+        self._max_disk_bytes = max_disk_bytes
+        self._layout_pinned = False
+        if self._cache_dir is not None:
+            self._adopt_layout()
 
     # ------------------------------------------------------------------
     # Introspection
@@ -92,6 +154,43 @@ class SolveCache:
     def cache_dir(self) -> "str | None":
         """Artifact directory of the disk tier (``None`` = memory only)."""
         return self._cache_dir
+
+    @property
+    def shard_depth(self) -> int:
+        """Directory levels of key-prefix sharding (post layout adoption)."""
+        return self._shard_depth
+
+    @property
+    def shard_width(self) -> int:
+        """Key characters per shard level (post layout adoption)."""
+        return self._shard_width
+
+    @property
+    def ttl_seconds(self) -> "float | None":
+        """Disk-artifact age bound (``None`` = keep forever)."""
+        return self._ttl_seconds
+
+    @property
+    def max_disk_bytes(self) -> "int | None":
+        """Disk-tier footprint cap (``None`` = unbounded)."""
+        return self._max_disk_bytes
+
+    def disk_usage(self) -> int:
+        """Total bytes currently held by the disk tier (0 if memory-only).
+
+        Walks the artifact tree; races with concurrent unlinks are
+        tolerated (a vanished file simply stops counting).
+        """
+        if self._cache_dir is None:
+            return 0
+        total = 0
+        for directory, _, names in os.walk(self._cache_dir):
+            for name in names:
+                try:
+                    total += os.stat(os.path.join(directory, name)).st_size
+                except OSError:
+                    continue
+        return total
 
     def __len__(self) -> int:
         return len(self._memory)
@@ -109,7 +208,8 @@ class SolveCache:
         bucket = self._stats.setdefault(
             kind,
             {"memory_hits": 0, "disk_hits": 0, "misses": 0, "stores": 0,
-             "evictions": 0, "corrupt": 0, "write_error": 0},
+             "evictions": 0, "corrupt": 0, "write_error": 0,
+             "expired": 0, "disk_evictions": 0},
         )
         bucket[event] += 1
 
@@ -152,6 +252,8 @@ class SolveCache:
             payload = self._read_payload(kind, key)
             if payload is _CORRUPT:
                 self._discard_corrupt(kind, key)
+            elif payload is _EXPIRED:
+                self._discard_expired(kind, key)
             elif payload is not None:
                 try:
                     value = rebuild(payload)
@@ -219,20 +321,42 @@ class SolveCache:
     # ------------------------------------------------------------------
     # Disk tier
     # ------------------------------------------------------------------
+    def _shard(self, key: str) -> "list[str]":
+        """The key-prefix shard directories for one key (maybe empty)."""
+        parts = []
+        for level in range(self._shard_depth):
+            part = key[level * self._shard_width : (level + 1) * self._shard_width]
+            if not part:
+                break  # key shorter than the layout; stop sharding cleanly
+            parts.append(part)
+        return parts
+
     def _paths(self, kind: str, key: str) -> tuple[str, str]:
-        stem = os.path.join(self._cache_dir, kind, key[:2], key)
+        stem = os.path.join(self._cache_dir, kind, *self._shard(key), key)
         return stem + ".json", stem + ".npz"
 
     def _read_payload(self, kind: str, key: str) -> "dict | None | object":
-        """One artifact's payload: a dict, ``None`` (absent), or ``_CORRUPT``.
+        """One artifact's payload: a dict, ``None`` (absent), ``_EXPIRED``,
+        or ``_CORRUPT``.
 
-        Absent means the json file does not exist — a plain miss. Anything
-        else that fails (unparsable json, a non-dict payload, a torn or
-        missing ``.npz`` sibling the json promised) is corruption: the
-        artifact exists but can never be read, so the caller should
-        discard it rather than re-fail on every lookup.
+        Absent means the json file does not exist — a plain miss. An
+        artifact older than ``ttl_seconds`` is ``_EXPIRED`` (discarded,
+        counted, then missed). Anything else that fails (unparsable json,
+        a non-dict payload, a torn or missing ``.npz`` sibling the json
+        promised) is corruption: the artifact exists but can never be
+        read, so the caller should discard it rather than re-fail on
+        every lookup.
         """
         json_path, npz_path = self._paths(kind, key)
+        if self._ttl_seconds is not None:
+            try:
+                age = time.time() - os.stat(json_path).st_mtime
+            except FileNotFoundError:
+                return None
+            except OSError:
+                return _CORRUPT
+            if age > self._ttl_seconds:
+                return _EXPIRED
         try:
             with open(json_path, encoding="utf-8") as handle:
                 payload = json.load(handle)
@@ -267,12 +391,131 @@ class SolveCache:
             except OSError:
                 pass
 
+    def _discard_expired(self, kind: str, key: str) -> None:
+        """Tally and unlink an artifact that outlived its TTL."""
+        self._tally(kind, "expired")
+        for path in self._paths(kind, key):
+            try:
+                os.unlink(path)
+            except OSError:
+                pass
+
+    # ------------------------------------------------------------------
+    # Layout metadata
+    # ------------------------------------------------------------------
+    def _adopt_layout(self) -> None:
+        """Adopt the sharding recorded in ``cache_layout.json``, if any.
+
+        Called at open time. The file governs on conflict: a directory's
+        first writer pins the layout and every later opener addresses
+        keys through it, whatever their constructor said — otherwise two
+        processes could shard the same key to different paths. A torn or
+        unreadable layout file is ignored (the next pin heals it
+        atomically).
+        """
+        path = os.path.join(self._cache_dir, LAYOUT_FILE)
+        try:
+            with open(path, encoding="utf-8") as handle:
+                recorded = json.load(handle)
+        except (OSError, ValueError):
+            return
+        if not isinstance(recorded, dict):
+            return
+        depth = recorded.get("shard_depth")
+        width = recorded.get("shard_width")
+        if isinstance(depth, int) and depth >= 0:
+            self._shard_depth = depth
+        if isinstance(width, int) and width >= 1:
+            self._shard_width = width
+        self._layout_pinned = True
+
+    def _pin_layout(self) -> None:
+        """Persist this cache's layout atomically before its first write.
+
+        Write-then-rename, so a crash mid-pin leaves either no layout
+        file (the next writer pins) or a complete one — never a torn
+        record that would silently flatten another process's sharding.
+        """
+        if self._layout_pinned:
+            return
+        os.makedirs(self._cache_dir, exist_ok=True)
+        # Another process may have pinned between our open and this
+        # write; re-adopt first so we never overwrite a live layout.
+        self._adopt_layout()
+        if self._layout_pinned:
+            return
+        record = {
+            "version": 1,
+            "shard_depth": self._shard_depth,
+            "shard_width": self._shard_width,
+        }
+        path = os.path.join(self._cache_dir, LAYOUT_FILE)
+
+        def write_layout(fd: int) -> None:
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                json.dump(record, handle)
+
+        self._atomic_write(self._cache_dir, ".layout.tmp", path, write_layout)
+        self._layout_pinned = True
+
+    # ------------------------------------------------------------------
+    # Retention
+    # ------------------------------------------------------------------
+    def _enforce_disk_budget(self) -> None:
+        """Evict oldest artifacts until the tier fits ``max_disk_bytes``.
+
+        Runs after each disk write when a cap is set. Collects every
+        artifact (json + optional npz sibling) with its mtime, and if the
+        total exceeds the cap, unlinks oldest-first down to the 0.8
+        watermark — so one sweep buys headroom instead of thrashing.
+        Races with concurrent writers/readers are tolerated: a vanished
+        file neither counts nor fails the sweep.
+        """
+        cap = self._max_disk_bytes
+        artifacts = []  # (mtime, size, kind, [paths])
+        total = 0
+        for directory, _, names in os.walk(self._cache_dir):
+            for name in names:
+                if not name.endswith(".json") or name == LAYOUT_FILE:
+                    continue
+                json_path = os.path.join(directory, name)
+                npz_path = json_path[: -len(".json")] + ".npz"
+                try:
+                    stat = os.stat(json_path)
+                except OSError:
+                    continue
+                size = stat.st_size
+                paths = [json_path]
+                try:
+                    size += os.stat(npz_path).st_size
+                    paths.append(npz_path)
+                except OSError:
+                    pass
+                relative = os.path.relpath(json_path, self._cache_dir)
+                kind = relative.split(os.sep, 1)[0]
+                artifacts.append((stat.st_mtime, size, kind, paths))
+                total += size
+        if total <= cap:
+            return
+        watermark = cap * _EVICTION_WATERMARK
+        for _, size, kind, paths in sorted(artifacts, key=lambda a: a[0]):
+            if total <= watermark:
+                break
+            for path in paths:
+                try:
+                    os.unlink(path)
+                except OSError:
+                    pass
+            total -= size
+            self._tally(kind, "disk_evictions")
+
     def _write_payload(self, kind: str, key: str, payload: dict) -> None:
         injection = self._fault_injection
         if injection is not None and injection.should_fail_cache_write(kind):
             raise OSError(
                 28, f"injected cache write failure (kind {kind!r})"
             )
+        self._pin_layout()
         json_path, npz_path = self._paths(kind, key)
         os.makedirs(os.path.dirname(json_path), exist_ok=True)
         payload = dict(payload)
@@ -300,6 +543,8 @@ class SolveCache:
                 data = handle.read()
             with open(json_path, "wb") as handle:
                 handle.write(data[: max(1, len(data) // 2)])
+        if self._max_disk_bytes is not None:
+            self._enforce_disk_budget()
 
     @staticmethod
     def _atomic_write(

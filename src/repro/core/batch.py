@@ -24,7 +24,7 @@ from repro.ising.hamiltonian import IsingHamiltonian
 from repro.utils.rng import spawn_seeds
 
 if TYPE_CHECKING:
-    from repro.backend.base import ExecutionBackend
+    from repro.backend.base import ExecutionBackend, ExecutionControl
     from repro.cache.store import SolveCache
     from repro.planning.budget import ExecutionBudget
     from repro.planning.planner import FreezePlan
@@ -57,6 +57,7 @@ def solve_many(
     plans: "FreezePlan | Sequence[FreezePlan | None] | None" = None,
     warm_start: "bool | None" = None,
     cache: "SolveCache | bool | None" = None,
+    control: "ExecutionControl | None" = None,
 ) -> list[FrozenQubitsResult]:
     """Solve a batch of problems with one backend submission.
 
@@ -93,11 +94,14 @@ def solve_many(
             reuse happens naturally: identical instances in the batch
             transpile and train once. Each result's ``cache_stats``
             carries the *batch-wide* counter delta.
+        control: Optional :class:`~repro.backend.ExecutionControl` whose
+            deadline/cancel signal and per-job progress callback cover
+            the whole batch submission (checked between jobs only).
 
     Returns:
         One :class:`FrozenQubitsResult` per problem, in input order.
     """
-    from repro.backend import resolve_backend
+    from repro.backend import resolve_backend, run_jobs
     from repro.cache import resolve_cache
 
     solve_cache = resolve_cache(cache)
@@ -162,7 +166,7 @@ def solve_many(
                     job.params_from = trainer
                     job.warm_start_from = None
 
-    all_results = resolve_backend(backend).run(all_jobs)
+    all_results = run_jobs(resolve_backend(backend), all_jobs, control)
 
     results = []
     cursor = 0

@@ -85,7 +85,7 @@ from repro.utils.bitstrings import spins_to_bits
 from repro.utils.rng import ensure_rng, spawn_seeds
 
 if TYPE_CHECKING:
-    from repro.backend.base import ExecutionBackend
+    from repro.backend.base import ExecutionBackend, ExecutionControl
     from repro.cache.store import SolveCache
     from repro.planning.budget import ExecutionBudget
     from repro.planning.planner import FreezePlan
@@ -795,10 +795,11 @@ class FrozenQubitsResult:
         """What happened to every ``"failed"`` cell.
 
         Maps partition index -> ``attempts`` spent before the job gave
-        up, the terminal ``error`` message, and the ``covered_value`` its
-        classical coverage actually reports — so degraded solves stay
-        auditable without digging through logs. Empty when every job
-        succeeded.
+        up, the terminal ``error`` message, the formatted root-cause
+        ``traceback`` captured at failure time, and the
+        ``covered_value`` its classical coverage actually reports — so
+        degraded solves stay auditable without digging through logs.
+        Empty when every job succeeded.
         """
         provenance: dict[int, dict[str, object]] = {}
         for outcome in self.outcomes:
@@ -807,6 +808,7 @@ class FrozenQubitsResult:
             provenance[outcome.subproblem.index] = {
                 "attempts": getattr(outcome.error, "attempts", 1),
                 "error": str(outcome.error),
+                "traceback": getattr(outcome.error, "traceback_str", ""),
                 "covered_value": float(outcome.best_value),
             }
         return provenance
@@ -1587,6 +1589,7 @@ class FrozenQubitsSolver:
         hamiltonian: IsingHamiltonian,
         device: "Device | None" = None,
         backend: "ExecutionBackend | str | None" = None,
+        control: "ExecutionControl | None" = None,
     ) -> FrozenQubitsResult:
         """Run the full pipeline on a problem.
 
@@ -1598,6 +1601,12 @@ class FrozenQubitsSolver:
                 (``"serial"``, ``"process"``, ``"batched"``), or ``None``
                 for the session default (serial unless overridden via
                 :func:`repro.backend.set_default_backend`).
+            control: Optional :class:`~repro.backend.ExecutionControl`
+                carrying a cooperative deadline/cancel signal and a
+                per-job progress callback into the backend fan-out (the
+                solve service's deadline plumbing; see
+                :mod:`repro.service`). Checked between jobs only — a
+                running job is never interrupted mid-flight.
 
         Returns:
             A :class:`FrozenQubitsResult` — or, when ``config.recursive``
@@ -1605,7 +1614,7 @@ class FrozenQubitsSolver:
             multi-level freeze tree (same ``best_spins`` / ``best_value``
             / ``ev_*`` surface, plus the executed tree).
         """
-        from repro.backend import resolve_backend
+        from repro.backend import resolve_backend, run_jobs
 
         if self._config.recursive:
             from repro.recursive.solve import solve_recursive
@@ -1624,7 +1633,7 @@ class FrozenQubitsSolver:
             self._cache.stats_snapshot() if self._cache is not None else None
         )
         prepared = self.prepare_jobs(hamiltonian, device)
-        results = resolve_backend(backend).run(prepared.jobs)
+        results = run_jobs(resolve_backend(backend), prepared.jobs, control)
         result = self.finalize(prepared, results)
         if self._cache is not None:
             from repro.cache.store import stats_delta

@@ -72,16 +72,30 @@ class JobError(BackendError):
     Attributes:
         job_id: Id of the failed job within its submission.
         attempts: Total attempts executed (1 = no retries).
+        traceback_str: Formatted traceback of the root cause, captured at
+            failure time. ``__cause__`` chaining only survives in memory;
+            this string survives pickling and logging, so service-side
+            post-mortems can work from a provenance record alone.
     """
 
-    def __init__(self, message: str, job_id: str = "", attempts: int = 1):
+    def __init__(
+        self,
+        message: str,
+        job_id: str = "",
+        attempts: int = 1,
+        traceback_str: str = "",
+    ):
         super().__init__(message)
         self.job_id = job_id
         self.attempts = attempts
+        self.traceback_str = traceback_str
 
     def __reduce__(self):
         # Keep the extra fields across pickling (process-pool boundaries).
-        return (type(self), (self.args[0], self.job_id, self.attempts))
+        return (
+            type(self),
+            (self.args[0], self.job_id, self.attempts, self.traceback_str),
+        )
 
 
 class JobTimeout(BackendError):
@@ -89,6 +103,71 @@ class JobTimeout(BackendError):
     timeout. Always classified transient: the next attempt may be fast."""
 
     transient = True
+
+
+class ExecutionCancelled(ReproError):
+    """A backend submission was aborted cooperatively.
+
+    Raised *between* jobs when an :class:`~repro.backend.ExecutionControl`
+    says the caller no longer wants the work (every waiter timed out or
+    cancelled, or the service is shutting down hard). Deliberately not a
+    :class:`BackendError`: cancellation says nothing about backend health,
+    so circuit breakers and failure budgets must not count it.
+    """
+
+    transient = False
+
+
+class DeadlineExceeded(ExecutionCancelled):
+    """A backend submission ran past its cooperative deadline."""
+
+
+class ServiceError(ReproError):
+    """Solve-service orchestration failure (see :mod:`repro.service`)."""
+
+
+class ServiceOverloaded(ServiceError):
+    """The admission queue is full: the request was load-shed, not queued.
+
+    Explicit backpressure — the caller should retry later or slow down;
+    the service sheds instead of growing memory without bound.
+    """
+
+
+class ServiceClosed(ServiceError):
+    """The service is draining or stopped; new submissions are rejected."""
+
+
+class ServiceUnavailable(ServiceError):
+    """The backend circuit breaker is open and classical degradation is
+    disabled — the request cannot be served right now."""
+
+
+class ServiceTimeout(ServiceError):
+    """A request's deadline expired before its solve completed.
+
+    Structured: carries the request id and a provenance dict (deadline,
+    elapsed, stage reached) so post-mortems work from the exception alone.
+
+    Attributes:
+        request_id: The request that timed out.
+        provenance: Deadline/elapsed/stage details at expiry.
+    """
+
+    transient = True
+
+    def __init__(
+        self,
+        message: str,
+        request_id: str = "",
+        provenance: "dict | None" = None,
+    ):
+        super().__init__(message)
+        self.request_id = request_id
+        self.provenance = dict(provenance or {})
+
+    def __reduce__(self):
+        return (type(self), (self.args[0], self.request_id, self.provenance))
 
 
 class CutError(ReproError):

@@ -32,6 +32,13 @@ Fault kinds:
   half-written payload (the torn-artifact scenario), exercising
   :class:`~repro.cache.SolveCache`'s degrade and corruption-eviction
   paths.
+* **service request faults** (``fail_requests``, ``slow_requests``) —
+  the :mod:`repro.service` layer's own chaos hooks: a named request id
+  raises :class:`InjectedFault` before its solve dispatches (first *k*
+  submissions transient, ``None`` = always/permanent), or sleeps inside
+  its solve to drive it over a deadline. Fired by
+  :class:`~repro.service.SolveService`, not by the backends — job-side
+  faults cannot distinguish two coalesced requests, these can.
 
 Installation: pass a plan via ``SolverConfig(fault_injection=...)`` (it
 rides the job specs into worker processes), or export it process-wide as
@@ -125,6 +132,12 @@ class FaultInjection:
             ``OSError`` (``"*"`` = all kinds).
         torn_cache_kinds: Artifact kinds whose disk writes persist only
             half the JSON payload (``"*"`` = all kinds).
+        fail_requests: ``request_id -> k``: the request's first *k*
+            service dispatches raise a *transient* :class:`InjectedFault`;
+            ``None`` makes every dispatch raise a *permanent* one.
+        slow_requests: ``request_id -> seconds`` slept inside the
+            request's solve before the backend runs (every dispatch) —
+            the deterministic way to drive one request over its deadline.
     """
 
     seed: int = 0
@@ -134,6 +147,8 @@ class FaultInjection:
     slow_jobs: tuple = ()
     cache_write_error_kinds: tuple = ()
     torn_cache_kinds: tuple = ()
+    fail_requests: tuple = ()
+    slow_requests: tuple = ()
 
     def __post_init__(self) -> None:
         if not 0.0 <= self.fail_probability <= 1.0:
@@ -141,7 +156,13 @@ class FaultInjection:
                 f"fail_probability must be in [0, 1], "
                 f"got {self.fail_probability}"
             )
-        for name in ("fail_jobs", "kill_worker_jobs", "slow_jobs"):
+        for name in (
+            "fail_jobs",
+            "kill_worker_jobs",
+            "slow_jobs",
+            "fail_requests",
+            "slow_requests",
+        ):
             object.__setattr__(
                 self, name, _normalize_mapping(getattr(self, name))
             )
@@ -191,6 +212,35 @@ class FaultInjection:
                     f"job {job_id!r}, attempt {attempt}",
                     transient=True,
                 )
+
+    # ------------------------------------------------------------------
+    # Service-side faults
+    # ------------------------------------------------------------------
+    def fire_request(self, request_id: str, dispatch: int) -> None:
+        """Apply the raise-on-request-id fault for one service dispatch.
+
+        Called by :class:`~repro.service.SolveService` just before a
+        request's solve runs; ``dispatch`` counts the request's prior
+        dispatches (a resubmitted request advances it, so transient
+        request faults clear on retry like transient job faults do).
+        """
+        for rid, failing in self.fail_requests:
+            if rid != request_id:
+                continue
+            permanent = failing is None
+            if permanent or dispatch < int(failing):
+                raise InjectedFault(
+                    f"injected {'permanent' if permanent else 'transient'} "
+                    f"fault: request {request_id!r}, dispatch {dispatch}",
+                    transient=not permanent,
+                )
+
+    def request_delay(self, request_id: str) -> float:
+        """Seconds the named request's solve must sleep (0.0 = none)."""
+        for rid, seconds in self.slow_requests:
+            if rid == request_id:
+                return float(seconds)
+        return 0.0
 
     # ------------------------------------------------------------------
     # Cache-side faults

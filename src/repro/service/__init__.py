@@ -1,0 +1,71 @@
+"""Resilient solve service: async orchestration over the solve pipeline.
+
+This package is the production frontend the ROADMAP's "heavy traffic"
+north star asks for: a single :class:`SolveService` that multiplexes
+thousands of concurrent solve requests over the existing execution
+backends with bounded admission (explicit load shedding), per-request
+deadlines that propagate into the backends as cooperative cancellation,
+in-flight coalescing of identical requests (N concurrent duplicates →
+one training run, every response bit-identical to a direct solve), a
+circuit breaker with classical degradation, graceful drain, and a typed
+event stream for observability.
+
+Quick start::
+
+    import asyncio
+    from repro.service import ServiceConfig, SolveService
+
+    async def main():
+        async with SolveService(ServiceConfig(max_concurrency=4)) as svc:
+            result = await svc.solve(h, num_frozen=1, seed=7,
+                                     deadline_seconds=30.0)
+            print(result.status, result.raise_for_status().best_value)
+
+    asyncio.run(main())
+
+``python -m repro.service --smoke`` runs the self-checking smoke used
+by CI (coalescing + chaos + drain assertions).
+"""
+
+from __future__ import annotations
+
+from repro.service.breaker import CLOSED, HALF_OPEN, OPEN, CircuitBreaker
+from repro.service.events import (
+    BreakerStateChanged,
+    RequestAdmitted,
+    RequestCoalesced,
+    RequestFinished,
+    RequestShed,
+    RequestStarted,
+    ServiceDraining,
+    ServiceEvent,
+    SiblingProgress,
+)
+from repro.service.service import (
+    ServiceConfig,
+    ServiceResult,
+    SolveRequest,
+    SolveService,
+    default_execute,
+)
+
+__all__ = [
+    "BreakerStateChanged",
+    "CLOSED",
+    "CircuitBreaker",
+    "HALF_OPEN",
+    "OPEN",
+    "RequestAdmitted",
+    "RequestCoalesced",
+    "RequestFinished",
+    "RequestShed",
+    "RequestStarted",
+    "ServiceConfig",
+    "ServiceDraining",
+    "ServiceEvent",
+    "ServiceResult",
+    "SiblingProgress",
+    "SolveRequest",
+    "SolveService",
+    "default_execute",
+]

@@ -1,0 +1,267 @@
+"""Command-line driver for the solve service: demo and CI smoke modes.
+
+Plain mode solves one random benchmark instance through the service and
+prints the result as JSON. ``--smoke`` is the self-checking mode CI
+runs: it submits ``--unique`` distinct problems times ``--duplicates``
+concurrent copies each, then asserts the production invariants —
+coalescing held (at most two dispatches per distinct problem), every
+response was bit-identical to a direct ``solver.solve()`` of the same
+seed, chaos-injected transients were retried away when a fault plan is
+armed (``--expect-retries``), and the drain was clean (in-flight
+requests finished, new ones rejected). Exit status 0 means every
+assertion held.
+
+Chaos comes in from the outside: export a fault plan in the
+``REPRO_FAULTS`` environment variable (see :mod:`repro.faults`) and
+give the backends headroom to absorb it with ``--retries``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import json
+import sys
+
+import numpy as np
+
+from repro.backend import BACKEND_REGISTRY, FaultPolicy
+from repro.exceptions import ServiceClosed
+from repro.graphs.generators import random_regular_graph
+from repro.ising.hamiltonian import random_pm1_hamiltonian
+from repro.service import ServiceConfig, SolveRequest, SolveService
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.service",
+        description="Run the resilient solve service (demo or CI smoke).",
+    )
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="self-checking mode: concurrent duplicates, coalescing and "
+        "drain assertions, exit 0 only if every invariant held",
+    )
+    parser.add_argument(
+        "--unique", type=int, default=2,
+        help="distinct problems in the smoke (default 2)",
+    )
+    parser.add_argument(
+        "--duplicates", type=int, default=8,
+        help="concurrent copies of each problem (default 8)",
+    )
+    parser.add_argument(
+        "--nodes", type=int, default=8,
+        help="instance size: nodes of the 3-regular benchmark graph",
+    )
+    parser.add_argument(
+        "--num-frozen", type=int, default=1, help="qubits to freeze, m"
+    )
+    parser.add_argument("--seed", type=int, default=7, help="base solver seed")
+    parser.add_argument(
+        "--backend",
+        choices=sorted(BACKEND_REGISTRY),
+        default="serial",
+        help="execution backend behind the service",
+    )
+    parser.add_argument(
+        "--retries", type=int, default=0,
+        help="FaultPolicy max_retries for the backend (0 = fail-fast)",
+    )
+    parser.add_argument(
+        "--deadline", type=float, default=None,
+        help="per-request deadline in seconds (default: none)",
+    )
+    parser.add_argument(
+        "--concurrency", type=int, default=4, help="service worker tasks"
+    )
+    parser.add_argument(
+        "--queue-depth", type=int, default=256, help="admission queue bound"
+    )
+    parser.add_argument(
+        "--expect-retries",
+        action="store_true",
+        help="smoke assertion: the armed fault plan must have caused at "
+        "least one job retry (chaos actually fired)",
+    )
+    return parser
+
+
+def _make_backend(args: argparse.Namespace):
+    cls = BACKEND_REGISTRY[args.backend]
+    if args.retries <= 0:
+        return cls()
+    return cls(fault_policy=FaultPolicy(max_retries=args.retries))
+
+
+def _problem(nodes: int, index: int):
+    graph = random_regular_graph(nodes, degree=3, seed=1000 + index)
+    return random_pm1_hamiltonian(graph, seed=2000 + index)
+
+
+def _reference_signature(hamiltonian, args, seed):
+    """What a direct (service-free) solve of this request returns."""
+    from repro.core.solver import FrozenQubitsSolver
+
+    solver = FrozenQubitsSolver(num_frozen=args.num_frozen, seed=seed)
+    result = solver.solve(hamiltonian, backend=_make_backend(args))
+    return (
+        float(result.best_value),
+        tuple(int(s) for s in np.asarray(result.best_spins)),
+    )
+
+
+async def _run_single(args: argparse.Namespace) -> int:
+    hamiltonian = _problem(args.nodes, 0)
+    config = ServiceConfig(
+        max_queue_depth=args.queue_depth,
+        max_concurrency=args.concurrency,
+        default_deadline_seconds=args.deadline,
+    )
+    async with SolveService(config) as service:
+        result = await service.solve(
+            hamiltonian,
+            num_frozen=args.num_frozen,
+            seed=args.seed,
+            backend=_make_backend(args),
+        )
+        payload = {
+            "request_id": result.request_id,
+            "status": result.status,
+            "elapsed_seconds": result.elapsed_seconds,
+            "stats": service.stats(),
+        }
+        if result.ok:
+            payload["best_value"] = float(result.value.best_value)
+        else:
+            payload["error"] = str(result.error)
+        print(json.dumps(payload, indent=2, default=str))
+    return 0 if result.ok else 1
+
+
+async def _run_smoke(args: argparse.Namespace) -> int:
+    failures: list[str] = []
+
+    def check(condition: bool, message: str) -> None:
+        if not condition:
+            failures.append(message)
+
+    problems = [_problem(args.nodes, i) for i in range(args.unique)]
+    references = [
+        _reference_signature(h, args, args.seed + i)
+        for i, h in enumerate(problems)
+    ]
+
+    config = ServiceConfig(
+        max_queue_depth=args.queue_depth,
+        max_concurrency=args.concurrency,
+        default_deadline_seconds=args.deadline,
+    )
+    service = SolveService(config)
+    events = None
+    async with service:
+        events = service.subscribe()
+        futures = []
+        for copy in range(args.duplicates):
+            for index, hamiltonian in enumerate(problems):
+                futures.append(
+                    await service.submit(
+                        SolveRequest(
+                            hamiltonian=hamiltonian,
+                            request_id=f"smoke-p{index}-c{copy}",
+                            num_frozen=args.num_frozen,
+                            seed=args.seed + index,
+                            backend=_make_backend(args),
+                        )
+                    )
+                )
+        results = await asyncio.gather(*futures)
+
+        # --- invariant: every request succeeded ---------------------------
+        bad = [r.request_id for r in results if r.status != "ok"]
+        check(not bad, f"non-ok requests: {bad}")
+
+        # --- invariant: coalescing held -----------------------------------
+        stats = service.stats()
+        check(
+            stats["dispatches"] <= 2 * args.unique,
+            f"{stats['dispatches']} dispatches for {args.unique} distinct "
+            f"problems x {args.duplicates} copies (expected <= "
+            f"{2 * args.unique})",
+        )
+        check(
+            stats["coalesced"] >= len(results) - 2 * args.unique,
+            f"only {stats['coalesced']} of {len(results)} requests "
+            f"coalesced",
+        )
+
+        # --- invariant: bit-identical to a direct solve -------------------
+        for result in results:
+            if result.status != "ok":
+                continue
+            index = int(result.request_id.split("-")[1][1:])
+            signature = (
+                float(result.value.best_value),
+                tuple(int(s) for s in np.asarray(result.value.best_spins)),
+            )
+            check(
+                signature == references[index],
+                f"{result.request_id}: service result {signature} != "
+                f"direct solve {references[index]}",
+            )
+
+        # --- invariant: chaos fired and was absorbed ----------------------
+        if args.expect_retries:
+            retries = sum(
+                getattr(r.value, "num_job_retries", 0)
+                for r in results
+                if r.status == "ok"
+            )
+            check(retries > 0, "fault plan armed but no job retries seen")
+            failed_jobs = sum(
+                getattr(r.value, "num_failed_jobs", 0)
+                for r in results
+                if r.status == "ok"
+            )
+            check(
+                failed_jobs == 0,
+                f"{failed_jobs} jobs failed terminally under chaos",
+            )
+
+        # --- invariant: clean drain ---------------------------------------
+        await service.drain()
+        try:
+            await service.submit(SolveRequest(hamiltonian=problems[0]))
+        except ServiceClosed:
+            pass
+        else:
+            check(False, "draining service accepted a new request")
+        check(
+            all(f.done() for f in futures),
+            "drain returned with unresolved futures",
+        )
+
+    drained_events = []
+    while not events.empty():
+        drained_events.append(events.get_nowait().kind)
+    report = {
+        "ok": not failures,
+        "failures": failures,
+        "stats": stats,
+        "event_counts": {
+            kind: drained_events.count(kind) for kind in sorted(set(drained_events))
+        },
+    }
+    print(json.dumps(report, indent=2, default=str))
+    return 0 if not failures else 1
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    args = _build_parser().parse_args(argv)
+    runner = _run_smoke if args.smoke else _run_single
+    return asyncio.run(runner(args))
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,165 @@
+"""Circuit breaker guarding the solve service's backend dispatch path.
+
+The classic three-state machine (closed → open → half-open → closed),
+tuned for the solve service's failure model:
+
+* **closed** — dispatches flow; consecutive failures are counted, and a
+  success resets the count (failures must be *consecutive* to trip —
+  a backend that fails one request in ten is degraded, not down).
+* **open** — dispatches are refused for ``reset_seconds``; the service
+  degrades to its classical fallback (or fails fast) instead of queueing
+  work onto a backend that is burning every request.
+* **half-open** — after the cooldown, a bounded number of probe
+  dispatches are let through; one success closes the breaker, one
+  failure re-opens it and restarts the cooldown.
+
+Only *backend-health* signals count: the service feeds the breaker
+dispatch outcomes, and cooperative cancellations
+(:class:`~repro.exceptions.ExecutionCancelled`) are explicitly not
+failures — a caller abandoning a request says nothing about the backend.
+
+The breaker is single-threaded by design (the service drives it from
+the event loop only) and takes an injectable monotonic clock so tests
+can step through cooldowns without sleeping.
+"""
+
+from __future__ import annotations
+
+import time
+from collections.abc import Callable
+
+from repro.exceptions import ServiceError
+
+#: The three breaker states.
+CLOSED = "closed"
+OPEN = "open"
+HALF_OPEN = "half_open"
+
+
+class CircuitBreaker:
+    """Consecutive-failure circuit breaker with half-open probing.
+
+    Args:
+        failure_threshold: Consecutive failures that trip closed → open.
+        reset_seconds: Cooldown before an open breaker admits probes.
+        half_open_probes: Concurrent probe dispatches allowed while
+            half-open.
+        clock: Monotonic time source (injectable for tests).
+        on_state_change: Called ``(old_state, new_state)`` on every
+            transition; must not raise.
+    """
+
+    def __init__(
+        self,
+        failure_threshold: int = 5,
+        reset_seconds: float = 30.0,
+        half_open_probes: int = 1,
+        clock: "Callable[[], float]" = time.monotonic,
+        on_state_change: "Callable[[str, str], None] | None" = None,
+    ) -> None:
+        if failure_threshold < 1:
+            raise ServiceError(
+                f"failure_threshold must be >= 1, got {failure_threshold}"
+            )
+        if reset_seconds < 0:
+            raise ServiceError(
+                f"reset_seconds must be >= 0, got {reset_seconds}"
+            )
+        if half_open_probes < 1:
+            raise ServiceError(
+                f"half_open_probes must be >= 1, got {half_open_probes}"
+            )
+        self._failure_threshold = failure_threshold
+        self._reset_seconds = reset_seconds
+        self._half_open_probes = half_open_probes
+        self._clock = clock
+        self._on_state_change = on_state_change
+        self._state = CLOSED
+        self._consecutive_failures = 0
+        self._opened_at = 0.0
+        self._probes_in_flight = 0
+
+    @property
+    def state(self) -> str:
+        """Current state, cooldown-aware: an open breaker whose cooldown
+        has elapsed reports (and becomes) ``"half_open"``."""
+        if (
+            self._state == OPEN
+            and self._clock() - self._opened_at >= self._reset_seconds
+        ):
+            self._transition(HALF_OPEN)
+            self._probes_in_flight = 0
+        return self._state
+
+    @property
+    def consecutive_failures(self) -> int:
+        """Failures since the last success (resets on success/close)."""
+        return self._consecutive_failures
+
+    def allow(self) -> bool:
+        """Whether one dispatch may proceed right now.
+
+        Closed always allows. Open refuses until the cooldown elapses.
+        Half-open allows up to ``half_open_probes`` concurrent probes —
+        an allowed half-open dispatch *is* a probe and must be settled
+        with :meth:`record_success` or :meth:`record_failure`.
+        """
+        state = self.state  # cooldown-aware: may flip open -> half-open
+        if state == CLOSED:
+            return True
+        if state == OPEN:
+            return False
+        if self._probes_in_flight >= self._half_open_probes:
+            return False
+        self._probes_in_flight += 1
+        return True
+
+    def record_success(self) -> None:
+        """Settle one dispatch as healthy; closes a half-open breaker."""
+        self._consecutive_failures = 0
+        if self._state == HALF_OPEN:
+            self._probes_in_flight = 0
+            self._transition(CLOSED)
+
+    def release(self) -> None:
+        """Settle one dispatch with *no* health verdict (it was cancelled
+        or timed out cooperatively). Only frees a half-open probe slot —
+        a cancelled probe must not wedge the breaker half-open forever."""
+        if self._state == HALF_OPEN and self._probes_in_flight > 0:
+            self._probes_in_flight -= 1
+
+    def record_failure(self) -> None:
+        """Settle one dispatch as failed; may trip or re-open the breaker."""
+        if self._state == HALF_OPEN:
+            # The probe failed: the backend is still sick, back to open
+            # for a fresh cooldown.
+            self._probes_in_flight = 0
+            self._opened_at = self._clock()
+            self._transition(OPEN)
+            return
+        self._consecutive_failures += 1
+        if (
+            self._state == CLOSED
+            and self._consecutive_failures >= self._failure_threshold
+        ):
+            self._opened_at = self._clock()
+            self._transition(OPEN)
+
+    def _transition(self, new_state: str) -> None:
+        old_state, self._state = self._state, new_state
+        if old_state != new_state and self._on_state_change is not None:
+            try:
+                self._on_state_change(old_state, new_state)
+            except Exception:  # noqa: BLE001 — observers must not break dispatch
+                pass
+
+    def __repr__(self) -> str:
+        return (
+            f"CircuitBreaker(state={self._state!r}, "
+            f"consecutive_failures={self._consecutive_failures}, "
+            f"failure_threshold={self._failure_threshold})"
+        )
+
+
+__all__ = ["CLOSED", "HALF_OPEN", "OPEN", "CircuitBreaker"]
+

@@ -1,0 +1,153 @@
+"""Typed lifecycle events streamed by :class:`~repro.service.SolveService`.
+
+Every observable state transition of a request — admitted, coalesced
+onto an in-flight leader, load-shed, started, per-sibling progress,
+finished — plus service-level transitions (breaker state changes,
+drain) is published as one immutable event. Subscribers receive them in
+order through bounded queues (see :meth:`SolveService.subscribe`);
+:meth:`ServiceEvent.as_dict` gives a JSON-ready rendering for log
+shipping, so an operator can reconstruct a request's whole life from
+the stream alone.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass
+
+
+@dataclass(frozen=True)
+class ServiceEvent:
+    """Base event: a monotonic timestamp plus the request it concerns.
+
+    Attributes:
+        timestamp: Seconds on the service's clock at emission.
+        request_id: The request concerned (``""`` for service-level
+            events like breaker transitions and drain).
+    """
+
+    timestamp: float = 0.0
+    request_id: str = ""
+
+    @property
+    def kind(self) -> str:
+        """Event discriminator: the class name, stable across versions."""
+        return type(self).__name__
+
+    def as_dict(self) -> dict:
+        """JSON-ready rendering (``kind`` + every field)."""
+        payload = {"kind": self.kind}
+        payload.update(asdict(self))
+        return payload
+
+
+@dataclass(frozen=True)
+class RequestAdmitted(ServiceEvent):
+    """A request entered the admission queue.
+
+    Attributes:
+        queue_depth: Queue occupancy after admission.
+    """
+
+    queue_depth: int = 0
+
+
+@dataclass(frozen=True)
+class RequestCoalesced(ServiceEvent):
+    """A request attached to an identical in-flight leader instead of
+    queueing its own solve.
+
+    Attributes:
+        leader_id: The request whose single training run will serve this
+            one too.
+    """
+
+    leader_id: str = ""
+
+
+@dataclass(frozen=True)
+class RequestShed(ServiceEvent):
+    """A request was rejected at admission — the queue was full.
+
+    Attributes:
+        queue_depth: Queue occupancy at rejection (== the configured
+            bound).
+    """
+
+    queue_depth: int = 0
+
+
+@dataclass(frozen=True)
+class RequestStarted(ServiceEvent):
+    """A request group left the queue and its solve dispatched.
+
+    Attributes:
+        group_size: Requests riding this one solve (1 = no coalescing).
+    """
+
+    group_size: int = 1
+
+
+@dataclass(frozen=True)
+class SiblingProgress(ServiceEvent):
+    """One backend job of a running request finished.
+
+    Attributes:
+        job_id: The finished job.
+        failed: Whether it exhausted its attempts.
+        jobs_done: Jobs finished so far in this request's submission.
+    """
+
+    job_id: str = ""
+    failed: bool = False
+    jobs_done: int = 0
+
+
+@dataclass(frozen=True)
+class RequestFinished(ServiceEvent):
+    """A request's future resolved.
+
+    Attributes:
+        status: ``"ok"``, ``"degraded"``, ``"timeout"``, ``"cancelled"``,
+            or ``"failed"`` (see :class:`~repro.service.ServiceResult`).
+        elapsed_seconds: Submit-to-resolution wall clock.
+    """
+
+    status: str = ""
+    elapsed_seconds: float = 0.0
+
+
+@dataclass(frozen=True)
+class BreakerStateChanged(ServiceEvent):
+    """The backend circuit breaker moved between states.
+
+    Attributes:
+        old_state: ``"closed"``, ``"open"``, or ``"half_open"``.
+        new_state: Likewise.
+    """
+
+    old_state: str = ""
+    new_state: str = ""
+
+
+@dataclass(frozen=True)
+class ServiceDraining(ServiceEvent):
+    """The service stopped admitting; in-flight requests will finish.
+
+    Attributes:
+        in_flight: Request groups still queued or running at drain start.
+    """
+
+    in_flight: int = 0
+
+
+__all__ = [
+    "BreakerStateChanged",
+    "RequestAdmitted",
+    "RequestCoalesced",
+    "RequestFinished",
+    "RequestShed",
+    "RequestStarted",
+    "ServiceDraining",
+    "ServiceEvent",
+    "SiblingProgress",
+]

@@ -322,3 +322,105 @@ def test_cached_wrappers_are_transparent_without_a_cache(problem):
     assert cached_simulated_annealing(
         problem, num_sweeps=30, num_restarts=1, seed=4
     ) == simulated_annealing(problem, num_sweeps=30, num_restarts=1, seed=4)
+
+
+# ---------------------------------------------------------------------------
+# Sharded layout, TTL, and size-bounded retention
+# ---------------------------------------------------------------------------
+def test_default_layout_is_the_historical_one(tmp_path):
+    cache = SolveCache(cache_dir=str(tmp_path))
+    cache.put("params", "abcdef123", {"v": 1}, payload={"v": 1})
+    assert (tmp_path / "params" / "ab" / "abcdef123.json").exists()
+
+
+def test_custom_sharding_fans_keys_across_levels(tmp_path):
+    cache = SolveCache(cache_dir=str(tmp_path), shard_depth=2, shard_width=1)
+    cache.put("params", "abcdef123", {"v": 1}, payload={"v": 1})
+    assert (tmp_path / "params" / "a" / "b" / "abcdef123.json").exists()
+    fresh = SolveCache(cache_dir=str(tmp_path), shard_depth=2, shard_width=1)
+    assert fresh.get("params", "abcdef123", rebuild=lambda p: p) == {"v": 1}
+
+
+def test_shard_depth_zero_is_flat(tmp_path):
+    cache = SolveCache(cache_dir=str(tmp_path), shard_depth=0)
+    cache.put("params", "abcdef123", {"v": 1}, payload={"v": 1})
+    assert (tmp_path / "params" / "abcdef123.json").exists()
+
+
+def test_layout_metadata_governs_later_openers(tmp_path):
+    # First writer pins a 2x1 layout; a second open with different (even
+    # default) constructor arguments must adopt the pinned layout and
+    # find the artifact.
+    writer = SolveCache(cache_dir=str(tmp_path), shard_depth=2, shard_width=1)
+    writer.put("params", "abcdef123", {"v": 7}, payload={"v": 7})
+    assert (tmp_path / "cache_layout.json").exists()
+    reader = SolveCache(cache_dir=str(tmp_path))  # defaults: 1 x 2
+    assert reader.shard_depth == 2
+    assert reader.shard_width == 1
+    assert reader.get("params", "abcdef123", rebuild=lambda p: p) == {"v": 7}
+
+
+def test_torn_layout_metadata_is_ignored_and_healed(tmp_path):
+    (tmp_path / "cache_layout.json").write_text('{"shard_dep')  # torn
+    cache = SolveCache(cache_dir=str(tmp_path), shard_depth=3, shard_width=1)
+    assert cache.shard_depth == 3  # torn file did not override
+    cache.put("params", "abcdef123", {"v": 1}, payload={"v": 1})
+    healed = json.loads((tmp_path / "cache_layout.json").read_text())
+    assert healed["shard_depth"] == 3
+    assert healed["shard_width"] == 1
+
+
+def test_invalid_retention_arguments_raise(tmp_path):
+    with pytest.raises(CacheError):
+        SolveCache(cache_dir=str(tmp_path), shard_depth=-1)
+    with pytest.raises(CacheError):
+        SolveCache(cache_dir=str(tmp_path), shard_width=0)
+    with pytest.raises(CacheError):
+        SolveCache(cache_dir=str(tmp_path), ttl_seconds=0)
+    with pytest.raises(CacheError):
+        SolveCache(cache_dir=str(tmp_path), max_disk_bytes=0)
+
+
+def test_ttl_expires_old_artifacts_as_counted_misses(tmp_path):
+    cache = SolveCache(cache_dir=str(tmp_path), ttl_seconds=3600)
+    cache.put("params", "oldkey", {"v": 1}, payload={"v": 1})
+    json_path = tmp_path / "params" / "ol" / "oldkey.json"
+    assert json_path.exists()
+    ancient = os.stat(json_path).st_mtime - 7200
+    os.utime(json_path, (ancient, ancient))
+    fresh = SolveCache(cache_dir=str(tmp_path), ttl_seconds=3600)
+    assert fresh.get("params", "oldkey", rebuild=lambda p: p) is None
+    assert fresh.stats_snapshot()["params"]["expired"] == 1
+    assert not json_path.exists(), "expired artifact must be unlinked"
+    # The next read is a clean miss, not another expiry.
+    assert fresh.get("params", "oldkey", rebuild=lambda p: p) is None
+    assert fresh.stats_snapshot()["params"]["expired"] == 1
+
+
+def test_fresh_artifacts_survive_ttl(tmp_path):
+    cache = SolveCache(cache_dir=str(tmp_path), ttl_seconds=3600)
+    cache.put("params", "newkey", {"v": 2}, payload={"v": 2})
+    fresh = SolveCache(cache_dir=str(tmp_path), ttl_seconds=3600)
+    assert fresh.get("params", "newkey", rebuild=lambda p: p) == {"v": 2}
+
+
+def test_disk_budget_evicts_oldest_first(tmp_path):
+    payload = {"blob": "x" * 512}
+    cache = SolveCache(cache_dir=str(tmp_path), max_disk_bytes=2048)
+    for index in range(8):
+        key = f"key{index:02d}x"
+        cache.put("params", key, payload, payload=dict(payload))
+        # Distinct mtimes so "oldest" is well defined on coarse clocks.
+        json_path, _ = cache._paths("params", key)
+        stamp = os.stat(json_path).st_mtime - (8 - index)
+        os.utime(json_path, (stamp, stamp))
+    assert cache.disk_usage() <= 2048
+    stats = cache.stats_snapshot()["params"]
+    assert stats["disk_evictions"] > 0
+    # The newest artifact must have survived the sweeps.
+    newest, _ = cache._paths("params", "key07x")
+    assert os.path.exists(newest)
+
+
+def test_disk_usage_reports_zero_for_memory_only():
+    assert SolveCache().disk_usage() == 0

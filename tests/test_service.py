@@ -1,0 +1,729 @@
+"""Tests for the resilient solve service and its backend control plumbing.
+
+Async service behaviour is exercised through ``asyncio.run`` wrappers
+(no event-loop plugin needed); solve dispatches are stubbed wherever the
+orchestration — not the solver — is under test, and run the real seeded
+pipeline for the bit-identity acceptance checks.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.backend import (
+    ExecutionControl,
+    FaultPolicy,
+    SerialBackend,
+    set_backoff_sleeper,
+)
+from repro.backend.base import _backoff_sleep
+from repro.core.solver import FrozenQubitsSolver, SolverConfig
+from repro.exceptions import (
+    BackendError,
+    DeadlineExceeded,
+    ExecutionCancelled,
+    ServiceClosed,
+    ServiceOverloaded,
+    ServiceTimeout,
+    ServiceUnavailable,
+)
+from repro.faults import FaultInjection, InjectedFault
+from repro.graphs.generators import random_regular_graph
+from repro.ising.hamiltonian import random_pm1_hamiltonian
+from repro.service import (
+    CircuitBreaker,
+    RequestAdmitted,
+    RequestCoalesced,
+    RequestFinished,
+    RequestStarted,
+    ServiceConfig,
+    ServiceResult,
+    SolveRequest,
+    SolveService,
+)
+
+
+def problem(index: int = 0, nodes: int = 8):
+    graph = random_regular_graph(nodes, degree=3, seed=100 + index)
+    return random_pm1_hamiltonian(graph, seed=200 + index)
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+# ---------------------------------------------------------------------------
+# ExecutionControl (the backend-side half of the deadline plumbing)
+# ---------------------------------------------------------------------------
+class TestExecutionControl:
+    def test_no_deadline_no_cancel_is_a_noop(self):
+        control = ExecutionControl()
+        control.checkpoint("anywhere")  # must not raise
+        assert control.remaining() is None
+        assert not control.cancelled()
+
+    def test_deadline_raises_deadline_exceeded(self):
+        now = [0.0]
+        control = ExecutionControl(deadline=10.0, clock=lambda: now[0])
+        control.checkpoint()
+        now[0] = 11.0
+        with pytest.raises(DeadlineExceeded):
+            control.checkpoint("level 2")
+
+    def test_cancel_raises_execution_cancelled(self):
+        cancel = threading.Event()
+        control = ExecutionControl(cancel=cancel)
+        control.checkpoint()
+        cancel.set()
+        with pytest.raises(ExecutionCancelled):
+            control.checkpoint()
+
+    def test_cancellation_is_not_a_backend_error(self):
+        # Circuit breakers and failure budgets key on BackendError; a
+        # cooperative cancellation must never look like backend illness.
+        assert not issubclass(ExecutionCancelled, BackendError)
+        assert not issubclass(DeadlineExceeded, BackendError)
+
+    def test_progress_callback_fires_and_swallows_errors(self):
+        seen = []
+        control = ExecutionControl(
+            on_job_done=lambda job_id, failed: seen.append((job_id, failed))
+        )
+        control.notify_job_done("sp0", False)
+        assert seen == [("sp0", False)]
+
+        def broken(job_id, failed):
+            raise RuntimeError("observer bug")
+
+        ExecutionControl(on_job_done=broken).notify_job_done("sp1", True)
+
+    def test_backend_honours_deadline_between_jobs(self):
+        h = problem()
+        solver = FrozenQubitsSolver(num_frozen=1, seed=3)
+        now = [0.0]
+        control = ExecutionControl(deadline=-1.0, clock=lambda: now[0])
+        with pytest.raises(DeadlineExceeded):
+            solver.solve(h, backend=SerialBackend(), control=control)
+
+    def test_backend_streams_per_job_progress(self):
+        h = problem()
+        seen = []
+        control = ExecutionControl(
+            on_job_done=lambda job_id, failed: seen.append((job_id, failed))
+        )
+        result = FrozenQubitsSolver(num_frozen=1, seed=3).solve(
+            h, backend=SerialBackend(), control=control
+        )
+        assert result.best_value is not None
+        assert seen, "no progress callbacks fired"
+        assert all(not failed for _, failed in seen)
+
+    def test_control_solve_matches_plain_solve(self):
+        h = problem()
+        plain = FrozenQubitsSolver(num_frozen=1, seed=3).solve(h)
+        controlled = FrozenQubitsSolver(num_frozen=1, seed=3).solve(
+            h, control=ExecutionControl(cancel=threading.Event())
+        )
+        assert plain.best_value == controlled.best_value
+        assert np.array_equal(plain.best_spins, controlled.best_spins)
+
+
+# ---------------------------------------------------------------------------
+# Satellite: injectable backoff sleeper
+# ---------------------------------------------------------------------------
+class TestBackoffSleeper:
+    def test_sleeper_is_injectable_and_restorable(self):
+        slept = []
+        previous = set_backoff_sleeper(slept.append)
+        try:
+            policy = FaultPolicy(max_retries=2, backoff_seconds=0.25)
+            _backoff_sleep(policy, "job-a", 0)
+            assert len(slept) == 1
+            assert slept[0] > 0.0
+        finally:
+            set_backoff_sleeper(previous)
+        assert set_backoff_sleeper(None) is time.sleep
+
+    def test_cancel_event_preempts_the_sleeper(self):
+        # With a control carrying a cancel event, backoff waits on the
+        # event (interruptible) instead of the injected sleeper.
+        slept = []
+        previous = set_backoff_sleeper(slept.append)
+        try:
+            cancel = threading.Event()
+            cancel.set()
+            control = ExecutionControl(cancel=cancel)
+            policy = FaultPolicy(max_retries=2, backoff_seconds=60.0)
+            start = time.monotonic()
+            _backoff_sleep(policy, "job-a", 0, control)
+            assert time.monotonic() - start < 5.0
+            assert slept == []
+        finally:
+            set_backoff_sleeper(previous)
+
+    def test_retrying_solve_never_calls_real_sleep(self):
+        calls = []
+        previous = set_backoff_sleeper(calls.append)
+        try:
+            h = problem()
+            injection = FaultInjection(fail_jobs={"sp0": 1})
+            result = FrozenQubitsSolver(
+                num_frozen=1,
+                seed=3,
+                config=SolverConfig(fault_injection=injection),
+            ).solve(
+                h,
+                backend=SerialBackend(
+                    fault_policy=FaultPolicy(
+                        max_retries=2, backoff_seconds=0.5
+                    )
+                ),
+            )
+            assert result.num_job_retries >= 1
+            assert calls, "retry happened but the injected sleeper never ran"
+        finally:
+            set_backoff_sleeper(previous)
+
+
+# ---------------------------------------------------------------------------
+# Satellite: root-cause traceback in failure provenance
+# ---------------------------------------------------------------------------
+class TestFailureTraceback:
+    def test_failure_provenance_carries_formatted_traceback(self):
+        h = problem()
+        injection = FaultInjection(fail_jobs={"sp0": None})  # permanent
+        result = FrozenQubitsSolver(
+            num_frozen=1,
+            seed=3,
+            config=SolverConfig(fault_injection=injection),
+        ).solve(
+            h,
+            backend=SerialBackend(fault_policy=FaultPolicy(max_retries=1)),
+        )
+        assert result.num_failed_jobs == 1
+        provenance = result.failure_provenance
+        assert len(provenance) == 1
+        record = next(iter(provenance.values()))
+        assert "InjectedFault" in record["traceback"]
+        assert "Traceback" in record["traceback"]
+        assert record["attempts"] >= 1
+
+
+# ---------------------------------------------------------------------------
+# Circuit breaker
+# ---------------------------------------------------------------------------
+class TestCircuitBreaker:
+    def test_trips_after_consecutive_failures_only(self):
+        breaker = CircuitBreaker(failure_threshold=3, clock=lambda: 0.0)
+        breaker.record_failure()
+        breaker.record_failure()
+        breaker.record_success()  # resets the streak
+        breaker.record_failure()
+        breaker.record_failure()
+        assert breaker.state == "closed"
+        breaker.record_failure()
+        assert breaker.state == "open"
+        assert not breaker.allow()
+
+    def test_half_open_probe_closes_on_success(self):
+        now = [0.0]
+        breaker = CircuitBreaker(
+            failure_threshold=1, reset_seconds=10.0, clock=lambda: now[0]
+        )
+        breaker.record_failure()
+        assert breaker.state == "open"
+        now[0] = 11.0
+        assert breaker.state == "half_open"
+        assert breaker.allow()  # the probe
+        assert not breaker.allow()  # only one probe at a time
+        breaker.record_success()
+        assert breaker.state == "closed"
+        assert breaker.allow()
+
+    def test_half_open_probe_reopens_on_failure(self):
+        now = [0.0]
+        breaker = CircuitBreaker(
+            failure_threshold=1, reset_seconds=10.0, clock=lambda: now[0]
+        )
+        breaker.record_failure()
+        now[0] = 11.0
+        assert breaker.allow()
+        breaker.record_failure()
+        assert breaker.state == "open"
+        assert not breaker.allow()
+
+    def test_release_frees_a_cancelled_probe(self):
+        now = [0.0]
+        breaker = CircuitBreaker(
+            failure_threshold=1, reset_seconds=1.0, clock=lambda: now[0]
+        )
+        breaker.record_failure()
+        now[0] = 2.0
+        assert breaker.allow()
+        breaker.release()  # probe cancelled, no verdict
+        assert breaker.allow()  # slot is free again
+
+
+# ---------------------------------------------------------------------------
+# Service orchestration (stubbed dispatch)
+# ---------------------------------------------------------------------------
+def _instant_execute(request, control):
+    control.checkpoint("stub")
+    return {"request_id": request.request_id, "seed": request.seed}
+
+
+def _cooperative_slow_execute(seconds):
+    """A stub that takes ``seconds`` but honours checkpoints promptly."""
+
+    def execute(request, control):
+        deadline = time.monotonic() + seconds
+        while time.monotonic() < deadline:
+            control.cancel.wait(0.01)
+            control.checkpoint("slow stub")
+        return "done"
+
+    return execute
+
+
+class TestServiceOrchestration:
+    def test_single_request_round_trip(self):
+        async def scenario():
+            async with SolveService(execute=_instant_execute) as service:
+                result = await service.solve(problem(), seed=5)
+                assert result.status == "ok"
+                assert result.ok
+                assert result.value["seed"] == 5
+                assert result.coalesced_with == ""
+                stats = service.stats()
+                assert stats["dispatches"] == 1
+                assert stats["ok"] == 1
+            return result
+
+        result = run(scenario())
+        assert result.raise_for_status() == result.value
+
+    def test_coalescing_many_duplicates_one_dispatch(self):
+        started = threading.Event()
+        release = threading.Event()
+
+        def gated_execute(request, control):
+            started.set()
+            release.wait(timeout=30)
+            return "shared"
+
+        async def scenario():
+            h = problem()
+            async with SolveService(execute=gated_execute) as service:
+                first = await service.submit(
+                    SolveRequest(hamiltonian=h, seed=1)
+                )
+                await asyncio.to_thread(started.wait, 30)
+                rest = [
+                    await service.submit(SolveRequest(hamiltonian=h, seed=1))
+                    for _ in range(15)
+                ]
+                release.set()
+                results = await asyncio.gather(first, *rest)
+                stats = service.stats()
+                assert stats["dispatches"] == 1
+                assert stats["coalesced"] == 15
+                assert all(r.status == "ok" for r in results)
+                assert all(r.value == "shared" for r in results)
+                leader_id = results[0].request_id
+                assert results[0].coalesced_with == ""
+                assert all(
+                    r.coalesced_with == leader_id for r in results[1:]
+                )
+
+        run(scenario())
+
+    def test_different_seeds_do_not_coalesce(self):
+        async def scenario():
+            h = problem()
+            async with SolveService(execute=_instant_execute) as service:
+                a = await service.solve(h, seed=1)
+                b = await service.solve(h, seed=2)
+                assert a.value["seed"] == 1
+                assert b.value["seed"] == 2
+                assert service.stats()["dispatches"] == 2
+
+        run(scenario())
+
+    def test_overload_sheds_with_service_overloaded(self):
+        release = threading.Event()
+
+        def blocking_execute(request, control):
+            release.wait(timeout=30)
+            return "done"
+
+        async def scenario():
+            config = ServiceConfig(max_queue_depth=1, max_concurrency=1)
+            async with SolveService(
+                config, execute=blocking_execute
+            ) as service:
+                # Distinct problems so nothing coalesces: one runs, one
+                # queued, the third must shed.
+                first = await service.submit(
+                    SolveRequest(hamiltonian=problem(0))
+                )
+                await asyncio.sleep(0.05)  # let the worker claim it
+                second = await service.submit(
+                    SolveRequest(hamiltonian=problem(1))
+                )
+                with pytest.raises(ServiceOverloaded):
+                    await service.submit(SolveRequest(hamiltonian=problem(2)))
+                assert service.stats()["shed"] == 1
+                release.set()
+                await asyncio.gather(first, second)
+
+        run(scenario())
+
+    def test_deadline_yields_structured_timeout_never_a_hang(self):
+        async def scenario():
+            async with SolveService(
+                execute=_cooperative_slow_execute(30.0)
+            ) as service:
+                start = time.monotonic()
+                result = await service.solve(
+                    problem(), deadline_seconds=0.1
+                )
+                elapsed = time.monotonic() - start
+                assert result.status == "timeout"
+                assert elapsed < 10.0, "deadline did not cut the wait"
+                assert isinstance(result.error, ServiceTimeout)
+                assert result.error.request_id == result.request_id
+                assert result.provenance["stage"] in ("queued", "running")
+                assert "jobs_done" in result.provenance
+                assert "elapsed_seconds" in result.provenance
+                assert service.stats()["timeouts"] == 1
+
+        run(scenario())
+
+    def test_deadline_expires_while_queued(self):
+        release = threading.Event()
+
+        def blocking_execute(request, control):
+            release.wait(timeout=30)
+            control.checkpoint("blocked stub")
+            return "done"
+
+        async def scenario():
+            config = ServiceConfig(max_queue_depth=4, max_concurrency=1)
+            async with SolveService(
+                config, execute=blocking_execute
+            ) as service:
+                blocker = await service.submit(
+                    SolveRequest(hamiltonian=problem(0))
+                )
+                await asyncio.sleep(0.05)
+                queued = await service.submit(
+                    SolveRequest(
+                        hamiltonian=problem(1), deadline_seconds=0.1
+                    )
+                )
+                result = await queued
+                assert result.status == "timeout"
+                assert result.provenance["stage"] == "queued"
+                release.set()
+                await blocker
+
+        run(scenario())
+
+    def test_solve_faults_are_contained_per_request(self):
+        def failing_execute(request, control):
+            raise BackendError("backend exploded")
+
+        async def scenario():
+            async with SolveService(execute=failing_execute) as service:
+                result = await service.solve(problem())
+                assert result.status == "failed"
+                assert isinstance(result.error, BackendError)
+                with pytest.raises(BackendError):
+                    result.raise_for_status()
+                assert service.stats()["failed"] == 1
+
+        run(scenario())
+
+    def test_breaker_opens_and_degrades_to_classical(self):
+        def failing_execute(request, control):
+            raise BackendError("backend down")
+
+        async def scenario():
+            h = problem()
+            config = ServiceConfig(
+                breaker_failure_threshold=2,
+                breaker_reset_seconds=3600.0,
+                coalesce=False,
+            )
+            async with SolveService(
+                config, execute=failing_execute
+            ) as service:
+                events = service.subscribe()
+                for _ in range(2):
+                    result = await service.solve(h, seed=1)
+                    assert result.status == "failed"
+                assert service.stats()["breaker_state"] == "open"
+                degraded = await service.solve(h, seed=1)
+                assert degraded.status == "degraded"
+                assert degraded.ok
+                # The classical fallback yields a real assignment.
+                assert degraded.value.spins is not None
+                assert service.stats()["degraded"] == 1
+                kinds = []
+                while not events.empty():
+                    kinds.append(events.get_nowait().kind)
+                assert "BreakerStateChanged" in kinds
+
+        run(scenario())
+
+    def test_breaker_open_without_fallback_is_unavailable(self):
+        def failing_execute(request, control):
+            raise BackendError("backend down")
+
+        async def scenario():
+            config = ServiceConfig(
+                breaker_failure_threshold=1,
+                breaker_reset_seconds=3600.0,
+                classical_fallback=False,
+                coalesce=False,
+            )
+            async with SolveService(
+                config, execute=failing_execute
+            ) as service:
+                await service.solve(problem(), seed=1)
+                result = await service.solve(problem(), seed=1)
+                assert result.status == "failed"
+                assert isinstance(result.error, ServiceUnavailable)
+
+        run(scenario())
+
+    def test_breaker_half_open_probe_recovers(self):
+        calls = {"n": 0}
+
+        def flaky_then_healthy(request, control):
+            calls["n"] += 1
+            if calls["n"] <= 1:
+                raise BackendError("first dispatch dies")
+            return "healthy"
+
+        async def scenario():
+            config = ServiceConfig(
+                breaker_failure_threshold=1,
+                breaker_reset_seconds=0.0,  # immediate half-open
+                coalesce=False,
+            )
+            async with SolveService(
+                config, execute=flaky_then_healthy
+            ) as service:
+                first = await service.solve(problem(0), seed=1)
+                assert first.status == "failed"
+                probe = await service.solve(problem(1), seed=1)
+                assert probe.status == "ok"
+                assert service.stats()["breaker_state"] == "closed"
+
+        run(scenario())
+
+    def test_cancellation_does_not_feed_the_breaker(self):
+        async def scenario():
+            config = ServiceConfig(breaker_failure_threshold=1)
+            async with SolveService(
+                config, execute=_cooperative_slow_execute(30.0)
+            ) as service:
+                result = await service.solve(
+                    problem(), deadline_seconds=0.05
+                )
+                assert result.status == "timeout"
+                stats = service.stats()
+                assert stats["breaker_state"] == "closed"
+                assert stats["breaker_consecutive_failures"] == 0
+
+        run(scenario())
+
+    def test_drain_finishes_in_flight_and_rejects_new(self):
+        release = threading.Event()
+
+        def gated_execute(request, control):
+            release.wait(timeout=30)
+            return "finished"
+
+        async def scenario():
+            async with SolveService(execute=gated_execute) as service:
+                future = await service.submit(
+                    SolveRequest(hamiltonian=problem())
+                )
+                await asyncio.sleep(0.05)
+                drain_task = asyncio.create_task(service.drain())
+                await asyncio.sleep(0.05)
+                with pytest.raises(ServiceClosed):
+                    await service.submit(SolveRequest(hamiltonian=problem()))
+                release.set()
+                await drain_task
+                assert future.done()
+                result = future.result()
+                assert result.status == "ok"
+                assert result.value == "finished"
+                assert service.stats()["draining"]
+
+        run(scenario())
+
+    def test_event_stream_covers_the_request_lifecycle(self):
+        async def scenario():
+            async with SolveService(execute=_instant_execute) as service:
+                events = service.subscribe()
+                await service.solve(problem(), seed=1)
+                kinds = []
+                while not events.empty():
+                    event = events.get_nowait()
+                    kinds.append(type(event))
+                assert RequestAdmitted in kinds
+                assert RequestStarted in kinds
+                assert RequestFinished in kinds
+                service.unsubscribe(events)
+
+        run(scenario())
+
+    def test_coalesced_event_names_the_leader(self):
+        started = threading.Event()
+        release = threading.Event()
+
+        def gated_execute(request, control):
+            started.set()
+            release.wait(timeout=30)
+            return "x"
+
+        async def scenario():
+            h = problem()
+            async with SolveService(execute=gated_execute) as service:
+                events = service.subscribe()
+                leader = await service.submit(
+                    SolveRequest(hamiltonian=h, request_id="lead")
+                )
+                await asyncio.to_thread(started.wait, 30)
+                sibling = await service.submit(
+                    SolveRequest(hamiltonian=h, request_id="tail")
+                )
+                release.set()
+                await asyncio.gather(leader, sibling)
+                coalesced = []
+                while not events.empty():
+                    event = events.get_nowait()
+                    if isinstance(event, RequestCoalesced):
+                        coalesced.append(event)
+                assert len(coalesced) == 1
+                assert coalesced[0].request_id == "tail"
+                assert coalesced[0].leader_id == "lead"
+
+        run(scenario())
+
+    def test_service_fault_injection_fail_requests(self):
+        async def scenario():
+            config = ServiceConfig(
+                fault_injection=FaultInjection(
+                    fail_requests={"victim": None}
+                ),
+            )
+            async with SolveService(
+                config, execute=_instant_execute
+            ) as service:
+                ok = await service.solve(problem(0), request_id="fine")
+                assert ok.status == "ok"
+                doomed = await service.solve(
+                    problem(1), request_id="victim"
+                )
+                assert doomed.status == "failed"
+                assert isinstance(doomed.error, InjectedFault)
+
+        run(scenario())
+
+    def test_service_fault_injection_slow_requests(self):
+        async def scenario():
+            config = ServiceConfig(
+                fault_injection=FaultInjection(
+                    slow_requests={"sleepy": 30.0}
+                ),
+            )
+            async with SolveService(
+                config, execute=_instant_execute
+            ) as service:
+                start = time.monotonic()
+                result = await service.solve(
+                    problem(),
+                    request_id="sleepy",
+                    deadline_seconds=0.1,
+                )
+                assert result.status == "timeout"
+                assert time.monotonic() - start < 10.0
+
+        run(scenario())
+
+
+# ---------------------------------------------------------------------------
+# Acceptance: real solves through the service
+# ---------------------------------------------------------------------------
+@pytest.mark.slow
+class TestServiceAcceptance:
+    def test_64_duplicates_bit_identical_and_at_most_two_runs(self):
+        h = problem(nodes=8)
+        direct = FrozenQubitsSolver(num_frozen=1, seed=11).solve(h)
+
+        dispatches = {"n": 0}
+        real_execute_lock = threading.Lock()
+
+        def counting_execute(request, control):
+            with real_execute_lock:
+                dispatches["n"] += 1
+            from repro.service.service import default_execute
+
+            return default_execute(request, control)
+
+        async def scenario():
+            config = ServiceConfig(max_queue_depth=128, max_concurrency=4)
+            async with SolveService(
+                config, execute=counting_execute
+            ) as service:
+                futures = [
+                    await service.submit(
+                        SolveRequest(hamiltonian=h, num_frozen=1, seed=11)
+                    )
+                    for _ in range(64)
+                ]
+                return await asyncio.gather(*futures)
+
+        results = run(scenario())
+        assert len(results) == 64
+        assert all(r.status == "ok" for r in results)
+        assert dispatches["n"] <= 2, (
+            f"64 identical requests cost {dispatches['n']} training runs"
+        )
+        for r in results:
+            assert float(r.value.best_value) == float(direct.best_value)
+            assert np.array_equal(r.value.best_spins, direct.best_spins)
+
+    def test_chaos_requests_survive_with_retries(self):
+        h = problem(nodes=8)
+        injection = FaultInjection(fail_jobs={"sp0": 1})
+        backend = SerialBackend(
+            fault_policy=FaultPolicy(max_retries=2)
+        )
+
+        async def scenario():
+            async with SolveService() as service:
+                return await service.solve(
+                    h,
+                    num_frozen=1,
+                    seed=11,
+                    backend=backend,
+                    solver_options={
+                        "config": SolverConfig(fault_injection=injection)
+                    },
+                )
+
+        result = run(scenario())
+        assert result.status == "ok"
+        assert result.value.num_job_retries >= 1
+        assert result.value.num_failed_jobs == 0
